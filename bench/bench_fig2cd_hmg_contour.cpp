@@ -1,0 +1,102 @@
+// Reproduces paper Fig. 2(c,d): contour/surface of the multi-input
+// inverter current and its *rectilinear* level-set tails, versus the
+// elliptical tails of a product Gaussian.
+//
+// Prints (1) the 2-D current surface I(V_X, V_Y) with V_Z held at center,
+// and (2) a tail-shape metric: along a level set, the ratio of the
+// diagonal reach to the axis reach. A circle (Gaussian) gives 1.0; a
+// square (rectilinear) gives sqrt(2) ~ 1.414.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "circuit/inverter.hpp"
+#include "core/table.hpp"
+#include "prob/gaussian.hpp"
+#include "prob/hmg.hpp"
+
+namespace {
+
+/// Distance from the bump center to the level set `level * peak` along a
+/// ray at angle theta, found by bisection on the radial profile.
+double level_reach(const std::function<double(double, double)>& f,
+                   double peak, double level, double theta) {
+  const double target = level * peak;
+  double lo = 0.0, hi = 1.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double v = f(mid * std::cos(theta), mid * std::sin(theta));
+    if (v > target)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cimnav;
+  std::printf("=== Fig. 2(c,d): HMG surface and rectilinear tails ===\n\n");
+
+  const circuit::MosfetParams nmos, pmos;
+  const circuit::SupplyParams supply;
+  circuit::SixTransistorInverter inv(nmos, pmos, supply);
+  const double peak = inv.peak_current();
+
+  // Down-sampled surface plot (11x11) of I(VX, VY) at VZ = center.
+  std::printf("I_INV(V_X, V_Y) surface [nA], V_Z at center:\n");
+  core::Table surface([&] {
+    std::vector<std::string> headers{"V_X\\V_Y"};
+    for (int j = 0; j <= 10; ++j)
+      headers.push_back(std::to_string(0.1 * j).substr(0, 4));
+    return headers;
+  }());
+  surface.set_precision(1);
+  for (int i = 0; i <= 10; ++i) {
+    const double vx = 0.1 * i;
+    std::vector<core::Cell> row{std::to_string(vx).substr(0, 4)};
+    for (int j = 0; j <= 10; ++j) {
+      const double vy = 0.1 * j;
+      row.emplace_back(inv.current({vx, vy, 0.5}) * 1e9);
+    }
+    surface.add_row(std::move(row));
+  }
+  surface.print(std::cout);
+
+  // Tail-shape metric on the physical device and on the ideal kernels.
+  auto hw = [&](double dx, double dy) {
+    return inv.current({0.5 + dx, 0.5 + dy, 0.5});
+  };
+  auto hmg = [&](double dx, double dy) {
+    return prob::hmg_kernel({dx, dy, 0.0}, {0, 0, 0}, {0.08, 0.08, 0.08});
+  };
+  auto gauss = [&](double dx, double dy) {
+    const prob::DiagGaussian g({0, 0, 0}, {0.08, 0.08, 0.08});
+    return g.pdf({dx, dy, 0.0});
+  };
+
+  std::printf("\nLevel-set shape: diagonal reach / axis reach "
+              "(1.0 = elliptical, ~1.41 = rectilinear box):\n");
+  core::Table shape({"level (x peak)", "physical inverter", "ideal HMG",
+                     "product Gaussian"});
+  shape.set_precision(3);
+  for (double level : {0.5, 0.1, 0.01, 0.001}) {
+    auto ratio = [&](const std::function<double(double, double)>& f,
+                     double pk) {
+      const double axis = level_reach(f, pk, level, 0.0);
+      const double diag = level_reach(f, pk, level, 0.785398163);
+      return diag / axis;
+    };
+    shape.add_row({level, ratio(hw, peak), ratio(hmg, hmg(0, 0)),
+                   ratio(gauss, gauss(0, 0))});
+  }
+  shape.print(std::cout);
+  std::printf("\nGaussian stays at 1.0 at every level; the HMG kernels "
+              "approach sqrt(2) deep in the tails — the rectilinear "
+              "signature of Fig. 2(c).\n\n");
+  return 0;
+}

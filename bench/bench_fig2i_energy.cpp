@@ -1,0 +1,64 @@
+// Reproduces paper Fig. 2(i): energy per likelihood evaluation for the
+// 8-bit digital GMM processor versus the 4-bit HMGM inverter-array CIM
+// (500 columns, 100 components, 45 nm). The paper reports 374 fJ and 25x.
+#include <cstdio>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "energy/likelihood_energy.hpp"
+
+int main() {
+  using namespace cimnav;
+  std::printf("=== Fig. 2(i): likelihood-evaluation energy ===\n\n");
+
+  const auto digital = energy::digital_gmm_likelihood_energy(100);
+  const auto cim = energy::cim_likelihood_energy(500, 4, 4);
+
+  core::Table breakdown({"engine", "component", "energy [fJ]"});
+  breakdown.set_precision(1);
+  breakdown.add_row({std::string("digital GMM 8b"), std::string("3 MACs x 100 comp"),
+                     digital.mac_j * 1e15});
+  breakdown.add_row({std::string("digital GMM 8b"), std::string("exp LUT x 100"),
+                     digital.lut_j * 1e15});
+  breakdown.add_row({std::string("digital GMM 8b"), std::string("accumulate"),
+                     digital.accumulate_j * 1e15});
+  breakdown.add_row({std::string("digital GMM 8b"), std::string("TOTAL"),
+                     digital.total_j * 1e15});
+  breakdown.add_row({std::string("HMGM CIM 4b"), std::string("500 columns conduction"),
+                     cim.columns_j * 1e15});
+  breakdown.add_row({std::string("HMGM CIM 4b"), std::string("3 input DACs"),
+                     cim.dac_j * 1e15});
+  breakdown.add_row({std::string("HMGM CIM 4b"), std::string("log ADC"),
+                     cim.adc_j * 1e15});
+  breakdown.add_row({std::string("HMGM CIM 4b"), std::string("TOTAL"),
+                     cim.total_j * 1e15});
+  breakdown.print(std::cout);
+
+  std::printf("\nHeadline: CIM %.0f fJ vs digital %.0f fJ -> %.1fx advantage "
+              "(paper: 374 fJ, 25x)\n\n",
+              cim.total_j * 1e15, digital.total_j * 1e15,
+              digital.total_j / cim.total_j);
+
+  std::printf("Scaling with mixture components (5 columns per component):\n");
+  core::Table scaling({"components", "digital [fJ]", "cim [fJ]", "ratio"});
+  scaling.set_precision(1);
+  for (int k : {25, 50, 100, 200, 400}) {
+    const auto d = energy::digital_gmm_likelihood_energy(k);
+    const auto c = energy::cim_likelihood_energy(5 * k, 4, 4);
+    scaling.add_row({static_cast<double>(k), d.total_j * 1e15,
+                     c.total_j * 1e15, d.total_j / c.total_j});
+  }
+  scaling.print(std::cout);
+
+  std::printf("\nConverter-precision sensitivity (CIM, 500 columns):\n");
+  core::Table bits({"DAC/ADC bits", "cim total [fJ]", "ratio vs digital"});
+  bits.set_precision(1);
+  for (int b : {4, 6, 8}) {
+    const auto c = energy::cim_likelihood_energy(500, b, b);
+    bits.add_row({static_cast<double>(b), c.total_j * 1e15,
+                  digital.total_j / c.total_j});
+  }
+  bits.print(std::cout);
+  std::printf("\n");
+  return 0;
+}

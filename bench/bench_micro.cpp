@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+// likelihood evaluation on the inverter array, particle-filter steps, and
+// CIM macro matrix-vector products. These measure the *simulator*, not
+// the modeled hardware — engineering numbers for users extending the
+// library.
+#include <benchmark/benchmark.h>
+
+#include "circuit/array.hpp"
+#include "cimsram/cim_macro.hpp"
+#include "filter/particle_filter.hpp"
+#include "prob/gmm.hpp"
+#include "prob/hmg.hpp"
+
+namespace {
+
+using namespace cimnav;
+
+std::vector<circuit::VoltageComponent> bench_components(int k) {
+  core::Rng rng(3);
+  std::vector<circuit::VoltageComponent> comps;
+  for (int i = 0; i < k; ++i) {
+    comps.push_back({{rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8),
+                      rng.uniform(0.2, 0.8)},
+                     {0.06, 0.06, 0.06},
+                     rng.uniform(0.5, 2.0)});
+  }
+  return comps;
+}
+
+void BM_CimArrayReadout(benchmark::State& state) {
+  circuit::LikelihoodArrayConfig cfg;
+  cfg.total_columns = static_cast<int>(state.range(0));
+  core::Rng rng(5);
+  const circuit::CimLikelihoodArray arr(cfg, bench_components(40), rng);
+  core::Rng nrng(7);
+  double v = 0.25;
+  for (auto _ : state) {
+    v = v < 0.75 ? v + 0.001 : 0.25;
+    benchmark::DoNotOptimize(arr.read_log_likelihood({v, 0.5, 0.5}, nrng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CimArrayReadout)->Arg(100)->Arg(500);
+
+void BM_GmmLogPdf(benchmark::State& state) {
+  core::Rng rng(9);
+  std::vector<core::Vec3> pts;
+  for (int i = 0; i < 2000; ++i)
+    pts.push_back({rng.uniform(0, 3), rng.uniform(0, 3), rng.uniform(0, 2)});
+  const auto gmm = prob::Gmm::fit(pts, static_cast<int>(state.range(0)), rng);
+  double x = 0.1;
+  for (auto _ : state) {
+    x = x < 2.9 ? x + 0.01 : 0.1;
+    benchmark::DoNotOptimize(gmm.log_pdf({x, 1.5, 1.0}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmmLogPdf)->Arg(20)->Arg(80);
+
+void BM_HmgKernel(benchmark::State& state) {
+  double x = -3.0;
+  for (auto _ : state) {
+    x = x < 3.0 ? x + 0.001 : -3.0;
+    benchmark::DoNotOptimize(
+        prob::hmg_log_kernel({x, 0.5, -0.5}, {0, 0, 0}, {1, 1, 1}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HmgKernel);
+
+void BM_CimMacroMatvec(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Rng rng(11);
+  std::vector<double> w(static_cast<std::size_t>(n * n));
+  for (auto& v : w) v = rng.normal(0.0, 0.3);
+  cimsram::CimMacroConfig cfg;
+  const cimsram::CimMacro macro(w, n, n, cfg, 1.0 / 63.0);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform();
+  core::Rng arng(13);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(macro.matvec(x, {}, {}, arng));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n);
+}
+BENCHMARK(BM_CimMacroMatvec)->Arg(64)->Arg(128);
+
+void BM_ParticleFilterResample(benchmark::State& state) {
+  filter::ParticleFilterConfig cfg;
+  cfg.particle_count = static_cast<int>(state.range(0));
+  filter::ParticleFilter pf(cfg);
+  core::Rng rng(17);
+  pf.init_uniform({0, 0, 0}, {3, 3, 2}, rng);
+  for (auto _ : state) pf.resample(rng);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParticleFilterResample)->Arg(300)->Arg(3000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,190 @@
+#include "bnn/mc_dropout.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace cimnav::bnn {
+namespace {
+
+/// Welford accumulator over vectors.
+class VectorStats {
+ public:
+  explicit VectorStats(std::size_t dim) : mean_(dim, 0.0), m2_(dim, 0.0) {}
+
+  void add(const nn::Vector& v) {
+    ++n_;
+    for (std::size_t i = 0; i < mean_.size(); ++i) {
+      const double delta = v[i] - mean_[i];
+      mean_[i] += delta / static_cast<double>(n_);
+      m2_[i] += delta * (v[i] - mean_[i]);
+    }
+  }
+
+  McPrediction finish() const {
+    McPrediction p;
+    p.mean = mean_;
+    p.variance.assign(mean_.size(), 0.0);
+    if (n_ > 1) {
+      for (std::size_t i = 0; i < mean_.size(); ++i)
+        p.variance[i] = m2_[i] / static_cast<double>(n_ - 1);
+    }
+    p.samples = static_cast<int>(n_);
+    return p;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  nn::Vector mean_;
+  nn::Vector m2_;
+};
+
+cimsram::MacroStats stats_delta(const cimsram::MacroStats& after,
+                                const cimsram::MacroStats& before) {
+  cimsram::MacroStats d;
+  d.matvec_calls = after.matvec_calls - before.matvec_calls;
+  d.wordline_pulses = after.wordline_pulses - before.wordline_pulses;
+  d.adc_conversions = after.adc_conversions - before.adc_conversions;
+  d.analog_cycles = after.analog_cycles - before.analog_cycles;
+  d.nominal_macs = after.nominal_macs - before.nominal_macs;
+  return d;
+}
+
+}  // namespace
+
+double McPrediction::scalar_variance() const {
+  if (variance.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : variance) s += v;
+  return s / static_cast<double>(variance.size());
+}
+
+McPrediction mc_predict_float(const nn::Mlp& net, const nn::Vector& x,
+                              int iterations, double dropout_p,
+                              MaskSource& masks) {
+  CIMNAV_REQUIRE(iterations >= 1, "need at least one iteration");
+  VectorStats stats(static_cast<std::size_t>(net.output_size()));
+  for (int t = 0; t < iterations; ++t) {
+    const auto mask_set =
+        net.sample_masks([&] { return masks.draw(dropout_p); });
+    stats.add(net.forward_masked(x, mask_set));
+  }
+  return stats.finish();
+}
+
+std::uint64_t hamming_distance(const nn::Mask& a, const nn::Mask& b) {
+  CIMNAV_REQUIRE(a.size() == b.size(), "mask size mismatch");
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] != b[i]) ? 1 : 0;
+  return d;
+}
+
+std::vector<std::size_t> greedy_min_hamming_order(
+    const std::vector<nn::Mask>& input_masks) {
+  const std::size_t t = input_masks.size();
+  std::vector<std::size_t> order;
+  if (t == 0) return order;
+  order.reserve(t);
+  std::vector<bool> used(t, false);
+  // Start from the densest mask (cheapest first dense evaluation).
+  std::size_t current = 0;
+  order.push_back(current);
+  used[current] = true;
+  for (std::size_t step = 1; step < t; ++step) {
+    std::size_t best = t;
+    std::uint64_t best_d = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t j = 0; j < t; ++j) {
+      if (used[j]) continue;
+      const std::uint64_t d = hamming_distance(input_masks[current],
+                                               input_masks[j]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    order.push_back(best);
+    used[best] = true;
+    current = best;
+  }
+  return order;
+}
+
+std::uint64_t total_hamming(const std::vector<nn::Mask>& input_masks,
+                            const std::vector<std::size_t>& order) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    total += hamming_distance(input_masks[order[i - 1]],
+                              input_masks[order[i]]);
+  return total;
+}
+
+McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
+                            const McOptions& options, MaskSource& masks,
+                            core::Rng& analog_rng, McWorkload* workload) {
+  CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  const cimsram::MacroStats before = net.total_stats();
+
+  // Mask site widths: input site, then every hidden layer.
+  std::vector<int> widths;
+  if (net.dropout_on_input()) widths.push_back(net.macro(0).n_in());
+  for (int l = 0; l + 1 < net.layer_count(); ++l)
+    widths.push_back(net.macro(l).n_out());
+
+  // Pre-draw all T mask sets (the ordering optimization needs them all).
+  std::uint64_t bits_drawn = 0;
+  std::vector<std::vector<nn::Mask>> mask_sets(
+      static_cast<std::size_t>(options.iterations));
+  for (auto& set : mask_sets) {
+    set.resize(widths.size());
+    for (std::size_t s = 0; s < widths.size(); ++s) {
+      set[s].resize(static_cast<std::size_t>(widths[s]));
+      for (auto& bit : set[s]) {
+        bit = masks.draw(options.dropout_p) ? 0 : 1;
+        ++bits_drawn;
+      }
+    }
+  }
+
+  // The reuse locus is always mask site 0: the input mask when input-site
+  // dropout is on, the first hidden mask otherwise.
+  std::vector<std::size_t> order(mask_sets.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<nn::Mask> locus_masks;
+  if (!widths.empty()) {
+    locus_masks.reserve(mask_sets.size());
+    for (const auto& set : mask_sets) locus_masks.push_back(set[0]);
+    if (options.order_samples)
+      order = greedy_min_hamming_order(locus_masks);
+  }
+
+  VectorStats stats(
+      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out()));
+  nn::CimMlp::ReuseState reuse;
+  const bool can_reuse =
+      options.compute_reuse &&
+      (net.dropout_on_input() || net.layer_count() >= 2) && !widths.empty();
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const auto& set = mask_sets[order[k]];
+    if (can_reuse) {
+      // Periodic dense refresh bounds the noise random-walk of the
+      // delta accumulator.
+      if (options.reuse_refresh_interval > 0 && k > 0 &&
+          k % static_cast<std::size_t>(options.reuse_refresh_interval) == 0)
+        reuse.valid = false;
+      stats.add(net.forward_with_reuse(x, set, reuse, analog_rng));
+    } else {
+      stats.add(net.forward(x, set, analog_rng));
+    }
+  }
+
+  if (workload != nullptr) {
+    workload->macro = stats_delta(net.total_stats(), before);
+    workload->mask_bits_drawn = bits_drawn;
+    workload->input_mask_flips =
+        locus_masks.empty() ? 0 : total_hamming(locus_masks, order);
+  }
+  return stats.finish();
+}
+
+}  // namespace cimnav::bnn

@@ -1,0 +1,81 @@
+// Monte-Carlo Dropout inference engine (paper Sec. III-C).
+//
+// Runs T masked forward passes, accumulating per-output mean (the point
+// prediction) and variance (the predictive uncertainty). Three execution
+// paths share one interface:
+//
+//  * float     — reference MC-Dropout on the trained Mlp;
+//  * cim       — every iteration through the analog macros;
+//  * cim+reuse — first-layer compute reuse (P_i = P_{i-1} + Wx|A - Wx|D),
+//                optionally with greedy sample ordering that permutes the
+//                pre-drawn masks to minimize consecutive Hamming distance
+//                and hence the delta workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/mask_source.hpp"
+#include "cimsram/cim_macro.hpp"
+#include "core/rng.hpp"
+#include "nn/cim_mlp.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace cimnav::bnn {
+
+/// Aggregated MC-Dropout prediction.
+struct McPrediction {
+  nn::Vector mean;
+  nn::Vector variance;  ///< per-output sample variance across iterations
+  int samples = 0;
+
+  /// Scalar uncertainty: mean of per-output variances.
+  double scalar_variance() const;
+};
+
+/// Execution options for the CIM paths.
+struct McOptions {
+  int iterations = 30;
+  double dropout_p = 0.5;
+  bool compute_reuse = false;
+  bool order_samples = false;
+  /// With compute_reuse, re-evaluate the reuse accumulator densely every
+  /// N iterations to bound analog-noise drift (0 = never refresh). The
+  /// default trades ~1/8 of the reuse savings for drift-free accuracy.
+  int reuse_refresh_interval = 8;
+};
+
+/// Workload accounting for one MC-Dropout prediction on CIM.
+struct McWorkload {
+  cimsram::MacroStats macro;           ///< analog activity during the run
+  std::uint64_t input_mask_flips = 0;  ///< sum of consecutive Hamming dists
+  std::uint64_t mask_bits_drawn = 0;
+};
+
+/// Reference float MC-Dropout on the trained network.
+McPrediction mc_predict_float(const nn::Mlp& net, const nn::Vector& x,
+                              int iterations, double dropout_p,
+                              MaskSource& masks);
+
+/// MC-Dropout through the CIM macros. `analog_rng` drives macro noise.
+/// Workload (if non-null) receives the macro-activity delta of this call.
+McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
+                            const McOptions& options, MaskSource& masks,
+                            core::Rng& analog_rng,
+                            McWorkload* workload = nullptr);
+
+/// Greedy nearest-neighbour tour over mask sets, keyed by the Hamming
+/// distance of the *input-site* mask (the reuse locus). Returns the
+/// visiting order of the T mask sets.
+std::vector<std::size_t> greedy_min_hamming_order(
+    const std::vector<nn::Mask>& input_masks);
+
+/// Total consecutive Hamming distance of input masks along an order.
+std::uint64_t total_hamming(const std::vector<nn::Mask>& input_masks,
+                            const std::vector<std::size_t>& order);
+
+/// Hamming distance between two equal-length masks.
+std::uint64_t hamming_distance(const nn::Mask& a, const nn::Mask& b);
+
+}  // namespace cimnav::bnn

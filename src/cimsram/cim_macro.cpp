@@ -1,0 +1,193 @@
+#include "cimsram/cim_macro.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::cimsram {
+namespace {
+
+int popcount_words(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  int c = 0;
+  for (std::size_t w = 0; w < a.size(); ++w)
+    c += std::popcount(a[w] & b[w]);
+  return c;
+}
+
+}  // namespace
+
+CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
+                   const CimMacroConfig& config, double input_scale)
+    : config_(config), n_in_(n_in), n_out_(n_out), input_scale_(input_scale) {
+  CIMNAV_REQUIRE(n_in > 0 && n_out > 0, "matrix dims must be positive");
+  CIMNAV_REQUIRE(weights.size() == static_cast<std::size_t>(n_in) *
+                                       static_cast<std::size_t>(n_out),
+                 "weight size mismatch");
+  CIMNAV_REQUIRE(config.input_bits >= 1 && config.input_bits <= 12,
+                 "input bits must be in [1, 12]");
+  CIMNAV_REQUIRE(config.weight_bits >= 2 && config.weight_bits <= 12,
+                 "weight bits must be in [2, 12]");
+  CIMNAV_REQUIRE(config.adc_bits >= 1 && config.adc_bits <= 16,
+                 "adc bits must be in [1, 16]");
+  CIMNAV_REQUIRE(input_scale > 0.0, "input scale must be positive");
+
+  // Per-tensor symmetric weight quantization.
+  double w_max = 0.0;
+  for (double w : weights) w_max = std::max(w_max, std::abs(w));
+  const int mag_max = (1 << (config.weight_bits - 1)) - 1;
+  weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+
+  words_ = (n_in + 63) / 64;
+  const int planes = config.weight_bits - 1;
+  columns_.resize(static_cast<std::size_t>(n_out));
+  for (int j = 0; j < n_out; ++j) {
+    auto& col = columns_[static_cast<std::size_t>(j)];
+    col.pos.resize(static_cast<std::size_t>(planes));
+    col.neg.resize(static_cast<std::size_t>(planes));
+    for (auto& p : col.pos) p.bits.assign(static_cast<std::size_t>(words_), 0);
+    for (auto& p : col.neg) p.bits.assign(static_cast<std::size_t>(words_), 0);
+    for (int i = 0; i < n_in; ++i) {
+      const double w = weights[static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(n_in) +
+                               static_cast<std::size_t>(i)];
+      int q = static_cast<int>(std::lround(w / weight_scale_));
+      q = std::clamp(q, -mag_max, mag_max);
+      const int mag = std::abs(q);
+      auto& side = q >= 0 ? col.pos : col.neg;
+      for (int p = 0; p < planes; ++p) {
+        if ((mag >> p) & 1)
+          side[static_cast<std::size_t>(p)].bits[static_cast<std::size_t>(i / 64)] |=
+              (std::uint64_t{1} << (i % 64));
+      }
+    }
+  }
+}
+
+std::uint32_t CimMacro::quantize_input(double x) const {
+  const int max_code = (1 << config_.input_bits) - 1;
+  const auto code =
+      static_cast<int>(std::lround(x / input_scale_));
+  return static_cast<std::uint32_t>(std::clamp(code, 0, max_code));
+}
+
+std::vector<double> CimMacro::run(const std::vector<double>& x,
+                                  const std::vector<std::uint64_t>& row_gate,
+                                  const std::vector<std::uint8_t>& out_mask,
+                                  bool ideal, core::Rng* rng) const {
+  CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(n_in_),
+                 "input size mismatch");
+  CIMNAV_REQUIRE(out_mask.empty() ||
+                     out_mask.size() == static_cast<std::size_t>(n_out_),
+                 "output mask size mismatch");
+
+  // Input bit planes, gated by the active-row mask.
+  std::vector<std::vector<std::uint64_t>> xbits(
+      static_cast<std::size_t>(config_.input_bits),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(words_), 0));
+  std::uint64_t active_rows = 0;
+  for (int i = 0; i < n_in_; ++i) {
+    const bool gated = (row_gate[static_cast<std::size_t>(i / 64)] >>
+                        (i % 64)) & 1;
+    if (!gated) continue;
+    ++active_rows;
+    const std::uint32_t q = quantize_input(x[static_cast<std::size_t>(i)]);
+    for (int b = 0; b < config_.input_bits; ++b) {
+      if ((q >> b) & 1)
+        xbits[static_cast<std::size_t>(b)][static_cast<std::size_t>(i / 64)] |=
+            (std::uint64_t{1} << (i % 64));
+    }
+  }
+
+  const int planes = config_.weight_bits - 1;
+  // The column ADC spans the full physical row count.
+  const double adc_levels = static_cast<double>((1 << config_.adc_bits) - 1);
+  const double adc_step = static_cast<double>(n_in_) / adc_levels;
+
+  std::vector<double> y(static_cast<std::size_t>(n_out_), 0.0);
+  std::uint64_t active_cols = 0;
+  for (int j = 0; j < n_out_; ++j) {
+    if (!out_mask.empty() && !out_mask[static_cast<std::size_t>(j)]) continue;
+    ++active_cols;
+    const auto& col = columns_[static_cast<std::size_t>(j)];
+    double acc = 0.0;
+    for (int sign = 0; sign < 2; ++sign) {
+      const auto& side = sign == 0 ? col.pos : col.neg;
+      for (int p = 0; p < planes; ++p) {
+        for (int b = 0; b < config_.input_bits; ++b) {
+          double count = popcount_words(side[static_cast<std::size_t>(p)].bits,
+                                        xbits[static_cast<std::size_t>(b)]);
+          if (!ideal) {
+            if (config_.analog_noise && rng != nullptr && active_rows > 0) {
+              count += rng->normal(
+                  0.0, config_.noise_coeff *
+                           std::sqrt(static_cast<double>(active_rows)));
+            }
+            // Per-cycle ADC quantization of the analog partial sum.
+            double code = std::round(count / adc_step);
+            code = std::clamp(code, 0.0, adc_levels);
+            count = code * adc_step;
+          }
+          acc += (sign == 0 ? 1.0 : -1.0) *
+                 count * static_cast<double>(1 << b) *
+                 static_cast<double>(1 << p);
+        }
+      }
+    }
+    y[static_cast<std::size_t>(j)] = acc * weight_scale_ * input_scale_;
+  }
+
+  // Activity accounting.
+  ++stats_.matvec_calls;
+  const auto cycles = static_cast<std::uint64_t>(planes) *
+                      static_cast<std::uint64_t>(config_.input_bits) * 2u;
+  stats_.analog_cycles += cycles;
+  stats_.wordline_pulses += active_rows * cycles;
+  stats_.adc_conversions += active_cols * cycles;
+  stats_.nominal_macs += active_rows * active_cols;
+  return y;
+}
+
+std::vector<double> CimMacro::matvec(const std::vector<double>& x,
+                                     const std::vector<std::uint8_t>& in_mask,
+                                     const std::vector<std::uint8_t>& out_mask,
+                                     core::Rng& rng) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
+  for (int i = 0; i < n_in_; ++i) {
+    if (in_mask.empty() || in_mask[static_cast<std::size_t>(i)])
+      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
+  }
+  return run(x, gate, out_mask, /*ideal=*/false, &rng);
+}
+
+std::vector<double> CimMacro::matvec_rows(
+    const std::vector<double>& x, const std::vector<std::size_t>& rows,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const {
+  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
+  for (std::size_t i : rows) {
+    CIMNAV_REQUIRE(i < static_cast<std::size_t>(n_in_), "row out of range");
+    gate[i / 64] |= (std::uint64_t{1} << (i % 64));
+  }
+  return run(x, gate, out_mask, /*ideal=*/false, &rng);
+}
+
+std::vector<double> CimMacro::matvec_ideal(
+    const std::vector<double>& x, const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
+  for (int i = 0; i < n_in_; ++i) {
+    if (in_mask.empty() || in_mask[static_cast<std::size_t>(i)])
+      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
+  }
+  return run(x, gate, out_mask, /*ideal=*/true, nullptr);
+}
+
+}  // namespace cimnav::cimsram

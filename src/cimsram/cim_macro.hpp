@@ -1,0 +1,125 @@
+// 8T-SRAM compute-in-memory macro (paper Fig. 3a).
+//
+// The macro stores a quantized weight matrix and computes output = W x by
+// bit-serial, bit-sliced analog accumulation:
+//
+//  * weights are signed integers split into a positive and a negative
+//    column per output (differential columns — the standard 8T signed
+//    scheme), each stored as weight_bits-1 binary planes;
+//  * inputs are unsigned integers applied one bit per cycle on the read
+//    word lines (RL);
+//  * in each cycle every active column develops an analog partial sum
+//    proportional to the number of (input bit & weight bit) coincidences;
+//    the sum is read by a per-column ADC of adc_bits over the full row
+//    range, then shift-added digitally.
+//
+// MC-Dropout hooks: an input mask gates word lines (CL AND in the paper)
+// and an output mask gates whole columns (RL AND), so dropped neurons cost
+// neither word-line energy nor ADC conversions.
+//
+// Non-idealities: Gaussian analog disturbance on each column sum with
+// sigma = noise_coeff * sqrt(active_rows) (charge-domain mismatch/thermal
+// aggregate) plus the ADC's quantization. Counters record word-line
+// pulses, ADC conversions and nominal MACs for the energy model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cimnav::cimsram {
+
+/// Static configuration of a macro instance.
+struct CimMacroConfig {
+  int input_bits = 6;    ///< bit-serial activation precision (unsigned)
+  int weight_bits = 6;   ///< signed weight precision (magnitude bits = w-1)
+  int adc_bits = 6;      ///< per-column partial-sum ADC resolution
+  bool analog_noise = true;
+  /// Column-sum disturbance sigma in row-count units per sqrt(active row).
+  double noise_coeff = 0.03;
+};
+
+/// Cumulative activity counters for energy/throughput accounting.
+struct MacroStats {
+  std::uint64_t matvec_calls = 0;
+  std::uint64_t wordline_pulses = 0;   ///< (active rows) x cycles
+  std::uint64_t adc_conversions = 0;
+  std::uint64_t analog_cycles = 0;     ///< input-bit x plane x sign cycles
+  std::uint64_t nominal_macs = 0;      ///< active_in x active_out per call
+};
+
+/// A programmed CIM macro holding one layer's weight matrix.
+class CimMacro {
+ public:
+  /// Quantizes and stores `weights` (row-major, n_out x n_in). The input
+  /// scale maps real activations onto the unsigned input grid:
+  /// q_x = clamp(round(x / input_scale), 0, 2^input_bits - 1).
+  CimMacro(const std::vector<double>& weights, int n_out, int n_in,
+           const CimMacroConfig& config, double input_scale);
+
+  int n_in() const { return n_in_; }
+  int n_out() const { return n_out_; }
+  double weight_scale() const { return weight_scale_; }
+  double input_scale() const { return input_scale_; }
+  const CimMacroConfig& config() const { return config_; }
+
+  /// Full matrix-vector product through the analog array. Masks are
+  /// optional (empty = all active); values are 0/1 per neuron.
+  std::vector<double> matvec(const std::vector<double>& x,
+                             const std::vector<std::uint8_t>& in_mask,
+                             const std::vector<std::uint8_t>& out_mask,
+                             core::Rng& rng) const;
+
+  /// Partial product over a subset of input rows (delta evaluation for
+  /// compute reuse): only `rows` word lines fire. Output has n_out
+  /// entries; `out_mask` optionally gates columns.
+  std::vector<double> matvec_rows(const std::vector<double>& x,
+                                  const std::vector<std::size_t>& rows,
+                                  const std::vector<std::uint8_t>& out_mask,
+                                  core::Rng& rng) const;
+
+  /// Ideal (float64) product for reference/testing; applies the same
+  /// quantization grids but no analog noise and an exact accumulator.
+  std::vector<double> matvec_ideal(const std::vector<double>& x,
+                                   const std::vector<std::uint8_t>& in_mask,
+                                   const std::vector<std::uint8_t>& out_mask)
+      const;
+
+  /// Quantized integer input code for an activation (test access).
+  std::uint32_t quantize_input(double x) const;
+
+  const MacroStats& stats() const { return stats_; }
+  /// Clears the activity counters (stats are mutable bookkeeping).
+  void reset_stats() const { stats_ = MacroStats{}; }
+
+ private:
+  // One differential half-column: packed bit-planes over input rows.
+  struct Plane {
+    std::vector<std::uint64_t> bits;  // ceil(n_in / 64) words
+  };
+  struct Column {
+    std::vector<Plane> pos;  // weight magnitude planes, positive side
+    std::vector<Plane> neg;  // negative side
+  };
+
+  double column_cycle_count(const Plane& plane,
+                            const std::vector<std::uint64_t>& active_bits,
+                            int popcount_total, core::Rng& rng) const;
+
+  std::vector<double> run(const std::vector<double>& x,
+                          const std::vector<std::uint64_t>& row_gate,
+                          const std::vector<std::uint8_t>& out_mask,
+                          bool ideal, core::Rng* rng) const;
+
+  CimMacroConfig config_;
+  int n_in_ = 0;
+  int n_out_ = 0;
+  int words_ = 0;  // packed words per plane
+  double weight_scale_ = 1.0;
+  double input_scale_ = 1.0;
+  std::vector<Column> columns_;
+  mutable MacroStats stats_;
+};
+
+}  // namespace cimnav::cimsram

@@ -1,0 +1,123 @@
+// Inverter-array likelihood engine (paper Fig. 2a).
+//
+// A bank of six-transistor inverter columns shares three analog input lines
+// (V_X, V_Y, V_Z). Each column is floating-gate-programmed to one mixture
+// component: its branch centers realize the component mean and its branch
+// widths the per-axis sigma, both in the voltage domain. Component weights
+// are realized by *column replication* — a component with twice the weight
+// drives twice the columns — so the total bit-line current is proportional
+// to the mixture sum by Kirchhoff's law. A logarithmic ADC digitizes the
+// summed current directly into a log-likelihood reading.
+//
+// Non-idealities modeled: DAC quantization of the inputs (shared across all
+// columns), per-device threshold mismatch (optionally compensated by
+// program-and-verify), shot/thermal read noise, and log-ADC quantization.
+//
+// Performance note: because inputs pass through a DAC, each branch sees at
+// most 2^dac_bits distinct voltages, so per-column responses are
+// precomputed into lookup tables at programming time. The LUT is built from
+// the *mismatched* devices, i.e. it is a faithful tabulation of the analog
+// behavior, not an idealization.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/converters.hpp"
+#include "circuit/inverter.hpp"
+#include "circuit/noise.hpp"
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+
+namespace cimnav::circuit {
+
+/// One mixture component expressed in the voltage domain.
+struct VoltageComponent {
+  core::Vec3 center_v;  ///< Bump centers per axis [V]
+  core::Vec3 sigma_v;   ///< Bump widths per axis [V]
+  double weight = 1.0;  ///< Non-negative mixture weight
+};
+
+/// Static configuration of a likelihood array.
+struct LikelihoodArrayConfig {
+  int total_columns = 500;  ///< Hardware columns available
+  int dac_bits = 4;         ///< Input DAC resolution
+  int adc_bits = 4;         ///< Log-ADC resolution
+  double vdd_v = 1.0;
+  /// Usable input window [v_margin, vdd - v_margin]; the extreme codes sit
+  /// away from the rails where the devices shut off entirely.
+  double v_margin_v = 0.05;
+  /// Target per-column peak current; columns are sized to hit this.
+  double peak_current_a = 1.0e-6;
+  /// Threshold-voltage mismatch sigma per device [V].
+  double mismatch_sigma_vt_v = 0.02;
+  /// Iteratively re-trim programming against the mismatched devices.
+  bool program_verify = true;
+  NoiseParams noise;
+  MosfetParams nmos;
+  MosfetParams pmos;
+  /// Log-ADC range as fractions of (total peak current). The lower bound
+  /// sets the likelihood floor; decades below peak.
+  double adc_floor_fraction = 1.0e-6;
+};
+
+/// Compiled, programmed inverter array evaluating mixture likelihoods.
+class CimLikelihoodArray {
+ public:
+  /// Programs the array for the given components. Columns are allocated to
+  /// components proportionally to weight (largest-remainder rounding, at
+  /// least one column per component). Throws if there are more components
+  /// than columns.
+  CimLikelihoodArray(const LikelihoodArrayConfig& config,
+                     const std::vector<VoltageComponent>& components,
+                     core::Rng& rng);
+
+  /// Ideal (noise-free) summed current for an input point [A]. Inputs are
+  /// DAC-quantized exactly as the hardware would.
+  double ideal_current(const core::Vec3& point_v) const;
+
+  /// One noisy analog read of the summed current [A].
+  double read_current(const core::Vec3& point_v, core::Rng& rng) const;
+
+  /// Full pipeline: DAC -> array -> noise -> log ADC. Returns the digital
+  /// log-current reading (natural log of amps), a pose-independent affine
+  /// transform of the mixture log-likelihood.
+  double read_log_likelihood(const core::Vec3& point_v, core::Rng& rng) const;
+
+  int column_count() const { return static_cast<int>(columns_.size()); }
+  const std::vector<int>& columns_per_component() const {
+    return columns_per_component_;
+  }
+  const Dac& dac() const { return dac_; }
+  const LogAdc& adc() const { return adc_; }
+  const LikelihoodArrayConfig& config() const { return config_; }
+
+  /// Total evaluations since construction (for energy accounting).
+  std::uint64_t evaluation_count() const { return evaluations_; }
+
+ private:
+  struct Column {
+    // Per-axis current LUT indexed by DAC code; tabulated from the
+    // mismatched, program-verified devices.
+    std::array<std::vector<double>, 3> lut;
+  };
+
+  double column_current(const Column& c,
+                        const std::array<std::uint32_t, 3>& codes) const;
+
+  LikelihoodArrayConfig config_;
+  Dac dac_;
+  LogAdc adc_;
+  std::vector<Column> columns_;
+  std::vector<int> columns_per_component_;
+  mutable std::uint64_t evaluations_ = 0;
+};
+
+/// Allocates `total` columns across components proportionally to weights
+/// using the largest-remainder method; every component receives >= 1.
+/// Exposed for testing.
+std::vector<int> allocate_columns(const std::vector<double>& weights,
+                                  int total);
+
+}  // namespace cimnav::circuit

@@ -1,0 +1,79 @@
+#include "circuit/gaussian_fit.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::circuit {
+
+GaussianFit fit_gaussian(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  CIMNAV_REQUIRE(x.size() == y.size(), "fit needs paired samples");
+  // Weighted LSQ on log(y) against {1, v, v^2} with weights w = y^2
+  // (Guo's iterative weighting, one pass): minimizes sum w (log y - q(v))^2.
+  double s00 = 0, s01 = 0, s02 = 0, s03 = 0, s04 = 0;
+  double b0 = 0, b1 = 0, b2 = 0;
+  std::size_t positive = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    CIMNAV_REQUIRE(y[i] >= 0.0, "fit requires non-negative samples");
+    if (y[i] <= 0.0) continue;
+    ++positive;
+    const double w = y[i] * y[i];
+    const double ly = std::log(y[i]);
+    const double v = x[i];
+    s00 += w;
+    s01 += w * v;
+    s02 += w * v * v;
+    s03 += w * v * v * v;
+    s04 += w * v * v * v * v;
+    b0 += w * ly;
+    b1 += w * v * ly;
+    b2 += w * v * v * ly;
+  }
+  CIMNAV_REQUIRE(positive >= 3, "fit needs >= 3 positive samples");
+
+  // Solve the 3x3 normal equations [s00 s01 s02; s01 s02 s03; s02 s03 s04]
+  // * [c0 c1 c2]' = [b0 b1 b2]' by Cramer's rule.
+  const double det = s00 * (s02 * s04 - s03 * s03) -
+                     s01 * (s01 * s04 - s03 * s02) +
+                     s02 * (s01 * s03 - s02 * s02);
+  CIMNAV_REQUIRE(std::abs(det) > 1e-300, "degenerate fit system");
+  const double c0 = (b0 * (s02 * s04 - s03 * s03) -
+                     s01 * (b1 * s04 - s03 * b2) +
+                     s02 * (b1 * s03 - s02 * b2)) /
+                    det;
+  const double c1 = (s00 * (b1 * s04 - b2 * s03) -
+                     b0 * (s01 * s04 - s03 * s02) +
+                     s02 * (s01 * b2 - s02 * b1)) /
+                    det;
+  const double c2 = (s00 * (s02 * b2 - s03 * b1) -
+                     s01 * (s01 * b2 - b1 * s02) +
+                     b0 * (s01 * s03 - s02 * s02)) /
+                    det;
+
+  GaussianFit f;
+  if (c2 >= 0.0) {
+    // Not a concave parabola: no Gaussian shape; report r2 = 0.
+    return f;
+  }
+  f.sigma = std::sqrt(-1.0 / (2.0 * c2));
+  f.center = c1 * f.sigma * f.sigma;
+  f.amplitude = std::exp(c0 + f.center * f.center / (2.0 * f.sigma * f.sigma));
+
+  // R^2 in the linear domain.
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - f.center;
+    const double pred =
+        f.amplitude * std::exp(-d * d / (2.0 * f.sigma * f.sigma));
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - mean_y) * (y[i] - mean_y);
+  }
+  f.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 0.0;
+  return f;
+}
+
+}  // namespace cimnav::circuit

@@ -1,0 +1,27 @@
+// Gaussian curve fitting used to *quantify* how Gaussian-like the inverter
+// switching current is (paper Fig. 2b) and to calibrate programming.
+//
+// Fit model: y(v) = A * exp(-(v - mu)^2 / (2 sigma^2)). Taking logs turns
+// this into a parabola, so a weighted linear least-squares on log(y) gives a
+// closed-form estimate; weights proportional to y emphasize the bump region
+// (the standard Caruana/Guo weighting, robust against near-zero tails).
+#pragma once
+
+#include <vector>
+
+namespace cimnav::circuit {
+
+struct GaussianFit {
+  double amplitude = 0.0;
+  double center = 0.0;
+  double sigma = 0.0;
+  /// Coefficient of determination in the *linear* domain.
+  double r2 = 0.0;
+};
+
+/// Fits a Gaussian to samples (x[i], y[i]); y must be non-negative with at
+/// least three strictly positive samples.
+GaussianFit fit_gaussian(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+}  // namespace cimnav::circuit

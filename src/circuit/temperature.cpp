@@ -1,0 +1,27 @@
+#include "circuit/temperature.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::circuit {
+
+MosfetParams at_temperature(const MosfetParams& params, double temperature_k,
+                            const TemperatureModel& model) {
+  CIMNAV_REQUIRE(temperature_k > 0.0, "temperature must be positive kelvin");
+  CIMNAV_REQUIRE(model.reference_k > 0.0, "reference must be positive");
+  MosfetParams out = params;
+  const double ratio = temperature_k / model.reference_k;
+  // kT/q scales linearly with absolute temperature.
+  out.thermal_vt_v = params.thermal_vt_v * ratio;
+  // Threshold voltage drifts with its (negative) temperature coefficient.
+  out.vt0_v = params.vt0_v +
+              model.vt_tc_v_per_k * (temperature_k - model.reference_k);
+  // Mobility degradation reduces the specific current at high T; the
+  // explicit Vt^2 factor inside I_spec is kept in the compact parameter,
+  // so only the mobility term is applied here.
+  out.i_spec_a = params.i_spec_a * std::pow(ratio, -model.mobility_exponent);
+  return out;
+}
+
+}  // namespace cimnav::circuit

@@ -1,0 +1,29 @@
+// Temperature dependence of the inverter array (the "environmental
+// variations" axis of the paper's Fig. 1).
+//
+// Two first-order effects move the programmed kernels when the die heats
+// up: the thermal voltage kT/q grows linearly (widening the subthreshold
+// bump), and the threshold voltage drops with its negative temperature
+// coefficient (shifting the bump center). Both are applied to the compact
+// model parameters so any array can be re-evaluated "hot" — the
+// temperature-sensitivity tests and the robustness ablations build on
+// this.
+#pragma once
+
+#include "circuit/mosfet.hpp"
+
+namespace cimnav::circuit {
+
+/// Temperature-adjustment coefficients.
+struct TemperatureModel {
+  double reference_k = 300.0;      ///< parameters are specified here
+  double vt_tc_v_per_k = -1.0e-3;  ///< threshold drift [V/K], typical CMOS
+  /// Mobility degradation exponent: I_spec ~ (T/T0)^(-m) via mu(T).
+  double mobility_exponent = 1.5;
+};
+
+/// Returns device parameters re-evaluated at `temperature_k`.
+MosfetParams at_temperature(const MosfetParams& params, double temperature_k,
+                            const TemperatureModel& model = {});
+
+}  // namespace cimnav::circuit

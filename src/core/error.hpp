@@ -1,0 +1,34 @@
+// Error-handling helpers shared by every cimnav module.
+//
+// Preconditions on public interfaces are checked with CIMNAV_REQUIRE and
+// raise std::invalid_argument; internal invariants use plain assert so that
+// release builds stay fast on simulation hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cimnav::core {
+
+/// Throws std::invalid_argument with a formatted location-carrying message.
+[[noreturn]] inline void throw_requirement_failure(const char* condition,
+                                                   const char* file, int line,
+                                                   const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed (" << condition << ")";
+  if (!message.empty()) os << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace cimnav::core
+
+/// Precondition check for public API entry points.
+/// Usage: CIMNAV_REQUIRE(n > 0, "particle count must be positive");
+#define CIMNAV_REQUIRE(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::cimnav::core::throw_requirement_failure(#cond, __FILE__, __LINE__,   \
+                                                (msg));                      \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,66 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// All stochastic components of the simulator (process variation, thermal
+// noise, particle sampling, dropout masks, training shuffles) draw from a
+// core::Rng handed to them by the caller, so every experiment is exactly
+// reproducible from its seed. The engine is xoshiro256++, a small fast
+// generator with 256-bit state, implemented from the public-domain
+// reference. It satisfies std::uniform_random_bit_generator so standard
+// distributions work with it as well.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cimnav::core {
+
+/// xoshiro256++ engine with SplitMix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xC1A0C1A0DEADBEEFull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare kept for the next call).
+  double normal();
+
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independently-seeded child generator; useful for giving
+  /// each subsystem its own stream while keeping one experiment seed.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+}  // namespace cimnav::core

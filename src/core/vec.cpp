@@ -1,0 +1,23 @@
+#include "core/vec.hpp"
+
+#include <ostream>
+
+namespace cimnav::core {
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Pose& p) {
+  return os << "pose{" << p.position << ", yaw=" << p.yaw << '}';
+}
+
+double wrap_angle(double a) {
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  a = std::fmod(a, kTwoPi);
+  if (a <= -3.14159265358979323846) a += kTwoPi;
+  if (a > 3.14159265358979323846) a -= kTwoPi;
+  return a;
+}
+
+}  // namespace cimnav::core

@@ -1,0 +1,42 @@
+#include "energy/likelihood_energy.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::energy {
+
+DigitalGmmEnergy digital_gmm_likelihood_energy(int components,
+                                               const Digital45nm& tech) {
+  CIMNAV_REQUIRE(components > 0, "need at least one component");
+  DigitalGmmEnergy e;
+  const double k = static_cast<double>(components);
+  // Per component: 3 MACs for the Mahalanobis sum, one exp LUT lookup,
+  // one accumulation add (log-sum handled by max-approximation in the
+  // 8-bit pipeline, folded into the add).
+  e.mac_j = k * 3.0 * tech.mac8_j;
+  e.lut_j = k * tech.lut_read_j;
+  e.accumulate_j = k * tech.add8_j;
+  e.total_j = e.mac_j + e.lut_j + e.accumulate_j;
+  return e;
+}
+
+CimLikelihoodEnergy cim_likelihood_energy(int columns, int dac_bits,
+                                          int adc_bits,
+                                          const InverterArray45nm& tech) {
+  CIMNAV_REQUIRE(columns > 0, "need at least one column");
+  CIMNAV_REQUIRE(dac_bits >= 1 && adc_bits >= 1, "bits must be positive");
+  CimLikelihoodEnergy e;
+  // Static conduction of the parallel columns during the read window.
+  e.columns_j = static_cast<double>(columns) * tech.avg_column_current_a *
+                tech.vdd_v * tech.evaluation_window_s;
+  // Three shared input DACs (V_X, V_Y, V_Z); linear-in-bits energy.
+  e.dac_j = 3.0 * tech.dac4_j * static_cast<double>(dac_bits) / 4.0;
+  // One log-ADC on the summed current; SAR-style 2^b scaling vs 4 bits.
+  e.adc_j = tech.log_adc4_j *
+            std::pow(2.0, static_cast<double>(adc_bits - 4));
+  e.total_j = e.columns_j + e.dac_j + e.adc_j;
+  return e;
+}
+
+}  // namespace cimnav::energy

@@ -1,0 +1,37 @@
+// Energy models for one measurement-likelihood evaluation (paper Fig. 2i):
+// the 8-bit digital GMM processor versus the 4-bit HMGM inverter-array CIM.
+#pragma once
+
+#include "energy/tech.hpp"
+
+namespace cimnav::energy {
+
+/// Itemized energy of one digital GMM likelihood evaluation (one projected
+/// scan point against `components` diagonal 3-D Gaussians).
+struct DigitalGmmEnergy {
+  double mac_j = 0.0;
+  double lut_j = 0.0;
+  double accumulate_j = 0.0;
+  double total_j = 0.0;
+};
+
+/// Per point, per component the datapath computes three
+/// (x-mu)^2 * inv_var MACs, one exp via LUT, and one accumulate add.
+DigitalGmmEnergy digital_gmm_likelihood_energy(int components,
+                                               const Digital45nm& tech = {});
+
+/// Itemized energy of one CIM likelihood evaluation: all columns conduct
+/// for the evaluation window, three DACs drive the shared input lines, and
+/// one log-ADC digitizes the summed current.
+struct CimLikelihoodEnergy {
+  double columns_j = 0.0;
+  double dac_j = 0.0;
+  double adc_j = 0.0;
+  double total_j = 0.0;
+};
+
+CimLikelihoodEnergy cim_likelihood_energy(int columns, int dac_bits,
+                                          int adc_bits,
+                                          const InverterArray45nm& tech = {});
+
+}  // namespace cimnav::energy

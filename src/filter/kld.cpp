@@ -1,0 +1,62 @@
+#include "filter/kld.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace cimnav::filter {
+
+int kld_required_particles(int occupied_bins, const KldConfig& config) {
+  CIMNAV_REQUIRE(config.epsilon > 0.0, "epsilon must be positive");
+  CIMNAV_REQUIRE(config.min_particles >= 1 &&
+                     config.max_particles >= config.min_particles,
+                 "particle bounds must be ordered");
+  if (occupied_bins <= 1) return config.min_particles;
+  // Wilson-Hilferty approximation of the chi-square quantile
+  // (Fox 2001, Eq. 13): n = (k-1)/(2 eps) * [1 - 2/(9(k-1)) +
+  // sqrt(2/(9(k-1))) z]^3.
+  const double k1 = static_cast<double>(occupied_bins - 1);
+  const double a = 2.0 / (9.0 * k1);
+  const double base = 1.0 - a + std::sqrt(a) * config.z_one_minus_delta;
+  const double n = k1 / (2.0 * config.epsilon) * base * base * base;
+  const auto clamped = static_cast<int>(std::ceil(n));
+  return std::min(std::max(clamped, config.min_particles),
+                  config.max_particles);
+}
+
+int count_occupied_bins(const std::vector<Particle>& particles,
+                        const KldConfig& config) {
+  CIMNAV_REQUIRE(config.bin_size.x > 0 && config.bin_size.y > 0 &&
+                     config.bin_size.z > 0 && config.yaw_bin_rad > 0,
+                 "bin sizes must be positive");
+  std::unordered_set<std::uint64_t> bins;
+  for (const auto& p : particles) {
+    const auto qx = static_cast<std::int64_t>(
+        std::floor(p.pose.position.x / config.bin_size.x));
+    const auto qy = static_cast<std::int64_t>(
+        std::floor(p.pose.position.y / config.bin_size.y));
+    const auto qz = static_cast<std::int64_t>(
+        std::floor(p.pose.position.z / config.bin_size.z));
+    const auto qw = static_cast<std::int64_t>(
+        std::floor((p.pose.yaw + 3.14159265358979323846) /
+                   config.yaw_bin_rad));
+    // Pack four signed 16-bit bin indices into one key.
+    const auto pack = [](std::int64_t v) {
+      return static_cast<std::uint64_t>((v + 32768) & 0xFFFF);
+    };
+    bins.insert(pack(qx) | (pack(qy) << 16) | (pack(qz) << 32) |
+                (pack(qw) << 48));
+  }
+  return static_cast<int>(bins.size());
+}
+
+int kld_resample(ParticleFilter& pf, const KldConfig& config,
+                 core::Rng& rng) {
+  const int bins = count_occupied_bins(pf.particles(), config);
+  const int target = kld_required_particles(bins, config);
+  pf.resample_to(static_cast<std::size_t>(target), rng);
+  return target;
+}
+
+}  // namespace cimnav::filter

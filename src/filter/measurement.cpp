@@ -1,0 +1,79 @@
+#include "filter/measurement.hpp"
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace cimnav::filter {
+
+GmmLikelihood::GmmLikelihood(prob::Gmm gmm, double beta)
+    : gmm_(std::move(gmm)), beta_(beta) {
+  CIMNAV_REQUIRE(beta > 0.0, "beta must be positive");
+}
+
+double GmmLikelihood::log_likelihood(const core::Pose& pose,
+                                     const vision::DepthScan& scan,
+                                     core::Rng& /*rng*/) const {
+  double ll = 0.0;
+  for (const auto& p : vision::scan_to_world(scan, pose))
+    ll += gmm_.log_pdf(p);
+  return beta_ * ll;
+}
+
+HmgmLikelihood::HmgmLikelihood(prob::Hmgm hmgm, double beta)
+    : hmgm_(std::move(hmgm)), beta_(beta) {
+  CIMNAV_REQUIRE(beta > 0.0, "beta must be positive");
+}
+
+double HmgmLikelihood::log_likelihood(const core::Pose& pose,
+                                      const vision::DepthScan& scan,
+                                      core::Rng& /*rng*/) const {
+  double ll = 0.0;
+  for (const auto& p : vision::scan_to_world(scan, pose))
+    ll += hmgm_.log_pdf(p);
+  return beta_ * ll;
+}
+
+CimHmgmLikelihood::CimHmgmLikelihood(
+    const prob::Hmgm& hmgm, const map::WorldToVoltage& mapping,
+    const circuit::LikelihoodArrayConfig& config, core::Rng& rng, double beta)
+    : mapping_(mapping), beta_(beta) {
+  CIMNAV_REQUIRE(beta > 0.0, "beta must be positive");
+  const auto components = map::compile_hmgm(hmgm, mapping);
+  array_ = std::make_unique<circuit::CimLikelihoodArray>(config, components,
+                                                         rng);
+
+  // Gain calibration against the digital reference over probe points
+  // spanning the mapped workspace.
+  constexpr int kProbes = 400;
+  const core::Vec3 world_lo = mapping_.voltage_to_point(
+      {mapping_.v_lo(), mapping_.v_lo(), mapping_.v_lo()});
+  const core::Vec3 world_hi = mapping_.voltage_to_point(
+      {mapping_.v_hi(), mapping_.v_hi(), mapping_.v_hi()});
+  std::vector<double> reading, reference;
+  reading.reserve(kProbes);
+  reference.reserve(kProbes);
+  for (int i = 0; i < kProbes; ++i) {
+    const core::Vec3 p{rng.uniform(world_lo.x, world_hi.x),
+                       rng.uniform(world_lo.y, world_hi.y),
+                       rng.uniform(world_lo.z, world_hi.z)};
+    reading.push_back(
+        array_->read_log_likelihood(mapping_.point_to_voltage(p), rng));
+    reference.push_back(hmgm.log_pdf(p));
+  }
+  const core::LinearFit fit = core::linear_fit(reading, reference);
+  // Guard against degenerate calibration (e.g. flat field): keep unity.
+  if (fit.slope > 0.05 && fit.slope < 100.0) gain_ = fit.slope;
+}
+
+double CimHmgmLikelihood::log_likelihood(const core::Pose& pose,
+                                         const vision::DepthScan& scan,
+                                         core::Rng& rng) const {
+  double ll = 0.0;
+  for (const auto& p : vision::scan_to_world(scan, pose)) {
+    const core::Vec3 v = mapping_.point_to_voltage(p);
+    ll += array_->read_log_likelihood(v, rng);
+  }
+  return beta_ * gain_ * ll;
+}
+
+}  // namespace cimnav::filter

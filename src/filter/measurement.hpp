@@ -1,0 +1,108 @@
+// Measurement-likelihood backends for the particle filter (paper Eq. 1b).
+//
+// All backends share the same contract: given a pose hypothesis and a depth
+// scan, back-project the scan into world coordinates and score it against
+// the map mixture. Three implementations bracket the paper's comparison:
+//
+//  * GmmLikelihood      — conventional digital GMM map (float64 reference).
+//  * HmgmLikelihood     — co-designed HMG mixture, evaluated digitally
+//                         (isolates the kernel-shape effect from hardware
+//                         non-idealities).
+//  * CimHmgmLikelihood  — the full analog path: world->voltage mapping,
+//                         DAC quantization, programmed inverter array with
+//                         mismatch and read noise, log-ADC (isolates total
+//                         hardware effect; this is the paper's system).
+//
+// A per-point temperature (`beta`) tempers the likelihood to compensate for
+// the independence assumption across scan pixels — standard practice in
+// scan-matching filters.
+#pragma once
+
+#include <memory>
+
+#include "circuit/array.hpp"
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+#include "map/map_model.hpp"
+#include "prob/gmm.hpp"
+#include "prob/hmg.hpp"
+#include "vision/depth.hpp"
+
+namespace cimnav::filter {
+
+/// Interface implemented by every likelihood backend.
+class MeasurementModel {
+ public:
+  virtual ~MeasurementModel() = default;
+
+  /// Log-likelihood (up to a pose-independent constant) of observing
+  /// `scan` from `pose`. `rng` feeds analog-noise sampling; digital
+  /// backends ignore it.
+  virtual double log_likelihood(const core::Pose& pose,
+                                const vision::DepthScan& scan,
+                                core::Rng& rng) const = 0;
+
+  /// Human-readable backend name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// Digital GMM scoring (the conventional baseline).
+class GmmLikelihood final : public MeasurementModel {
+ public:
+  GmmLikelihood(prob::Gmm gmm, double beta = 1.0);
+  double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
+                        core::Rng& rng) const override;
+  const char* name() const override { return "gmm-digital"; }
+
+ private:
+  prob::Gmm gmm_;
+  double beta_;
+};
+
+/// Digital HMGM scoring (kernel co-design without hardware effects).
+class HmgmLikelihood final : public MeasurementModel {
+ public:
+  HmgmLikelihood(prob::Hmgm hmgm, double beta = 1.0);
+  double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
+                        core::Rng& rng) const override;
+  const char* name() const override { return "hmgm-digital"; }
+
+ private:
+  prob::Hmgm hmgm_;
+  double beta_;
+};
+
+/// Full analog CIM scoring through the programmed inverter array.
+///
+/// After programming, the backend runs a one-time *gain calibration*: the
+/// physical kernel's tails (sech-like, set by subthreshold conduction)
+/// decay slower than the ideal Gaussian, and the log-ADC clamps deep
+/// tails, so the raw log-current reading is a compressed version of the
+/// ideal log-likelihood. A linear fit of readings against the digital
+/// reference over random probe points recovers the gain, which is applied
+/// as a digital post-scale — the mixed-signal analogue of per-chip
+/// calibration.
+class CimHmgmLikelihood final : public MeasurementModel {
+ public:
+  /// Programs a fresh array from the HMGM and world mapping.
+  CimHmgmLikelihood(const prob::Hmgm& hmgm, const map::WorldToVoltage& mapping,
+                    const circuit::LikelihoodArrayConfig& config,
+                    core::Rng& rng, double beta = 1.0);
+
+  double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
+                        core::Rng& rng) const override;
+  const char* name() const override { return "hmgm-cim"; }
+
+  const circuit::CimLikelihoodArray& array() const { return *array_; }
+
+  /// Calibrated digital gain applied to raw log-ADC readings.
+  double calibrated_gain() const { return gain_; }
+
+ private:
+  map::WorldToVoltage mapping_;
+  std::unique_ptr<circuit::CimLikelihoodArray> array_;
+  double beta_;
+  double gain_ = 1.0;
+};
+
+}  // namespace cimnav::filter

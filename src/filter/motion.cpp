@@ -1,0 +1,19 @@
+#include "filter/motion.hpp"
+
+namespace cimnav::filter {
+
+core::Pose apply_motion(const core::Pose& pose, const Control& control) {
+  return pose.compose(core::Pose{control.delta_position, control.delta_yaw});
+}
+
+core::Pose sample_motion(const core::Pose& pose, const Control& control,
+                         const MotionNoise& noise, core::Rng& rng) {
+  Control noisy = control;
+  noisy.delta_position += {rng.normal(0.0, noise.sigma_position.x),
+                           rng.normal(0.0, noise.sigma_position.y),
+                           rng.normal(0.0, noise.sigma_position.z)};
+  noisy.delta_yaw += rng.normal(0.0, noise.sigma_yaw);
+  return apply_motion(pose, noisy);
+}
+
+}  // namespace cimnav::filter

@@ -1,0 +1,32 @@
+// Probabilistic motion model for the prediction step (paper Eq. 1a).
+//
+// Controls are body-frame pose increments (from the flight controller's
+// odometry); process noise captures actuation and drift uncertainty. The
+// model is the standard additive-Gaussian odometry model on (x, y, z, yaw).
+#pragma once
+
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+
+namespace cimnav::filter {
+
+/// Body-frame control input over one filter step.
+struct Control {
+  core::Vec3 delta_position;  ///< translation in the body frame [m]
+  double delta_yaw = 0.0;     ///< heading change [rad]
+};
+
+/// Additive-Gaussian odometry noise parameters.
+struct MotionNoise {
+  core::Vec3 sigma_position{0.03, 0.03, 0.02};  ///< [m] per step
+  double sigma_yaw = 0.01;                      ///< [rad] per step
+};
+
+/// Samples the motion model: returns pose composed with a noisy control.
+core::Pose sample_motion(const core::Pose& pose, const Control& control,
+                         const MotionNoise& noise, core::Rng& rng);
+
+/// Deterministic (noise-free) motion for ground-truth propagation.
+core::Pose apply_motion(const core::Pose& pose, const Control& control);
+
+}  // namespace cimnav::filter

@@ -1,0 +1,146 @@
+#include "filter/particle_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+#include "prob/logspace.hpp"
+
+namespace cimnav::filter {
+
+ParticleFilter::ParticleFilter(const ParticleFilterConfig& config)
+    : config_(config) {
+  CIMNAV_REQUIRE(config.particle_count > 0, "need at least one particle");
+  CIMNAV_REQUIRE(config.resample_threshold >= 0.0 &&
+                     config.resample_threshold <= 1.0,
+                 "resample threshold must lie in [0, 1]");
+}
+
+void ParticleFilter::init_uniform(const core::Vec3& lo, const core::Vec3& hi,
+                                  core::Rng& rng) {
+  for (int d = 0; d < 3; ++d)
+    CIMNAV_REQUIRE(hi[d] > lo[d], "init box must be non-empty");
+  particles_.clear();
+  particles_.reserve(static_cast<std::size_t>(config_.particle_count));
+  for (int i = 0; i < config_.particle_count; ++i) {
+    core::Pose p{{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y),
+                  rng.uniform(lo.z, hi.z)},
+                 rng.uniform(-3.14159265358979323846, 3.14159265358979323846)};
+    particles_.push_back({p, 0.0});
+  }
+}
+
+void ParticleFilter::init_gaussian(const core::Pose& center,
+                                   const core::Vec3& sigma_pos,
+                                   double sigma_yaw, core::Rng& rng) {
+  particles_.clear();
+  particles_.reserve(static_cast<std::size_t>(config_.particle_count));
+  for (int i = 0; i < config_.particle_count; ++i) {
+    core::Pose p{{rng.normal(center.position.x, sigma_pos.x),
+                  rng.normal(center.position.y, sigma_pos.y),
+                  rng.normal(center.position.z, sigma_pos.z)},
+                 rng.normal(center.yaw, sigma_yaw)};
+    particles_.push_back({p, 0.0});
+  }
+}
+
+void ParticleFilter::predict(const Control& control, core::Rng& rng) {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  for (auto& p : particles_)
+    p.pose = sample_motion(p.pose, control, config_.motion_noise, rng);
+}
+
+void ParticleFilter::update(const vision::DepthScan& scan,
+                            const MeasurementModel& model, core::Rng& rng) {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  for (auto& p : particles_)
+    p.log_weight += model.log_likelihood(p.pose, scan, rng);
+  last_update_ess_ = effective_sample_size();
+  if (last_update_ess_ < config_.resample_threshold *
+                             static_cast<double>(particles_.size())) {
+    resample(rng);
+    // Roughening: diversify the duplicated survivors so the cloud can
+    // keep representing residual uncertainty.
+    const auto& rp = config_.roughening_sigma_pos;
+    if (rp.x > 0.0 || rp.y > 0.0 || rp.z > 0.0 ||
+        config_.roughening_sigma_yaw > 0.0) {
+      for (auto& p : particles_) {
+        p.pose.position += {rng.normal(0.0, rp.x), rng.normal(0.0, rp.y),
+                            rng.normal(0.0, rp.z)};
+        p.pose.yaw = core::wrap_angle(
+            p.pose.yaw + rng.normal(0.0, config_.roughening_sigma_yaw));
+      }
+    }
+  }
+}
+
+std::vector<double> ParticleFilter::normalized_weights() const {
+  std::vector<double> logw;
+  logw.reserve(particles_.size());
+  for (const auto& p : particles_) logw.push_back(p.log_weight);
+  return prob::normalize_log_weights(logw);
+}
+
+double ParticleFilter::effective_sample_size() const {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  const auto w = normalized_weights();
+  double sum_sq = 0.0;
+  for (double x : w) sum_sq += x * x;
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+void ParticleFilter::resample(core::Rng& rng) {
+  resample_to(particles_.size(), rng);
+}
+
+void ParticleFilter::resample_to(std::size_t n, core::Rng& rng) {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  CIMNAV_REQUIRE(n > 0, "need at least one particle");
+  const auto w = normalized_weights();
+  std::vector<Particle> next;
+  next.reserve(n);
+  // Systematic resampling: one uniform offset, n evenly spaced pointers.
+  const double step = 1.0 / static_cast<double>(n);
+  double u = rng.uniform() * step;
+  double cumulative = w[0];
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    while (u > cumulative && idx + 1 < particles_.size()) {
+      ++idx;
+      cumulative += w[idx];
+    }
+    next.push_back({particles_[idx].pose, 0.0});
+    u += step;
+  }
+  particles_ = std::move(next);
+}
+
+PoseEstimate ParticleFilter::estimate() const {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  const auto w = normalized_weights();
+  core::Vec3 mean{};
+  double sin_sum = 0.0, cos_sum = 0.0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    mean += particles_[i].pose.position * w[i];
+    sin_sum += std::sin(particles_[i].pose.yaw) * w[i];
+    cos_sum += std::cos(particles_[i].pose.yaw) * w[i];
+  }
+  const double yaw = std::atan2(sin_sum, cos_sum);
+
+  core::Vec3 var{};
+  double yaw_var = 0.0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    const core::Vec3 d = particles_[i].pose.position - mean;
+    var += d.cwise_mul(d) * w[i];
+    const double dy = core::wrap_angle(particles_[i].pose.yaw - yaw);
+    yaw_var += dy * dy * w[i];
+  }
+
+  PoseEstimate e;
+  e.pose = core::Pose{mean, yaw};
+  e.position_stddev = {std::sqrt(var.x), std::sqrt(var.y), std::sqrt(var.z)};
+  e.yaw_stddev = std::sqrt(yaw_var);
+  return e;
+}
+
+}  // namespace cimnav::filter

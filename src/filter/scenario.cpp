@@ -1,0 +1,170 @@
+#include "filter/scenario.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/stats.hpp"
+
+namespace cimnav::filter {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+map::Scene build_scene(const ScenarioConfig& cfg, core::Rng& rng) {
+  return map::Scene::generate(cfg.scene, rng);
+}
+
+}  // namespace
+
+Trajectory make_loop_trajectory(const map::Scene& scene, int steps,
+                                core::Rng& rng) {
+  CIMNAV_REQUIRE(steps >= 1, "trajectory needs at least one step");
+  const core::Vec3 lo = scene.interior_min(), hi = scene.interior_max();
+  const core::Vec3 center = (lo + hi) * 0.5;
+  // Ellipse inside the room above the furniture band (the generator keeps
+  // boxes below ~45% of room height), with a slow vertical oscillation;
+  // heading tangent to the path.
+  const double rx = 0.30 * (hi.x - lo.x);
+  const double ry = 0.30 * (hi.y - lo.y);
+  const double z0 = core::lerp(lo.z, hi.z, 0.62);
+  const double zamp = 0.08 * (hi.z - lo.z);
+  const double phase0 = rng.uniform(0.0, 2.0 * kPi);
+
+  Trajectory traj;
+  traj.poses.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    const double a = phase0 + 2.0 * kPi * t;
+    const core::Vec3 pos{center.x + rx * std::cos(a),
+                         center.y + ry * std::sin(a),
+                         z0 + zamp * std::sin(2.0 * a)};
+    // Tangent heading of the ellipse.
+    const double yaw = std::atan2(ry * std::cos(a), -rx * std::sin(a));
+    traj.poses.emplace_back(pos, yaw);
+  }
+  traj.controls.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    const core::Pose rel = traj.poses[static_cast<std::size_t>(i)].relative_to(
+        traj.poses[static_cast<std::size_t>(i) + 1]);
+    traj.controls.push_back(Control{rel.position, rel.yaw});
+  }
+  return traj;
+}
+
+LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
+    : config_(config),
+      scene_([&] {
+        core::Rng rng(config.seed);
+        return build_scene(config, rng);
+      }()),
+      mapping_(scene_.interior_min() - core::Vec3{0.3, 0.3, 0.3},
+               scene_.interior_max() + core::Vec3{0.3, 0.3, 0.3}, 0.1, 0.9),
+      maps_([&] {
+        core::Rng rng(config.seed + 1);
+        const auto cloud = scene_.sample_point_cloud(
+            config.map_cloud_points, config.map_cloud_noise_m, rng);
+        // Co-design: constrain the HMGM fit to the bump widths the
+        // inverter array can actually realize, mapped into world units.
+        const circuit::InverterProgrammer programmer(
+            circuit::MosfetParams{}, circuit::MosfetParams{},
+            circuit::SupplyParams{});
+        const auto [sig_min_v, sig_max_v] = programmer.sigma_range();
+        prob::MixtureFitOptions hmgm_opt;
+        std::tie(hmgm_opt.sigma_floor_axes, hmgm_opt.sigma_ceiling_axes) =
+            map::world_sigma_bounds(mapping_, sig_min_v, sig_max_v);
+        return map::fit_maps(cloud, config.mixture_components, rng, hmgm_opt);
+      }()) {
+  core::Rng rng(config.seed + 2);
+  trajectory_ = make_loop_trajectory(scene_, config.trajectory_steps, rng);
+
+  const auto intr = vision::CameraIntrinsics::kinect_like(64, 48);
+  vision::DepthRenderOptions opt;
+  opt.pixel_stride = 2;
+  opt.noise_sigma_m = config.scan_noise_m;
+  opt.mount_pitch_rad = config.camera_pitch_rad;
+  const auto raycast = [this](const core::Vec3& o, const core::Vec3& d) {
+    return scene_.raycast(o, d);
+  };
+  scans_.reserve(trajectory_.controls.size());
+  for (std::size_t i = 1; i < trajectory_.poses.size(); ++i) {
+    auto scan =
+        vision::render_depth_scan(intr, trajectory_.poses[i], raycast, opt, &rng);
+    scans_.push_back(vision::subsample_scan(
+        scan, static_cast<std::size_t>(config.scan_pixels), rng));
+  }
+}
+
+std::unique_ptr<MeasurementModel> LocalizationScenario::make_gmm_backend()
+    const {
+  return std::make_unique<GmmLikelihood>(maps_.gmm, config_.likelihood_beta);
+}
+
+std::unique_ptr<MeasurementModel> LocalizationScenario::make_hmgm_backend()
+    const {
+  return std::make_unique<HmgmLikelihood>(maps_.hmgm,
+                                          config_.likelihood_beta);
+}
+
+std::unique_ptr<MeasurementModel> LocalizationScenario::make_cim_backend()
+    const {
+  return make_cim_backend(config_.cim_dac_bits, config_.cim_adc_bits);
+}
+
+std::unique_ptr<MeasurementModel> LocalizationScenario::make_cim_backend(
+    int dac_bits, int adc_bits) const {
+  circuit::LikelihoodArrayConfig cfg;
+  cfg.total_columns = config_.cim_columns;
+  cfg.dac_bits = dac_bits;
+  cfg.adc_bits = adc_bits;
+  core::Rng rng(config_.seed + 3);
+  return std::make_unique<CimHmgmLikelihood>(maps_.hmgm, mapping_, cfg, rng,
+                                             config_.likelihood_beta);
+}
+
+BackendRun LocalizationScenario::run(const MeasurementModel& model,
+                                     std::uint64_t run_seed,
+                                     bool global_init) const {
+  core::Rng rng(run_seed);
+  ParticleFilter pf(config_.filter);
+  const core::Pose& start = trajectory_.poses.front();
+  if (global_init) {
+    pf.init_uniform(scene_.interior_min(), scene_.interior_max(), rng);
+  } else {
+    // Tracking mode: start belief displaced from the truth so the plots
+    // show convergence over the first few updates (paper Fig. 2f-h).
+    core::Pose noisy_start{start.position + core::Vec3{rng.normal(0.0, 0.4),
+                                                       rng.normal(0.0, 0.4),
+                                                       rng.normal(0.0, 0.2)},
+                           start.yaw + rng.normal(0.0, 0.25)};
+    pf.init_gaussian(noisy_start, {0.5, 0.5, 0.25}, 0.3, rng);
+  }
+
+  BackendRun run;
+  run.backend = model.name();
+  std::vector<double> tail_errors;
+  for (std::size_t i = 0; i < trajectory_.controls.size(); ++i) {
+    pf.predict(trajectory_.controls[i], rng);
+    pf.update(scans_[i], model, rng);
+    const PoseEstimate est = pf.estimate();
+    const core::Pose& truth = trajectory_.poses[i + 1];
+
+    StepRecord rec;
+    rec.step = static_cast<int>(i) + 1;
+    rec.position_error_m = est.pose.position_error(truth);
+    rec.yaw_error_rad = est.pose.yaw_error(truth);
+    rec.ess_fraction =
+        pf.last_update_ess() / static_cast<double>(pf.particles().size());
+    rec.position_spread_m =
+        (est.position_stddev.x + est.position_stddev.y +
+         est.position_stddev.z) /
+        3.0;
+    run.steps.push_back(rec);
+    if (i >= trajectory_.controls.size() / 2)
+      tail_errors.push_back(rec.position_error_m);
+  }
+  run.final_error_m = run.steps.back().position_error_m;
+  run.mean_error_after_converge_m = core::mean(tail_errors);
+  return run;
+}
+
+}  // namespace cimnav::filter

@@ -1,0 +1,162 @@
+#include "map/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace cimnav::map {
+
+double Box::surface_area() const {
+  const double a = 2.0 * half_extents.x, b = 2.0 * half_extents.y,
+               c = 2.0 * half_extents.z;
+  return 2.0 * (a * b + b * c + a * c);
+}
+
+core::Vec3 Box::sample_surface(core::Rng& rng) const {
+  const double a = 2.0 * half_extents.x, b = 2.0 * half_extents.y,
+               c = 2.0 * half_extents.z;
+  // Face areas: +-z faces a*b, +-x faces b*c, +-y faces a*c.
+  const std::vector<double> areas{a * b, a * b, b * c, b * c, a * c, a * c};
+  const std::size_t face = rng.categorical(areas);
+  const double u = rng.uniform(-1.0, 1.0), v = rng.uniform(-1.0, 1.0);
+  core::Vec3 p = center;
+  switch (face) {
+    case 0:  // +z
+      p += {u * half_extents.x, v * half_extents.y, half_extents.z};
+      break;
+    case 1:  // -z
+      p += {u * half_extents.x, v * half_extents.y, -half_extents.z};
+      break;
+    case 2:  // +x
+      p += {half_extents.x, u * half_extents.y, v * half_extents.z};
+      break;
+    case 3:  // -x
+      p += {-half_extents.x, u * half_extents.y, v * half_extents.z};
+      break;
+    case 4:  // +y
+      p += {u * half_extents.x, half_extents.y, v * half_extents.z};
+      break;
+    default:  // -y
+      p += {u * half_extents.x, -half_extents.y, v * half_extents.z};
+      break;
+  }
+  return p;
+}
+
+std::optional<double> Box::intersect(const core::Vec3& origin,
+                                     const core::Vec3& dir,
+                                     double t_min) const {
+  const core::Vec3 lo = min(), hi = max();
+  double t0 = -std::numeric_limits<double>::infinity();
+  double t1 = std::numeric_limits<double>::infinity();
+  for (int d = 0; d < 3; ++d) {
+    if (std::abs(dir[d]) < 1e-12) {
+      if (origin[d] < lo[d] || origin[d] > hi[d]) return std::nullopt;
+      continue;
+    }
+    double ta = (lo[d] - origin[d]) / dir[d];
+    double tb = (hi[d] - origin[d]) / dir[d];
+    if (ta > tb) std::swap(ta, tb);
+    t0 = std::max(t0, ta);
+    t1 = std::min(t1, tb);
+    if (t0 > t1) return std::nullopt;
+  }
+  if (t1 < t_min) return std::nullopt;
+  return t0 >= t_min ? t0 : t1;  // inside the box: report the exit face
+}
+
+Scene::Scene(std::vector<Box> boxes, const core::Vec3& interior_min,
+             const core::Vec3& interior_max)
+    : boxes_(std::move(boxes)),
+      interior_min_(interior_min),
+      interior_max_(interior_max) {
+  CIMNAV_REQUIRE(!boxes_.empty(), "scene needs at least one box");
+}
+
+Scene Scene::generate(const SceneConfig& config, core::Rng& rng) {
+  const core::Vec3& r = config.room_size;
+  CIMNAV_REQUIRE(r.x > 0 && r.y > 0 && r.z > 0, "room size must be positive");
+  const double w = config.wall_thickness;
+  std::vector<Box> boxes;
+
+  // Floor and walls enclose the interior [0, r] box.
+  boxes.push_back({{r.x / 2, r.y / 2, -w / 2}, {r.x / 2, r.y / 2, w / 2}});
+  boxes.push_back({{-w / 2, r.y / 2, r.z / 2}, {w / 2, r.y / 2, r.z / 2}});
+  boxes.push_back({{r.x + w / 2, r.y / 2, r.z / 2}, {w / 2, r.y / 2, r.z / 2}});
+  boxes.push_back({{r.x / 2, -w / 2, r.z / 2}, {r.x / 2, w / 2, r.z / 2}});
+  boxes.push_back({{r.x / 2, r.y + w / 2, r.z / 2}, {r.x / 2, w / 2, r.z / 2}});
+  if (config.include_ceiling)
+    boxes.push_back({{r.x / 2, r.y / 2, r.z + w / 2}, {r.x / 2, r.y / 2, w / 2}});
+
+  // Furniture: boxes standing on the floor, sized relative to the room so
+  // that the upper half of the space stays flyable.
+  for (int i = 0; i < config.furniture_count; ++i) {
+    const double hx = rng.uniform(0.05, 0.12) * r.x;
+    const double hy = rng.uniform(0.05, 0.12) * r.y;
+    const double hz = rng.uniform(0.10, 0.22) * r.z;
+    const double margin = 0.05 * std::min(r.x, r.y);
+    const double cx = rng.uniform(hx + margin, r.x - hx - margin);
+    const double cy = rng.uniform(hy + margin, r.y - hy - margin);
+    boxes.push_back({{cx, cy, hz}, {hx, hy, hz}});
+  }
+
+  // Clutter: tabletop-style objects standing on furniture tops (the
+  // RGB-D-Scenes character — small boxes on tables), falling back to the
+  // floor when there is no furniture. This is what gives depth scans
+  // their lateral structure.
+  const std::size_t first_furniture = boxes.size() -
+                                      static_cast<std::size_t>(config.furniture_count);
+  for (int i = 0; i < config.clutter_count; ++i) {
+    const double h = rng.uniform(0.02, 0.06) * std::min(r.x, r.y);
+    if (config.furniture_count > 0) {
+      const auto fi = first_furniture + static_cast<std::size_t>(rng.uniform_int(
+                          0, config.furniture_count - 1));
+      const Box& f = boxes[fi];
+      const double cx = f.center.x + rng.uniform(-0.7, 0.7) * f.half_extents.x;
+      const double cy = f.center.y + rng.uniform(-0.7, 0.7) * f.half_extents.y;
+      const double cz = f.max().z + h;
+      boxes.push_back({{cx, cy, cz}, {h, h, h}});
+    } else {
+      const double cx = rng.uniform(0.2 * r.x, 0.8 * r.x);
+      const double cy = rng.uniform(0.2 * r.y, 0.8 * r.y);
+      boxes.push_back({{cx, cy, h}, {h, h, h}});
+    }
+  }
+
+  return Scene(std::move(boxes), {0, 0, 0}, r);
+}
+
+std::vector<core::Vec3> Scene::sample_point_cloud(int n, double noise_sigma,
+                                                  core::Rng& rng) const {
+  CIMNAV_REQUIRE(n > 0, "need a positive sample count");
+  CIMNAV_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+  std::vector<double> areas;
+  areas.reserve(boxes_.size());
+  for (const auto& b : boxes_) areas.push_back(b.surface_area());
+  std::vector<core::Vec3> cloud;
+  cloud.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto& box = boxes_[rng.categorical(areas)];
+    core::Vec3 p = box.sample_surface(rng);
+    if (noise_sigma > 0.0) {
+      p += {rng.normal(0.0, noise_sigma), rng.normal(0.0, noise_sigma),
+            rng.normal(0.0, noise_sigma)};
+    }
+    cloud.push_back(p);
+  }
+  return cloud;
+}
+
+std::optional<double> Scene::raycast(const core::Vec3& origin,
+                                     const core::Vec3& dir) const {
+  std::optional<double> best;
+  for (const auto& b : boxes_) {
+    const auto t = b.intersect(origin, dir);
+    if (t && (!best || *t < *best)) best = t;
+  }
+  return best;
+}
+
+}  // namespace cimnav::map

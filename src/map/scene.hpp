@@ -1,0 +1,80 @@
+// Procedural indoor scenes standing in for the RGB-D Scenes Dataset v2.
+//
+// The dataset used by the paper is a Kinect capture of indoor tabletop
+// scenes; what the localization pipeline actually consumes is (a) a point
+// cloud to fit the map mixture to and (b) depth scans rendered from poses
+// inside the scene. Axis-aligned boxes (floor, walls, furniture, clutter)
+// provide both: surfaces are sampled for the map cloud and ray-cast for
+// depth images. The generator is seeded and fully deterministic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+
+namespace cimnav::map {
+
+/// Axis-aligned box primitive.
+struct Box {
+  core::Vec3 center;
+  core::Vec3 half_extents;
+
+  core::Vec3 min() const { return center - half_extents; }
+  core::Vec3 max() const { return center + half_extents; }
+
+  /// Total surface area.
+  double surface_area() const;
+
+  /// Uniform sample on the surface.
+  core::Vec3 sample_surface(core::Rng& rng) const;
+
+  /// Ray-box intersection (slab method); returns the entry distance along
+  /// `dir` (unit length not required) if the ray hits with t > t_min.
+  std::optional<double> intersect(const core::Vec3& origin,
+                                  const core::Vec3& dir,
+                                  double t_min = 1e-6) const;
+};
+
+/// Configuration of the procedural room.
+struct SceneConfig {
+  core::Vec3 room_size{6.0, 5.0, 3.0};  ///< interior extents [m]
+  int furniture_count = 6;              ///< large boxes on the floor
+  int clutter_count = 10;               ///< small boxes on furniture/floor
+  double wall_thickness = 0.05;
+  bool include_ceiling = false;
+};
+
+/// An indoor scene: boxes + helpers to sample clouds and cast rays.
+class Scene {
+ public:
+  /// Builds the deterministic procedural scene for a config and seed.
+  static Scene generate(const SceneConfig& config, core::Rng& rng);
+
+  /// Builds a scene from explicit boxes (tests).
+  explicit Scene(std::vector<Box> boxes, const core::Vec3& interior_min,
+                 const core::Vec3& interior_max);
+
+  const std::vector<Box>& boxes() const { return boxes_; }
+
+  /// Interior free-space bounds (where the drone can fly).
+  const core::Vec3& interior_min() const { return interior_min_; }
+  const core::Vec3& interior_max() const { return interior_max_; }
+
+  /// Samples `n` points on scene surfaces, area-weighted across boxes,
+  /// with isotropic Gaussian sensor noise of `noise_sigma`.
+  std::vector<core::Vec3> sample_point_cloud(int n, double noise_sigma,
+                                             core::Rng& rng) const;
+
+  /// Nearest ray hit distance across all boxes, if any.
+  std::optional<double> raycast(const core::Vec3& origin,
+                                const core::Vec3& dir) const;
+
+ private:
+  std::vector<Box> boxes_;
+  core::Vec3 interior_min_;
+  core::Vec3 interior_max_;
+};
+
+}  // namespace cimnav::map

@@ -1,0 +1,280 @@
+#include "nn/cim_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cimnav::nn {
+namespace {
+
+constexpr double kScaleHeadroom = 1.05;  // 5% margin on calibrated maxima
+
+}  // namespace
+
+CimMlp::CimMlp(const Mlp& reference,
+               const cimsram::CimMacroConfig& macro_config,
+               const std::vector<Vector>& calibration_inputs,
+               core::Rng& rng) {
+  CIMNAV_REQUIRE(!calibration_inputs.empty(), "need calibration inputs");
+  const MlpConfig& cfg = reference.config();
+  keep_scale_ = 1.0 / (1.0 - cfg.dropout_p);
+  dropout_on_input_ = cfg.dropout_on_input;
+
+  const int n_layers = reference.layer_count();
+  // Calibrate per-layer input maxima under representative dropout masks
+  // (masked activations are inflated by the keep scale, so deterministic
+  // calibration would underestimate the range).
+  std::vector<double> act_max(static_cast<std::size_t>(n_layers), 1e-12);
+  constexpr int kMaskSamples = 8;
+  for (const auto& x : calibration_inputs) {
+    for (int s = 0; s < kMaskSamples; ++s) {
+      auto masks = reference.sample_masks(
+          [&] { return rng.bernoulli(cfg.dropout_p); });
+      // Replicate the masked forward, recording layer-input maxima.
+      std::size_t site = 0;
+      Vector a = x;
+      if (cfg.dropout_on_input) {
+        const Mask& m = masks[site++];
+        for (std::size_t i = 0; i < a.size(); ++i)
+          a[i] = m[i] ? a[i] * keep_scale_ : 0.0;
+      }
+      for (int l = 0; l < n_layers; ++l) {
+        for (double v : a)
+          act_max[static_cast<std::size_t>(l)] =
+              std::max(act_max[static_cast<std::size_t>(l)], std::abs(v));
+        Vector z = reference.weights(l).matvec(a);
+        const Vector& b = reference.biases(l);
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+        if (l + 1 < n_layers) {
+          for (double& v : z) v = std::max(0.0, v);
+          const Mask& m = masks[site++];
+          for (std::size_t i = 0; i < z.size(); ++i)
+            z[i] = m[i] ? z[i] * keep_scale_ : 0.0;
+        }
+        a = std::move(z);
+      }
+    }
+  }
+
+  const int max_code = (1 << macro_config.input_bits) - 1;
+  macros_.reserve(static_cast<std::size_t>(n_layers));
+  biases_.reserve(static_cast<std::size_t>(n_layers));
+  for (int l = 0; l < n_layers; ++l) {
+    const Matrix& w = reference.weights(l);
+    const double scale = act_max[static_cast<std::size_t>(l)] *
+                         kScaleHeadroom / static_cast<double>(max_code);
+    macros_.emplace_back(w.data(), w.rows(), w.cols(), macro_config, scale);
+    biases_.push_back(reference.biases(l));
+  }
+}
+
+const cimsram::CimMacro& CimMlp::macro(int layer) const {
+  CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
+  return macros_[static_cast<std::size_t>(layer)];
+}
+
+Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
+                       core::Rng& rng) const {
+  const int n_layers = layer_count();
+  const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
+  CIMNAV_REQUIRE(masks.size() == static_cast<std::size_t>(expected_sites),
+                 "mask count mismatch");
+
+  std::size_t site = 0;
+  const Mask empty;
+  const Mask& in0 = dropout_on_input_ ? masks[site++] : empty;
+
+  Vector a = x;
+  // Masked inputs are scaled digitally before the DAC (the CL AND gates
+  // the word line; the keep scale rides on the digital input code).
+  if (dropout_on_input_) {
+    CIMNAV_REQUIRE(in0.size() == a.size(), "input mask size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = in0[i] ? a[i] * keep_scale_ : 0.0;
+  }
+
+  Mask row_mask = in0;  // rows dropped for the current layer
+  for (int l = 0; l < n_layers; ++l) {
+    const bool has_hidden_mask = l + 1 < n_layers;
+    const Mask& col_mask = has_hidden_mask ? masks[site] : empty;
+    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, row_mask,
+                                                           col_mask, rng);
+    const Vector& b = biases_[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      if (!col_mask.empty() && !col_mask[i]) {
+        z[i] = 0.0;
+        continue;
+      }
+      z[i] += b[i];
+    }
+    if (has_hidden_mask) {
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        z[i] = std::max(0.0, z[i]);
+        z[i] = col_mask[i] ? z[i] * keep_scale_ : 0.0;
+      }
+      row_mask = col_mask;
+      ++site;
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+Vector CimMlp::forward_deterministic(const Vector& x, core::Rng& rng) const {
+  const Mask empty;
+  Vector a = x;
+  for (int l = 0; l < layer_count(); ++l) {
+    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, empty, empty,
+                                                           rng);
+    const Vector& b = biases_[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+    if (l + 1 < layer_count())
+      for (double& v : z) v = std::max(0.0, v);
+    a = std::move(z);
+  }
+  return a;
+}
+
+Vector CimMlp::forward_with_reuse(const Vector& x,
+                                  const std::vector<Mask>& masks,
+                                  ReuseState& state, core::Rng& rng) const {
+  const int n_layers = layer_count();
+  const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
+  CIMNAV_REQUIRE(masks.size() == static_cast<std::size_t>(expected_sites),
+                 "mask count mismatch");
+  const Mask no_col_gate;  // accumulators keep all columns live
+
+  // Applies the delta rule P_i = P_{i-1} + W v|_A - W v|_D at `macro`.
+  const auto delta_update = [&](const cimsram::CimMacro& macro,
+                                const Vector& values, const Mask& mask) {
+    if (!state.valid) {
+      state.reuse_acc = macro.matvec(values, mask, no_col_gate, rng);
+    } else {
+      CIMNAV_REQUIRE(state.prev_mask.size() == mask.size(),
+                     "reuse state mask size mismatch");
+      std::vector<std::size_t> added, removed;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] && !state.prev_mask[i]) added.push_back(i);
+        if (!mask[i] && state.prev_mask[i]) removed.push_back(i);
+      }
+      if (!added.empty()) {
+        const Vector da = macro.matvec_rows(values, added, no_col_gate, rng);
+        for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
+          state.reuse_acc[i] += da[i];
+      }
+      if (!removed.empty()) {
+        const Vector dr =
+            macro.matvec_rows(values, removed, no_col_gate, rng);
+        for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
+          state.reuse_acc[i] -= dr[i];
+      }
+    }
+    state.prev_mask = mask;
+  };
+
+  // Digital epilogue of a hidden layer: bias, ReLU, dropout gate + scale.
+  const auto finish_hidden = [&](Vector z, const Vector& bias,
+                                 const Mask& mask) {
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      if (!mask.empty() && !mask[i]) {
+        z[i] = 0.0;
+        continue;
+      }
+      z[i] = std::max(0.0, z[i] + bias[i]) * keep_scale_;
+    }
+    return z;
+  };
+
+  Vector a;              // activation entering the dense tail
+  int dense_from = 0;    // first layer index the dense tail runs
+  std::size_t site = 0;  // next mask site to consume
+
+  if (dropout_on_input_) {
+    // Reuse locus: layer 0 over the input mask.
+    const Mask& in_mask = masks[site++];
+    CIMNAV_REQUIRE(in_mask.size() == x.size(), "input mask size mismatch");
+    if (!state.valid) {
+      state.frozen_values.resize(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i)
+        state.frozen_values[i] = x[i] * keep_scale_;
+    }
+    delta_update(macros_[0], state.frozen_values, in_mask);
+    state.valid = true;
+
+    a = state.reuse_acc;
+    const bool has_hidden = n_layers > 1;
+    if (has_hidden) {
+      a = finish_hidden(std::move(a), biases_[0], masks[site]);
+      ++site;
+    } else {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += biases_[0][i];
+    }
+    dense_from = 1;
+  } else {
+    // Hidden-site dropout: layer 0 is mask-independent — compute once per
+    // frame; the reuse locus is layer 1 over the first hidden mask.
+    CIMNAV_REQUIRE(n_layers >= 2,
+                   "hidden-site reuse needs at least one hidden layer");
+    const Mask& m1 = masks[site++];
+    if (!state.valid) {
+      const Mask all_rows;
+      state.layer0_preact = macros_[0].matvec(x, all_rows, no_col_gate, rng);
+      state.frozen_values.resize(state.layer0_preact.size());
+      for (std::size_t i = 0; i < state.layer0_preact.size(); ++i)
+        state.frozen_values[i] =
+            std::max(0.0, state.layer0_preact[i] + biases_[0][i]) *
+            keep_scale_;
+    }
+    delta_update(macros_[1], state.frozen_values, m1);
+    state.valid = true;
+
+    a = state.reuse_acc;
+    const bool has_hidden = n_layers > 2;
+    const Mask& col_mask = has_hidden ? masks[site] : Mask{};
+    if (has_hidden) {
+      a = finish_hidden(std::move(a), biases_[1], col_mask);
+      ++site;
+    } else {
+      for (std::size_t i = 0; i < a.size(); ++i) a[i] += biases_[1][i];
+    }
+    dense_from = 2;
+  }
+
+  // Remaining layers run dense (their inputs change every iteration).
+  Mask row_mask =
+      (dense_from <= n_layers - 1 && site >= 1) ? masks[site - 1] : Mask{};
+  for (int l = dense_from; l < n_layers; ++l) {
+    const bool has_hidden_mask = l + 1 < n_layers;
+    const Mask& col_mask = has_hidden_mask ? masks[site] : Mask{};
+    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, row_mask,
+                                                           col_mask, rng);
+    const Vector& b = biases_[static_cast<std::size_t>(l)];
+    if (has_hidden_mask) {
+      z = finish_hidden(std::move(z), b, col_mask);
+      row_mask = col_mask;
+      ++site;
+    } else {
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+cimsram::MacroStats CimMlp::total_stats() const {
+  cimsram::MacroStats total;
+  for (const auto& m : macros_) {
+    const auto& s = m.stats();
+    total.matvec_calls += s.matvec_calls;
+    total.wordline_pulses += s.wordline_pulses;
+    total.adc_conversions += s.adc_conversions;
+    total.analog_cycles += s.analog_cycles;
+    total.nominal_macs += s.nominal_macs;
+  }
+  return total;
+}
+
+void CimMlp::reset_stats() const {
+  for (const auto& m : macros_) m.reset_stats();
+}
+
+}  // namespace cimnav::nn

@@ -1,0 +1,91 @@
+// MLP inference executed on simulated 8T-SRAM CIM macros (paper Fig. 3a).
+//
+// Each weight layer is programmed into one CimMacro; biases, ReLU and the
+// inverted-dropout scaling stay digital (as in the paper's architecture,
+// where only the matrix products live in the array). Dropout masks map
+// onto the macro's physical ports: the input-site mask gates word lines
+// (CL AND), hidden-site masks gate both the producing layer's columns
+// (RL AND) and the consuming layer's word lines.
+//
+// Compute reuse (paper Sec. III-C): consecutive MC-Dropout iterations
+// share the same input vector at the first layer, so
+// P_i = P_{i-1} + W x|_A - W x|_D, where A/D are the newly
+// activated/deactivated input neurons. forward_with_reuse maintains the
+// full-column accumulator and issues two sparse row evaluations per
+// iteration instead of one dense product. The accumulator keeps all
+// columns live so it stays valid when the *output* mask changes between
+// iterations.
+#pragma once
+
+#include <vector>
+
+#include "cimsram/cim_macro.hpp"
+#include "core/rng.hpp"
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace cimnav::nn {
+
+/// CIM-executed snapshot of a trained Mlp.
+class CimMlp {
+ public:
+  /// Programs one macro per layer. Activation scales are calibrated by
+  /// running the float reference (with representative dropout masks) on
+  /// `calibration_inputs`.
+  CimMlp(const Mlp& reference, const cimsram::CimMacroConfig& macro_config,
+         const std::vector<Vector>& calibration_inputs, core::Rng& rng);
+
+  int layer_count() const { return static_cast<int>(macros_.size()); }
+  const cimsram::CimMacro& macro(int layer) const;
+
+  /// Masked (MC-Dropout) forward pass through the analog macros.
+  Vector forward(const Vector& x, const std::vector<Mask>& masks,
+                 core::Rng& rng) const;
+
+  /// Deterministic forward (no dropout, all neurons active).
+  Vector forward_deterministic(const Vector& x, core::Rng& rng) const;
+
+  /// Compute-reuse state across the MC iterations of one input frame.
+  ///
+  /// With input-site dropout, the reuse locus is layer 0: the input values
+  /// are iteration-invariant and only the input mask flips, so the
+  /// accumulator tracks P_i = P_{i-1} + W x|_A - W x|_D.
+  ///
+  /// With hidden-site dropout only (the VO configuration), layer 0 is
+  /// mask-independent and computed *once* per frame, and the reuse locus
+  /// moves to layer 1: the surviving hidden neurons carry fixed values, so
+  /// consecutive iterations again differ only by mask flips — the paper's
+  /// delta rule applies exactly.
+  struct ReuseState {
+    Vector frozen_values;  ///< layer-0 input (x) or hidden values (v*s)
+    Vector layer0_preact;  ///< cached W1 x (hidden-site mode)
+    Vector reuse_acc;      ///< full-column accumulator at the reuse layer
+    Mask prev_mask;        ///< mask that produced the accumulator
+    bool valid = false;
+  };
+
+  /// Masked forward reusing products between calls. The first call (state
+  /// invalid) performs dense products; subsequent calls evaluate only
+  /// changed rows at the reuse layer. Reset the state when `x` changes.
+  Vector forward_with_reuse(const Vector& x, const std::vector<Mask>& masks,
+                            ReuseState& state, core::Rng& rng) const;
+
+  /// Aggregate macro activity (sum over layers).
+  cimsram::MacroStats total_stats() const;
+  void reset_stats() const;
+
+  double dropout_keep_scale() const { return keep_scale_; }
+  bool dropout_on_input() const { return dropout_on_input_; }
+
+ private:
+  Vector finish_layers_after_first(Vector z0, const Vector& x_unused,
+                                   const std::vector<Mask>& masks,
+                                   core::Rng& rng) const;
+
+  std::vector<cimsram::CimMacro> macros_;
+  std::vector<Vector> biases_;
+  double keep_scale_ = 2.0;
+  bool dropout_on_input_ = true;
+};
+
+}  // namespace cimnav::nn

@@ -1,0 +1,293 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cimnav::nn {
+namespace {
+
+double relu(double x) { return x > 0.0 ? x : 0.0; }
+double relu_grad(double x) { return x > 0.0 ? 1.0 : 0.0; }
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config, core::Rng& rng) : config_(config) {
+  CIMNAV_REQUIRE(config.layer_sizes.size() >= 2,
+                 "need at least input and output layers");
+  for (int s : config.layer_sizes)
+    CIMNAV_REQUIRE(s > 0, "layer sizes must be positive");
+  CIMNAV_REQUIRE(config.dropout_p >= 0.0 && config.dropout_p < 1.0,
+                 "dropout probability must lie in [0, 1)");
+
+  const std::size_t layers = config.layer_sizes.size() - 1;
+  weights_.reserve(layers);
+  biases_.reserve(layers);
+  adam_.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const int fan_in = config.layer_sizes[l];
+    const int fan_out = config.layer_sizes[l + 1];
+    Matrix w(fan_out, fan_in);
+    const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+    for (double& v : w.data()) v = rng.uniform(-bound, bound);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(static_cast<std::size_t>(fan_out), 0.0);
+    adam_[l].m_w = Matrix(fan_out, fan_in);
+    adam_[l].v_w = Matrix(fan_out, fan_in);
+    adam_[l].m_b.assign(static_cast<std::size_t>(fan_out), 0.0);
+    adam_[l].v_b.assign(static_cast<std::size_t>(fan_out), 0.0);
+  }
+}
+
+const Matrix& Mlp::weights(int layer) const {
+  CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
+  return weights_[static_cast<std::size_t>(layer)];
+}
+
+const Vector& Mlp::biases(int layer) const {
+  CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
+  return biases_[static_cast<std::size_t>(layer)];
+}
+
+Matrix& Mlp::mutable_weights(int layer) {
+  CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
+  return weights_[static_cast<std::size_t>(layer)];
+}
+
+Vector& Mlp::mutable_biases(int layer) {
+  CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
+  return biases_[static_cast<std::size_t>(layer)];
+}
+
+int Mlp::dropout_site_count() const {
+  // Input (optional) + every hidden layer.
+  return (config_.dropout_on_input ? 1 : 0) + layer_count() - 1;
+}
+
+int Mlp::dropout_site_width(int site) const {
+  CIMNAV_REQUIRE(site >= 0 && site < dropout_site_count(),
+                 "dropout site out of range");
+  if (config_.dropout_on_input) {
+    if (site == 0) return config_.layer_sizes.front();
+    return config_.layer_sizes[static_cast<std::size_t>(site)];
+  }
+  return config_.layer_sizes[static_cast<std::size_t>(site) + 1];
+}
+
+std::vector<Mask> Mlp::sample_masks(
+    const std::function<bool()>& drop_draw) const {
+  std::vector<Mask> masks(static_cast<std::size_t>(dropout_site_count()));
+  for (int s = 0; s < dropout_site_count(); ++s) {
+    Mask& m = masks[static_cast<std::size_t>(s)];
+    m.resize(static_cast<std::size_t>(dropout_site_width(s)));
+    for (auto& bit : m) bit = drop_draw() ? 0 : 1;
+  }
+  return masks;
+}
+
+Vector Mlp::forward(const Vector& x) const {
+  CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(input_size()),
+                 "input size mismatch");
+  Vector a = x;
+  for (int l = 0; l < layer_count(); ++l) {
+    Vector z = weights_[static_cast<std::size_t>(l)].matvec(a);
+    const Vector& b = biases_[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+    if (l + 1 < layer_count())
+      for (double& v : z) v = relu(v);
+    a = std::move(z);
+  }
+  return a;
+}
+
+Vector Mlp::forward_masked(const Vector& x,
+                           const std::vector<Mask>& masks) const {
+  CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(input_size()),
+                 "input size mismatch");
+  CIMNAV_REQUIRE(masks.size() ==
+                     static_cast<std::size_t>(dropout_site_count()),
+                 "mask count mismatch");
+  const double keep_scale = 1.0 / (1.0 - config_.dropout_p);
+  std::size_t site = 0;
+  Vector a = x;
+  if (config_.dropout_on_input) {
+    const Mask& m = masks[site++];
+    CIMNAV_REQUIRE(m.size() == a.size(), "input mask size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+      a[i] = m[i] ? a[i] * keep_scale : 0.0;
+  }
+  for (int l = 0; l < layer_count(); ++l) {
+    Vector z = weights_[static_cast<std::size_t>(l)].matvec(a);
+    const Vector& b = biases_[static_cast<std::size_t>(l)];
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+    if (l + 1 < layer_count()) {
+      for (double& v : z) v = relu(v);
+      const Mask& m = masks[site++];
+      CIMNAV_REQUIRE(m.size() == z.size(), "hidden mask size mismatch");
+      for (std::size_t i = 0; i < z.size(); ++i)
+        z[i] = m[i] ? z[i] * keep_scale : 0.0;
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+double Mlp::train_epoch(const std::vector<Vector>& inputs,
+                        const std::vector<Vector>& targets,
+                        const TrainOptions& opt, core::Rng& rng) {
+  CIMNAV_REQUIRE(inputs.size() == targets.size() && !inputs.empty(),
+                 "dataset must be non-empty and paired");
+  CIMNAV_REQUIRE(opt.batch_size > 0, "batch size must be positive");
+
+  const std::size_t n = inputs.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (opt.shuffle) order = rng.permutation(n);
+
+  const int layers = layer_count();
+  const double keep_scale = 1.0 / (1.0 - config_.dropout_p);
+  double total_loss = 0.0;
+
+  // Per-batch gradient accumulators.
+  std::vector<Matrix> grad_w;
+  std::vector<Vector> grad_b;
+  for (int l = 0; l < layers; ++l) {
+    grad_w.emplace_back(weights_[static_cast<std::size_t>(l)].rows(),
+                        weights_[static_cast<std::size_t>(l)].cols());
+    grad_b.emplace_back(biases_[static_cast<std::size_t>(l)].size(), 0.0);
+  }
+
+  std::size_t processed = 0;
+  while (processed < n) {
+    const std::size_t batch =
+        std::min<std::size_t>(static_cast<std::size_t>(opt.batch_size),
+                              n - processed);
+    for (int l = 0; l < layers; ++l) {
+      std::fill(grad_w[static_cast<std::size_t>(l)].data().begin(),
+                grad_w[static_cast<std::size_t>(l)].data().end(), 0.0);
+      std::fill(grad_b[static_cast<std::size_t>(l)].begin(),
+                grad_b[static_cast<std::size_t>(l)].end(), 0.0);
+    }
+
+    for (std::size_t bi = 0; bi < batch; ++bi) {
+      const std::size_t idx = order[processed + bi];
+      const Vector& x = inputs[idx];
+      const Vector& t = targets[idx];
+
+      // Forward pass with training dropout; cache activations/gates.
+      std::vector<Vector> acts;        // post-dropout activations per layer
+      std::vector<Vector> preact;      // z per layer
+      std::vector<Mask> live_masks = sample_masks(
+          [&] { return rng.bernoulli(config_.dropout_p); });
+      std::size_t site = 0;
+      Vector a = x;
+      if (config_.dropout_on_input) {
+        const Mask& m = live_masks[site++];
+        for (std::size_t i = 0; i < a.size(); ++i)
+          a[i] = m[i] ? a[i] * keep_scale : 0.0;
+      }
+      acts.push_back(a);
+      for (int l = 0; l < layers; ++l) {
+        Vector z = weights_[static_cast<std::size_t>(l)].matvec(a);
+        const Vector& b = biases_[static_cast<std::size_t>(l)];
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+        preact.push_back(z);
+        if (l + 1 < layers) {
+          for (double& v : z) v = relu(v);
+          const Mask& m = live_masks[site++];
+          for (std::size_t i = 0; i < z.size(); ++i)
+            z[i] = m[i] ? z[i] * keep_scale : 0.0;
+        }
+        a = std::move(z);
+        acts.push_back(a);
+      }
+
+      // Loss and output delta (MSE, 1/2 factor absorbed).
+      Vector delta(a.size());
+      double loss = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double e = a[i] - t[i];
+        loss += e * e;
+        delta[i] = 2.0 * e / static_cast<double>(a.size());
+      }
+      total_loss += loss / static_cast<double>(a.size());
+
+      // Backward pass.
+      site = static_cast<std::size_t>(dropout_site_count());
+      for (int l = layers - 1; l >= 0; --l) {
+        const Vector& input_act = acts[static_cast<std::size_t>(l)];
+        auto& gw = grad_w[static_cast<std::size_t>(l)];
+        auto& gb = grad_b[static_cast<std::size_t>(l)];
+        for (int r = 0; r < gw.rows(); ++r) {
+          const double d = delta[static_cast<std::size_t>(r)];
+          gb[static_cast<std::size_t>(r)] += d;
+          for (int c = 0; c < gw.cols(); ++c)
+            gw(r, c) += d * input_act[static_cast<std::size_t>(c)];
+        }
+        if (l == 0) break;
+        // Propagate through W, dropout gate, and ReLU of layer l-1.
+        Vector prev =
+            weights_[static_cast<std::size_t>(l)].matvec_transposed(delta);
+        --site;
+        const Mask& m = live_masks[site];
+        const Vector& z_prev = preact[static_cast<std::size_t>(l) - 1];
+        for (std::size_t i = 0; i < prev.size(); ++i) {
+          const double gate = m[i] ? keep_scale : 0.0;
+          prev[i] *= gate * relu_grad(z_prev[i]);
+        }
+        delta = std::move(prev);
+      }
+    }
+
+    // Adam update.
+    ++adam_steps_;
+    const double bc1 =
+        1.0 - std::pow(opt.beta1, static_cast<double>(adam_steps_));
+    const double bc2 =
+        1.0 - std::pow(opt.beta2, static_cast<double>(adam_steps_));
+    const double inv_batch = 1.0 / static_cast<double>(batch);
+    for (int l = 0; l < layers; ++l) {
+      auto& slot = adam_[static_cast<std::size_t>(l)];
+      auto& w = weights_[static_cast<std::size_t>(l)];
+      auto& gw = grad_w[static_cast<std::size_t>(l)];
+      for (std::size_t i = 0; i < w.data().size(); ++i) {
+        const double g = gw.data()[i] * inv_batch;
+        slot.m_w.data()[i] =
+            opt.beta1 * slot.m_w.data()[i] + (1.0 - opt.beta1) * g;
+        slot.v_w.data()[i] =
+            opt.beta2 * slot.v_w.data()[i] + (1.0 - opt.beta2) * g * g;
+        w.data()[i] -= opt.learning_rate * (slot.m_w.data()[i] / bc1) /
+                       (std::sqrt(slot.v_w.data()[i] / bc2) + opt.epsilon);
+      }
+      auto& b = biases_[static_cast<std::size_t>(l)];
+      auto& gb = grad_b[static_cast<std::size_t>(l)];
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        const double g = gb[i] * inv_batch;
+        slot.m_b[i] = opt.beta1 * slot.m_b[i] + (1.0 - opt.beta1) * g;
+        slot.v_b[i] = opt.beta2 * slot.v_b[i] + (1.0 - opt.beta2) * g * g;
+        b[i] -= opt.learning_rate * (slot.m_b[i] / bc1) /
+                (std::sqrt(slot.v_b[i] / bc2) + opt.epsilon);
+      }
+    }
+    processed += batch;
+  }
+  return total_loss / static_cast<double>(n);
+}
+
+double Mlp::evaluate_mse(const std::vector<Vector>& inputs,
+                         const std::vector<Vector>& targets) const {
+  CIMNAV_REQUIRE(inputs.size() == targets.size() && !inputs.empty(),
+                 "dataset must be non-empty and paired");
+  double total = 0.0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Vector y = forward(inputs[i]);
+    double s = 0.0;
+    for (std::size_t k = 0; k < y.size(); ++k) {
+      const double e = y[k] - targets[i][k];
+      s += e * e;
+    }
+    total += s / static_cast<double>(y.size());
+  }
+  return total / static_cast<double>(inputs.size());
+}
+
+}  // namespace cimnav::nn

@@ -1,0 +1,96 @@
+#include "nn/quant_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cimnav::nn {
+
+QuantMlp::QuantMlp(const Mlp& reference, int weight_bits, int activation_bits,
+                   const std::vector<Vector>& calibration_inputs)
+    : weight_bits_(weight_bits), activation_bits_(activation_bits) {
+  CIMNAV_REQUIRE(weight_bits >= 2 && weight_bits <= 16,
+                 "weight bits must be in [2, 16]");
+  CIMNAV_REQUIRE(activation_bits >= 1 && activation_bits <= 16,
+                 "activation bits must be in [1, 16]");
+  CIMNAV_REQUIRE(!calibration_inputs.empty(),
+                 "need calibration inputs for activation ranges");
+
+  const int n_layers = reference.layer_count();
+  layers_.resize(static_cast<std::size_t>(n_layers));
+
+  // Calibrate per-layer input activation maxima by running the float net.
+  std::vector<double> act_max(static_cast<std::size_t>(n_layers), 1e-12);
+  for (const auto& x : calibration_inputs) {
+    Vector a = x;
+    for (int l = 0; l < n_layers; ++l) {
+      for (double v : a)
+        act_max[static_cast<std::size_t>(l)] =
+            std::max(act_max[static_cast<std::size_t>(l)], std::abs(v));
+      Vector z = reference.weights(l).matvec(a);
+      const Vector& b = reference.biases(l);
+      for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
+      if (l + 1 < n_layers)
+        for (double& v : z) v = std::max(0.0, v);
+      a = std::move(z);
+    }
+  }
+
+  const int act_max_code = (1 << activation_bits) - 1;
+  const int mag_max = (1 << (weight_bits - 1)) - 1;
+  for (int l = 0; l < n_layers; ++l) {
+    auto& q = layers_[static_cast<std::size_t>(l)];
+    const Matrix& w = reference.weights(l);
+    q.n_in = w.cols();
+    q.n_out = w.rows();
+    q.biases = reference.biases(l);
+    q.input_scale =
+        act_max[static_cast<std::size_t>(l)] / static_cast<double>(act_max_code);
+
+    double w_max = 0.0;
+    for (double v : w.data()) w_max = std::max(w_max, std::abs(v));
+    q.weight_scale =
+        w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+    q.q_weights.resize(w.data().size());
+    for (std::size_t i = 0; i < w.data().size(); ++i) {
+      q.q_weights[i] = std::clamp(
+          static_cast<int>(std::lround(w.data()[i] / q.weight_scale)),
+          -mag_max, mag_max);
+    }
+  }
+}
+
+Vector QuantMlp::forward(const Vector& x) const {
+  CIMNAV_REQUIRE(
+      x.size() == static_cast<std::size_t>(layers_.front().n_in),
+      "input size mismatch");
+  const int act_max_code = (1 << activation_bits_) - 1;
+  Vector a = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& q = layers_[l];
+    // Quantize incoming activations to the layer grid.
+    std::vector<int> qa(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      qa[i] = std::clamp(static_cast<int>(std::lround(a[i] / q.input_scale)),
+                         0, act_max_code);
+    }
+    // Exact integer MACs, then dequantize and add the float bias.
+    Vector z(static_cast<std::size_t>(q.n_out), 0.0);
+    for (int o = 0; o < q.n_out; ++o) {
+      long long acc = 0;
+      const std::size_t base = static_cast<std::size_t>(o) *
+                               static_cast<std::size_t>(q.n_in);
+      for (int i = 0; i < q.n_in; ++i)
+        acc += static_cast<long long>(q.q_weights[base + static_cast<std::size_t>(i)]) *
+               static_cast<long long>(qa[static_cast<std::size_t>(i)]);
+      z[static_cast<std::size_t>(o)] =
+          static_cast<double>(acc) * q.weight_scale * q.input_scale +
+          q.biases[static_cast<std::size_t>(o)];
+    }
+    if (l + 1 < layers_.size())
+      for (double& v : z) v = std::max(0.0, v);
+    a = std::move(z);
+  }
+  return a;
+}
+
+}  // namespace cimnav::nn

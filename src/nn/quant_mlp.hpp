@@ -1,0 +1,48 @@
+// Deterministic fixed-point inference — the digital quantized baseline the
+// paper's Fig. 3(c-e) compares against ("deterministic network
+// configurations under various inference conditions").
+//
+// Weights use per-layer symmetric integer quantization, activations use
+// per-layer unsigned affine quantization calibrated on sample data. The
+// arithmetic is exact integer MAC (a digital datapath has no analog loss),
+// so the only error source is quantization itself. This isolates
+// "precision" from "CIM non-idealities" in the precision-sweep benches.
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace cimnav::nn {
+
+/// Quantized snapshot of a trained Mlp.
+class QuantMlp {
+ public:
+  /// Quantizes `reference` to the given precisions. `calibration_inputs`
+  /// drive per-layer activation ranges (must be non-empty).
+  QuantMlp(const Mlp& reference, int weight_bits, int activation_bits,
+           const std::vector<Vector>& calibration_inputs);
+
+  int weight_bits() const { return weight_bits_; }
+  int activation_bits() const { return activation_bits_; }
+
+  /// Deterministic quantized forward pass.
+  Vector forward(const Vector& x) const;
+
+ private:
+  struct QuantLayer {
+    std::vector<int> q_weights;  ///< row-major (out x in)
+    Vector biases;               ///< kept float; added post-scale
+    double weight_scale = 1.0;
+    double input_scale = 1.0;    ///< activation quantization step
+    int n_in = 0;
+    int n_out = 0;
+  };
+
+  int weight_bits_;
+  int activation_bits_;
+  std::vector<QuantLayer> layers_;
+};
+
+}  // namespace cimnav::nn

@@ -1,0 +1,63 @@
+// Diagonal-covariance Gaussian mixture model with EM fitting — the
+// conventional 3-D map representation (paper Sec. II-B) and the digital
+// baseline against which the HMGM co-design is compared.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+#include "prob/gaussian.hpp"
+
+namespace cimnav::prob {
+
+/// One weighted mixture component.
+struct GmmComponent {
+  double weight = 1.0;
+  DiagGaussian gaussian;
+};
+
+/// Fitting options shared by GMM and HMGM.
+struct MixtureFitOptions {
+  int max_iterations = 60;
+  double tolerance = 1e-5;       ///< stop when avg log-lik improves less
+  double sigma_floor = 1e-3;     ///< variance collapse guard
+  int kmeans_iterations = 25;
+  /// Hardware-constraint-aware fitting (the co-design loop): per-axis
+  /// bounds on component sigmas, e.g. the achievable bump-width range of
+  /// the inverter array mapped back to world units. Zero floor / +inf
+  /// ceiling disable the constraint.
+  core::Vec3 sigma_floor_axes{0.0, 0.0, 0.0};
+  core::Vec3 sigma_ceiling_axes{1e30, 1e30, 1e30};
+};
+
+/// Gaussian mixture over R^3 with diagonal covariances.
+class Gmm {
+ public:
+  /// Builds from explicit components; weights are normalized to sum to 1.
+  explicit Gmm(std::vector<GmmComponent> components);
+
+  /// Fits `k` components to `points` via k-means++ init and EM.
+  static Gmm fit(const std::vector<core::Vec3>& points, int k,
+                 core::Rng& rng, const MixtureFitOptions& opt = {});
+
+  int component_count() const { return static_cast<int>(components_.size()); }
+  const std::vector<GmmComponent>& components() const { return components_; }
+
+  /// Normalized density at p.
+  double pdf(const core::Vec3& p) const;
+
+  /// log density at p (stable log-sum-exp over components).
+  double log_pdf(const core::Vec3& p) const;
+
+  /// Average log-likelihood of a point set (fit quality metric).
+  double average_log_likelihood(const std::vector<core::Vec3>& points) const;
+
+  /// Draws one sample from the mixture.
+  core::Vec3 sample(core::Rng& rng) const;
+
+ private:
+  std::vector<GmmComponent> components_;
+};
+
+}  // namespace cimnav::prob

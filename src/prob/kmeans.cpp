@@ -1,0 +1,114 @@
+#include "prob/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+
+namespace cimnav::prob {
+namespace {
+
+std::vector<core::Vec3> seed_plus_plus(const std::vector<core::Vec3>& pts,
+                                       int k, core::Rng& rng) {
+  std::vector<core::Vec3> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(
+      pts[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(pts.size()) - 1))]);
+  std::vector<double> d2(pts.size(), std::numeric_limits<double>::max());
+  while (static_cast<int>(centroids.size()) < k) {
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      d2[i] = std::min(d2[i], (pts[i] - centroids.back()).squared_norm());
+    double total = 0.0;
+    for (double d : d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double u = rng.uniform() * total;
+    std::size_t pick = pts.size() - 1;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      u -= d2[i];
+      if (u <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(pts[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<core::Vec3>& points, int k,
+                    core::Rng& rng, int max_iterations) {
+  CIMNAV_REQUIRE(k >= 1, "k must be positive");
+  CIMNAV_REQUIRE(points.size() >= static_cast<std::size_t>(k),
+                 "need at least k points");
+  KMeansResult res;
+  res.centroids = seed_plus_plus(points, k, rng);
+  res.assignment.assign(points.size(), 0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double d =
+            (points[i] - res.centroids[static_cast<std::size_t>(c)]).squared_norm();
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<core::Vec3> sums(static_cast<std::size_t>(k));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      sums[static_cast<std::size_t>(res.assignment[i])] += points[i];
+      ++counts[static_cast<std::size_t>(res.assignment[i])];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] > 0) {
+        res.centroids[static_cast<std::size_t>(c)] =
+            sums[static_cast<std::size_t>(c)] /
+            static_cast<double>(counts[static_cast<std::size_t>(c)]);
+      } else {
+        // Re-seed an empty cluster with the worst-served point.
+        std::size_t worst = 0;
+        double worst_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              (points[i] -
+               res.centroids[static_cast<std::size_t>(res.assignment[i])])
+                  .squared_norm();
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        res.centroids[static_cast<std::size_t>(c)] = points[worst];
+        changed = true;
+      }
+    }
+    res.iterations_run = iter + 1;
+    if (!changed) break;
+  }
+
+  res.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    res.inertia +=
+        (points[i] - res.centroids[static_cast<std::size_t>(res.assignment[i])])
+            .squared_norm();
+  return res;
+}
+
+}  // namespace cimnav::prob

@@ -1,0 +1,25 @@
+// k-means++ seeding and Lloyd iterations over 3-D point clouds; used to
+// initialize both GMM and HMGM fits of the map models.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+
+namespace cimnav::prob {
+
+struct KMeansResult {
+  std::vector<core::Vec3> centroids;
+  std::vector<int> assignment;    ///< centroid index per point
+  double inertia = 0.0;           ///< sum of squared distances to centroids
+  int iterations_run = 0;
+};
+
+/// Runs k-means++ init followed by at most `max_iterations` Lloyd steps.
+/// Requires 1 <= k <= points.size(). Empty clusters are re-seeded with the
+/// point farthest from its centroid.
+KMeansResult kmeans(const std::vector<core::Vec3>& points, int k,
+                    core::Rng& rng, int max_iterations = 50);
+
+}  // namespace cimnav::prob

@@ -1,0 +1,64 @@
+#include "vision/depth.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace cimnav::vision {
+
+DepthScan render_depth_scan(const CameraIntrinsics& k, const core::Pose& pose,
+                            const RaycastFn& raycast,
+                            const DepthRenderOptions& opt, core::Rng* rng) {
+  CIMNAV_REQUIRE(opt.pixel_stride >= 1, "pixel stride must be >= 1");
+  CIMNAV_REQUIRE(opt.max_range_m > 0.0, "max range must be positive");
+  CIMNAV_REQUIRE(opt.noise_sigma_m == 0.0 || rng != nullptr,
+                 "noisy rendering needs an rng");
+  DepthScan scan;
+  scan.intrinsics = k;
+  scan.mount_pitch_rad = opt.mount_pitch_rad;
+  for (int v = 0; v < k.height; v += opt.pixel_stride) {
+    for (int u = 0; u < k.width; u += opt.pixel_stride) {
+      const core::Vec3 dir_cam = pixel_ray(k, u, v);
+      const core::Vec3 dir_world =
+          core::Mat3::rotation_z(pose.yaw) *
+          apply_mount_pitch(camera_to_body(dir_cam), opt.mount_pitch_rad);
+      const auto t = raycast(pose.position, dir_world);
+      if (!t) continue;
+      // The ray parameter t is metric distance (unit direction); depth is
+      // the camera-z component of the hit.
+      double depth = *t * dir_cam.z;
+      if (depth <= 0.0 || depth > opt.max_range_m) continue;
+      if (opt.noise_sigma_m > 0.0)
+        depth = std::max(1e-3, depth + rng->normal(0.0, opt.noise_sigma_m));
+      scan.pixels.push_back(DepthPixel{u, v, depth});
+    }
+  }
+  return scan;
+}
+
+std::vector<core::Vec3> scan_to_world(const DepthScan& scan,
+                                      const core::Pose& pose) {
+  std::vector<core::Vec3> world;
+  world.reserve(scan.pixels.size());
+  const core::Mat3 rot = core::Mat3::rotation_z(pose.yaw);
+  for (const auto& px : scan.pixels) {
+    const core::Vec3 cam = back_project(scan.intrinsics, px);
+    world.push_back(
+        rot * apply_mount_pitch(camera_to_body(cam), scan.mount_pitch_rad) +
+        pose.position);
+  }
+  return world;
+}
+
+DepthScan subsample_scan(const DepthScan& scan, std::size_t n,
+                         core::Rng& rng) {
+  if (scan.pixels.size() <= n) return scan;
+  DepthScan out = scan;
+  out.pixels.clear();
+  const auto perm = rng.permutation(scan.pixels.size());
+  out.pixels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.pixels.push_back(scan.pixels[perm[i]]);
+  return out;
+}
+
+}  // namespace cimnav::vision

@@ -1,0 +1,54 @@
+// Depth-scan rendering and back-projection.
+//
+// Rendering is generic over a ray-cast callable so the vision module stays
+// independent of the scene representation; the filter layer wires it to
+// map::Scene::raycast. Scans are subsampled on a pixel stride (the paper
+// evaluates "hundreds of non-zero depth pixels", not the full frame).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+#include "vision/camera.hpp"
+
+namespace cimnav::vision {
+
+/// A sparse depth scan: valid pixels with metric depths. Carries the rigid
+/// mount pitch it was rendered with so back-projection stays consistent.
+struct DepthScan {
+  CameraIntrinsics intrinsics;
+  double mount_pitch_rad = 0.0;
+  std::vector<DepthPixel> pixels;
+};
+
+/// Ray-cast callable: world origin + world unit direction -> hit distance.
+using RaycastFn = std::function<std::optional<double>(const core::Vec3&,
+                                                      const core::Vec3&)>;
+
+/// Rendering options.
+struct DepthRenderOptions {
+  int pixel_stride = 4;        ///< subsample every k-th pixel in u and v
+  double max_range_m = 10.0;   ///< sensor range cutoff
+  double noise_sigma_m = 0.0;  ///< additive Gaussian depth noise
+  double mount_pitch_rad = 0.0;  ///< rigid downward camera tilt
+};
+
+/// Renders a depth scan from `pose` (body frame x-forward) through the
+/// given ray caster. Requires rng when noise_sigma_m > 0.
+DepthScan render_depth_scan(const CameraIntrinsics& k, const core::Pose& pose,
+                            const RaycastFn& raycast,
+                            const DepthRenderOptions& opt, core::Rng* rng);
+
+/// Back-projects all scan pixels into world coordinates for a *hypothetical*
+/// pose — the projection step of the likelihood evaluation.
+std::vector<core::Vec3> scan_to_world(const DepthScan& scan,
+                                      const core::Pose& pose);
+
+/// Randomly keeps at most `n` pixels of a scan (likelihood decimation).
+DepthScan subsample_scan(const DepthScan& scan, std::size_t n,
+                         core::Rng& rng);
+
+}  // namespace cimnav::vision

@@ -1,0 +1,36 @@
+#include "vo/conformal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::vo {
+
+SplitConformal::SplitConformal(std::vector<double> scores, double alpha)
+    : alpha_(alpha) {
+  CIMNAV_REQUIRE(!scores.empty(), "need calibration scores");
+  CIMNAV_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must lie in (0, 1)");
+  std::sort(scores.begin(), scores.end());
+  // Finite-sample corrected quantile: ceil((n+1)(1-alpha))/n.
+  const auto n = static_cast<double>(scores.size());
+  const double q = std::ceil((n + 1.0) * (1.0 - alpha)) / n;
+  if (q >= 1.0) {
+    radius_ = scores.back();
+  } else {
+    const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    radius_ = scores[std::min(idx, scores.size() - 1)];
+  }
+}
+
+double SplitConformal::empirical_coverage(
+    const std::vector<double>& test_errors, double radius) {
+  CIMNAV_REQUIRE(!test_errors.empty(), "need test errors");
+  std::size_t covered = 0;
+  for (double e : test_errors)
+    if (e <= radius) ++covered;
+  return static_cast<double>(covered) /
+         static_cast<double>(test_errors.size());
+}
+
+}  // namespace cimnav::vo

@@ -1,0 +1,35 @@
+// Split conformal prediction over VO residuals — the Monte-Carlo-free
+// uncertainty extension the paper's conclusion points to (refs [12], [28]).
+//
+// Given calibration-set nonconformity scores (absolute residuals), the
+// (1-alpha) split-conformal quantile yields prediction intervals with
+// finite-sample marginal coverage >= 1-alpha, without any MC sampling at
+// inference time.
+#pragma once
+
+#include <vector>
+
+namespace cimnav::vo {
+
+/// Split-conformal calibrated radius for symmetric intervals.
+class SplitConformal {
+ public:
+  /// `scores` are nonconformity scores (e.g. |y - y_hat|) from a held-out
+  /// calibration set; alpha is the target miscoverage (e.g. 0.1).
+  SplitConformal(std::vector<double> scores, double alpha);
+
+  /// Interval half-width to add around any new prediction.
+  double radius() const { return radius_; }
+  double alpha() const { return alpha_; }
+
+  /// Fraction of test pairs (prediction error <= radius); should be close
+  /// to (and in expectation at least) 1 - alpha.
+  static double empirical_coverage(const std::vector<double>& test_errors,
+                                   double radius);
+
+ private:
+  double alpha_;
+  double radius_;
+};
+
+}  // namespace cimnav::vo

@@ -1,0 +1,126 @@
+// End-to-end Bayesian visual-odometry pipeline (paper Sec. III-D).
+//
+// Builds the synthetic VO task (landmark field + trajectories), trains the
+// dropout MLP to regress body-frame pose deltas from consecutive frame
+// observations, and evaluates every inference condition the paper's
+// Fig. 3(c-f) compares:
+//
+//   float-det    — full-precision deterministic forward;
+//   quant-Nb     — digital fixed-point deterministic (N-bit);
+//   cim-det-Nb   — CIM-executed deterministic (analog noise + ADC);
+//   cim-mc-Nb    — CIM-executed MC-Dropout (mean prediction + variance).
+//
+// Each evaluation integrates predicted deltas into a trajectory from the
+// known start pose and records per-frame delta errors and (for MC runs)
+// predictive variances, feeding the error-vs-uncertainty analysis.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bnn/mc_dropout.hpp"
+#include "cimsram/cim_macro.hpp"
+#include "core/rng.hpp"
+#include "core/vec.hpp"
+#include "nn/cim_mlp.hpp"
+#include "nn/mlp.hpp"
+#include "nn/quant_mlp.hpp"
+#include "vo/observation.hpp"
+#include "vo/trajectory.hpp"
+
+namespace cimnav::vo {
+
+struct VoPipelineConfig {
+  int landmark_count = 24;
+  std::vector<int> hidden_sizes{128, 64};
+  double dropout_p = 0.2;  ///< hidden-site MC-Dropout probability
+  /// Dropout sites: hidden layers only. Raw features are 0.5-centered, so
+  /// zeroing them injects large off-manifold noise; hidden ReLU
+  /// activations are the natural dropout locus (and the exact
+  /// compute-reuse locus — see CimMlp::forward_with_reuse).
+  bool dropout_on_input = false;
+  /// Training pairs are sampled densely over the pose-delta envelope
+  /// (uniform pose, random small delta) so the regressor generalizes to
+  /// any smooth trajectory through the workspace.
+  int train_samples = 4000;
+  double train_delta_pos_max = 0.15;  ///< |delta| envelope per axis [m]
+  double train_delta_yaw_max = 0.12;  ///< [rad]
+  int test_steps = 120;
+  double observation_noise = 0.005;
+  nn::TrainOptions train;
+  std::uint64_t seed = 7;
+
+  VoPipelineConfig() {
+    train.epochs = 120;
+    train.learning_rate = 1e-3;
+  }
+};
+
+/// One evaluated inference condition.
+struct VoRun {
+  std::string label;
+  std::vector<core::Pose> estimated;     ///< integrated trajectory
+  std::vector<double> frame_delta_error; ///< per-frame delta L2 error [m]
+  std::vector<double> frame_variance;    ///< MC predictive variance (or 0)
+  core::Vec3 rmse_axes;                  ///< trajectory RMSE per axis
+  double ate_rmse = 0.0;                 ///< absolute trajectory error RMSE
+  double mean_delta_error = 0.0;
+};
+
+class VoPipeline {
+ public:
+  explicit VoPipeline(const VoPipelineConfig& config);
+
+  const VoPipelineConfig& config() const { return config_; }
+  const nn::Mlp& network() const { return *net_; }
+  const std::vector<core::Pose>& test_trajectory() const {
+    return test_poses_;
+  }
+  double train_mse() const { return train_mse_; }
+  double test_mse() const { return test_mse_; }
+
+  /// Full-precision deterministic reference.
+  VoRun run_float() const;
+
+  /// Float-precision MC-Dropout (isolates the Bayesian effect from CIM).
+  VoRun run_float_mc(int iterations, bnn::MaskSource& masks) const;
+
+  /// Digital fixed-point deterministic at the given precision.
+  VoRun run_quantized(int weight_bits, int activation_bits) const;
+
+  /// CIM-executed deterministic single pass.
+  VoRun run_cim_deterministic(const cimsram::CimMacroConfig& macro) const;
+
+  /// CIM-executed MC-Dropout; `workload_out` (optional) accumulates macro
+  /// activity across the whole trajectory.
+  VoRun run_cim_mc(const cimsram::CimMacroConfig& macro,
+                   const bnn::McOptions& options, bnn::MaskSource& masks,
+                   bnn::McWorkload* workload_out = nullptr) const;
+
+  /// Builds a CIM snapshot of the trained network (shared by benches).
+  std::unique_ptr<nn::CimMlp> make_cim_network(
+      const cimsram::CimMacroConfig& macro) const;
+
+  /// Test-set feature/target pairs (calibration, conformal extension).
+  const std::vector<nn::Vector>& test_inputs() const { return test_inputs_; }
+  const std::vector<nn::Vector>& test_targets() const {
+    return test_targets_;
+  }
+
+ private:
+  VoRun evaluate(const std::string& label,
+                 const std::function<nn::Vector(const nn::Vector&, double*)>&
+                     predictor) const;
+
+  VoPipelineConfig config_;
+  ObservationModel observations_;
+  std::unique_ptr<nn::Mlp> net_;
+  std::vector<core::Pose> test_poses_;
+  std::vector<nn::Vector> train_inputs_, train_targets_;
+  std::vector<nn::Vector> test_inputs_, test_targets_;
+  double train_mse_ = 0.0;
+  double test_mse_ = 0.0;
+};
+
+}  // namespace cimnav::vo

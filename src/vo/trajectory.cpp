@@ -1,0 +1,42 @@
+#include "vo/trajectory.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::vo {
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+std::vector<core::Pose> make_vo_trajectory(const VoTrajectoryConfig& cfg) {
+  CIMNAV_REQUIRE(cfg.steps >= 1, "trajectory needs at least one step");
+  for (int d = 0; d < 3; ++d)
+    CIMNAV_REQUIRE(cfg.box_max[d] > cfg.box_min[d],
+                   "trajectory box must be non-empty");
+
+  const core::Vec3 center = (cfg.box_min + cfg.box_max) * 0.5;
+  const core::Vec3 amp = (cfg.box_max - cfg.box_min) * 0.5;
+
+  std::vector<core::Pose> poses;
+  poses.reserve(static_cast<std::size_t>(cfg.steps) + 1);
+  for (int i = 0; i <= cfg.steps; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(cfg.steps);
+    const double a = kTwoPi * t;
+    const core::Vec3 pos{
+        center.x + amp.x * std::sin(cfg.freq_x * a + cfg.phase),
+        center.y + amp.y * std::sin(cfg.freq_y * a + 0.7 * cfg.phase),
+        center.z + amp.z * std::sin(cfg.freq_z * a + 1.3 * cfg.phase)};
+    const double yaw =
+        cfg.yaw_amplitude * std::sin(1.5 * a + 0.3 * cfg.phase);
+    poses.emplace_back(pos, yaw);
+  }
+  return poses;
+}
+
+core::Pose relative_delta(const core::Pose& from, const core::Pose& to) {
+  return from.relative_to(to);
+}
+
+}  // namespace cimnav::vo

@@ -1,0 +1,31 @@
+// Smooth synthetic flight paths for VO training and evaluation.
+//
+// Lissajous-style curves fill the workspace with varied, smooth motion;
+// distinct frequency/phase choices give independent trajectories so the
+// test path is never seen during training.
+#pragma once
+
+#include <vector>
+
+#include "core/vec.hpp"
+
+namespace cimnav::vo {
+
+struct VoTrajectoryConfig {
+  core::Vec3 box_min{0.5, 0.5, 0.6};
+  core::Vec3 box_max{3.5, 2.7, 1.8};
+  int steps = 200;           ///< number of frames - 1
+  double freq_x = 1.0;       ///< Lissajous frequency ratios
+  double freq_y = 2.0;
+  double freq_z = 3.0;
+  double phase = 0.0;
+  double yaw_amplitude = 0.8;  ///< heading oscillation [rad]
+};
+
+/// Generates steps+1 poses along the Lissajous path.
+std::vector<core::Pose> make_vo_trajectory(const VoTrajectoryConfig& config);
+
+/// Body-frame pose increment taking poses[i] to poses[i+1].
+core::Pose relative_delta(const core::Pose& from, const core::Pose& to);
+
+}  // namespace cimnav::vo

@@ -1,0 +1,292 @@
+// Unit tests for MC-Dropout inference, mask sources, sample ordering and
+// workload accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace cimnav::bnn {
+namespace {
+
+using core::Rng;
+using nn::Mask;
+using nn::Vector;
+
+TEST(Hamming, DistanceBasics) {
+  EXPECT_EQ(hamming_distance({1, 0, 1}, {1, 0, 1}), 0u);
+  EXPECT_EQ(hamming_distance({1, 0, 1}, {0, 1, 0}), 3u);
+  EXPECT_EQ(hamming_distance({1, 1, 0, 0}, {1, 0, 1, 0}), 2u);
+  EXPECT_THROW(hamming_distance({1}, {1, 0}), std::invalid_argument);
+}
+
+TEST(Ordering, GreedyNeverWorseThanIdentity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Mask> masks;
+    for (int t = 0; t < 16; ++t) {
+      Mask m(64);
+      for (auto& b : m) b = rng.bernoulli(0.5) ? 1 : 0;
+      masks.push_back(std::move(m));
+    }
+    std::vector<std::size_t> identity(masks.size());
+    for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+    const auto order = greedy_min_hamming_order(masks);
+    EXPECT_LE(total_hamming(masks, order), total_hamming(masks, identity));
+  }
+}
+
+TEST(Ordering, GreedyIsAPermutation) {
+  Rng rng(5);
+  std::vector<Mask> masks;
+  for (int t = 0; t < 12; ++t) {
+    Mask m(32);
+    for (auto& b : m) b = rng.bernoulli(0.5) ? 1 : 0;
+    masks.push_back(std::move(m));
+  }
+  const auto order = greedy_min_hamming_order(masks);
+  std::vector<bool> seen(order.size(), false);
+  for (auto i : order) {
+    ASSERT_LT(i, order.size());
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Ordering, ClusteredMasksOrderWithinClusters) {
+  // Two families of masks: all-low and all-high halves. Greedy ordering
+  // should traverse one family before jumping to the other exactly once.
+  std::vector<Mask> masks;
+  for (int t = 0; t < 4; ++t) {
+    Mask m(16, 0);
+    for (int i = 0; i < 8; ++i) m[static_cast<std::size_t>(i)] = 1;
+    m[static_cast<std::size_t>(t)] = 0;  // slight intra-family variation
+    masks.push_back(m);
+  }
+  for (int t = 0; t < 4; ++t) {
+    Mask m(16, 0);
+    for (int i = 8; i < 16; ++i) m[static_cast<std::size_t>(i)] = 1;
+    m[static_cast<std::size_t>(8 + t)] = 0;
+    masks.push_back(m);
+  }
+  const auto order = greedy_min_hamming_order(masks);
+  int family_switches = 0;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    if ((order[i] < 4) != (order[i - 1] < 4)) ++family_switches;
+  EXPECT_EQ(family_switches, 1);
+}
+
+TEST(McPrediction, ScalarVarianceIsMeanOfVariances) {
+  McPrediction p;
+  p.variance = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(p.scalar_variance(), 2.0);
+  EXPECT_DOUBLE_EQ(McPrediction{}.scalar_variance(), 0.0);
+}
+
+class McFixture : public ::testing::Test {
+ protected:
+  McFixture() : rng_(7), net_(make_config(), rng_) {
+    // Give the network non-trivial weights.
+    std::vector<Vector> X, Y;
+    for (int i = 0; i < 400; ++i) {
+      Vector x{rng_.uniform(), rng_.uniform(), rng_.uniform()};
+      Y.push_back({x[0] + x[1] - x[2]});
+      X.push_back(std::move(x));
+    }
+    nn::TrainOptions opt;
+    for (int e = 0; e < 40; ++e) net_.train_epoch(X, Y, opt, rng_);
+  }
+  static nn::MlpConfig make_config() {
+    nn::MlpConfig cfg;
+    cfg.layer_sizes = {3, 12, 6, 1};
+    cfg.dropout_p = 0.3;
+    cfg.dropout_on_input = false;
+    return cfg;
+  }
+  Rng rng_;
+  nn::Mlp net_;
+};
+
+TEST_F(McFixture, FloatMcMeanNearDeterministic) {
+  SoftwareMaskSource masks(Rng{11});
+  const Vector x{0.4, 0.6, 0.2};
+  const auto pred = mc_predict_float(net_, x, 500, 0.3, masks);
+  EXPECT_EQ(pred.samples, 500);
+  EXPECT_NEAR(pred.mean[0], net_.forward(x)[0], 0.1);
+  EXPECT_GT(pred.variance[0], 0.0);
+}
+
+TEST_F(McFixture, VarianceShrinksConvergesWithIterations) {
+  // The MC estimate of the mean stabilizes as T grows.
+  const Vector x{0.4, 0.6, 0.2};
+  auto spread_at = [&](int T) {
+    core::RunningStats s;
+    for (int rep = 0; rep < 12; ++rep) {
+      SoftwareMaskSource masks(Rng{static_cast<std::uint64_t>(100 + rep)});
+      s.add(mc_predict_float(net_, x, T, 0.3, masks).mean[0]);
+    }
+    return s.stddev();
+  };
+  EXPECT_LT(spread_at(120), spread_at(5));
+}
+
+TEST_F(McFixture, CimPredictionMatchesFloatMc) {
+  std::vector<Vector> calib;
+  Rng crng(13);
+  for (int i = 0; i < 20; ++i)
+    calib.push_back({crng.uniform(), crng.uniform(), crng.uniform()});
+  cimsram::CimMacroConfig mc;
+  mc.input_bits = 8;
+  mc.weight_bits = 8;
+  mc.adc_bits = 12;
+  mc.analog_noise = false;
+  Rng nrng(17);
+  const nn::CimMlp cim(net_, mc, calib, nrng);
+  SoftwareMaskSource masks(Rng{19});
+  McOptions opt;
+  opt.iterations = 300;
+  opt.dropout_p = 0.3;
+  Rng arng(23);
+  const Vector x{0.4, 0.6, 0.2};
+  const auto pred = mc_predict_cim(cim, x, opt, masks, arng);
+  SoftwareMaskSource masks2(Rng{19});
+  const auto ref = mc_predict_float(net_, x, 300, 0.3, masks2);
+  EXPECT_NEAR(pred.mean[0], ref.mean[0], 0.08);
+}
+
+TEST_F(McFixture, ReuseAndOrderingPreserveStatistics) {
+  std::vector<Vector> calib;
+  Rng crng(29);
+  for (int i = 0; i < 20; ++i)
+    calib.push_back({crng.uniform(), crng.uniform(), crng.uniform()});
+  cimsram::CimMacroConfig mc;
+  mc.input_bits = 8;
+  mc.weight_bits = 8;
+  mc.adc_bits = 14;  // lossless readout: delta == dense exactly
+  mc.analog_noise = false;
+  Rng nrng(31);
+  const nn::CimMlp cim(net_, mc, calib, nrng);
+  const Vector x{0.4, 0.6, 0.2};
+
+  auto run = [&](bool reuse, bool order) {
+    SoftwareMaskSource masks(Rng{37});
+    McOptions opt;
+    opt.iterations = 200;
+    opt.dropout_p = 0.3;
+    opt.compute_reuse = reuse;
+    opt.order_samples = order;
+    Rng arng(41);
+    return mc_predict_cim(cim, x, opt, masks, arng);
+  };
+  const auto base = run(false, false);
+  const auto reuse = run(true, false);
+  const auto both = run(true, true);
+  // Same mask source seed -> same mask multiset. The delta accumulator
+  // rounds through the ADC once per update, so a ~half-LSB random walk
+  // over 200 iterations bounds the disagreement; ordering only permutes
+  // the sample set.
+  EXPECT_NEAR(reuse.mean[0], base.mean[0], 1e-3);
+  EXPECT_NEAR(both.mean[0], base.mean[0], 1e-3);
+  EXPECT_NEAR(both.variance[0], base.variance[0], 1e-3);
+}
+
+TEST_F(McFixture, WorkloadShowsReuseAndOrderingSavings) {
+  std::vector<Vector> calib;
+  Rng crng(43);
+  for (int i = 0; i < 20; ++i)
+    calib.push_back({crng.uniform(), crng.uniform(), crng.uniform()});
+  cimsram::CimMacroConfig mc;
+  Rng nrng(47);
+  const nn::CimMlp cim(net_, mc, calib, nrng);
+  const Vector x{0.4, 0.6, 0.2};
+
+  auto workload_of = [&](bool reuse, bool order) {
+    SoftwareMaskSource masks(Rng{53});
+    McOptions opt;
+    opt.iterations = 40;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = reuse;
+    opt.order_samples = order;
+    Rng arng(59);
+    McWorkload wl;
+    mc_predict_cim(cim, x, opt, masks, arng, &wl);
+    return wl;
+  };
+  const auto dense = workload_of(false, false);
+  const auto reuse = workload_of(true, false);
+  const auto both = workload_of(true, true);
+  EXPECT_LT(reuse.macro.wordline_pulses, dense.macro.wordline_pulses);
+  EXPECT_LE(both.input_mask_flips, reuse.input_mask_flips);
+  EXPECT_LE(both.macro.wordline_pulses, reuse.macro.wordline_pulses);
+  EXPECT_GT(dense.mask_bits_drawn, 0u);
+}
+
+TEST_F(McFixture, PeriodicRefreshBoundsReuseDrift) {
+  // With analog noise, the delta accumulator random-walks; refreshing it
+  // every few iterations keeps the MC mean near the dense-path mean.
+  std::vector<Vector> calib;
+  Rng crng(73);
+  for (int i = 0; i < 20; ++i)
+    calib.push_back({crng.uniform(), crng.uniform(), crng.uniform()});
+  cimsram::CimMacroConfig mc;
+  mc.noise_coeff = 0.3;  // strong noise makes the drift visible
+  Rng nrng(79);
+  const nn::CimMlp cim(net_, mc, calib, nrng);
+  const Vector x{0.4, 0.6, 0.2};
+
+  auto mean_gap = [&](int refresh) {
+    double gap = 0.0;
+    const int reps = 6;
+    for (int r = 0; r < reps; ++r) {
+      SoftwareMaskSource m1(Rng{200 + static_cast<std::uint64_t>(r)});
+      SoftwareMaskSource m2(Rng{200 + static_cast<std::uint64_t>(r)});
+      McOptions with_reuse;
+      with_reuse.iterations = 60;
+      with_reuse.dropout_p = 0.3;
+      with_reuse.compute_reuse = true;
+      with_reuse.reuse_refresh_interval = refresh;
+      McOptions dense = with_reuse;
+      dense.compute_reuse = false;
+      Rng a1(300 + static_cast<std::uint64_t>(r));
+      Rng a2(300 + static_cast<std::uint64_t>(r));
+      const auto pr = mc_predict_cim(cim, x, with_reuse, m1, a1);
+      const auto pd = mc_predict_cim(cim, x, dense, m2, a2);
+      gap += std::abs(pr.mean[0] - pd.mean[0]) / reps;
+    }
+    return gap;
+  };
+  EXPECT_LT(mean_gap(4), mean_gap(0));
+}
+
+TEST(MaskSources, SoftwareMatchesProbability) {
+  SoftwareMaskSource src(Rng{61});
+  int drops = 0;
+  for (int i = 0; i < 20000; ++i) drops += src.draw(0.3) ? 1 : 0;
+  EXPECT_NEAR(drops / 20000.0, 0.3, 0.02);
+}
+
+TEST(MaskSources, LfsrBalancedAtHalf) {
+  LfsrMaskSource src(0xBEEF);
+  int drops = 0;
+  for (int i = 0; i < 20000; ++i) drops += src.draw(0.5) ? 1 : 0;
+  EXPECT_NEAR(drops / 20000.0, 0.5, 0.03);
+}
+
+TEST(MaskSources, SramSourceCalibratesAndDraws) {
+  SramMaskSource src(cimsram::SramRngParams{}, Rng{67}, Rng{71}, 4096);
+  EXPECT_GE(src.initial_bias(), 0.0);
+  EXPECT_LE(src.initial_bias(), 1.0);
+  int drops = 0;
+  for (int i = 0; i < 20000; ++i) drops += src.draw(0.5) ? 1 : 0;
+  EXPECT_NEAR(drops / 20000.0, 0.5, 0.03);
+  // Non-half probabilities via binary expansion.
+  drops = 0;
+  for (int i = 0; i < 20000; ++i) drops += src.draw(0.125) ? 1 : 0;
+  EXPECT_NEAR(drops / 20000.0, 0.125, 0.02);
+}
+
+}  // namespace
+}  // namespace cimnav::bnn

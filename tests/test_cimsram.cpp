@@ -1,0 +1,357 @@
+// Unit tests for the SRAM-embedded RNG and the 8T CIM macro.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cimsram/cim_macro.hpp"
+#include "cimsram/sram_rng.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+
+namespace cimnav::cimsram {
+namespace {
+
+using core::Rng;
+
+TEST(SramRng, BitsAreRandomAfterCalibration) {
+  Rng process(3), noise(5);
+  SramRng rng(SramRngParams{}, process);
+  rng.calibrate(4096, noise);
+  const double bias = rng.measure_bias(20000, noise);
+  EXPECT_NEAR(bias, 0.5, 0.02);
+}
+
+TEST(SramRng, CalibrationReducesBias) {
+  SramRngParams p;
+  p.comparator_offset_sigma_a = 4e-10;  // strong offset -> visible bias
+  Rng process(7), noise(9);
+  SramRng rng(p, process);
+  const double before = rng.measure_bias(8000, noise);
+  rng.calibrate(8192, noise);
+  const double after = rng.measure_bias(8000, noise);
+  EXPECT_LT(std::abs(after - 0.5), std::abs(before - 0.5) + 0.01);
+  EXPECT_NEAR(after, 0.5, 0.03);
+}
+
+TEST(SramRng, MoreRowsReduceRelativeOffset) {
+  // The paper's Fig. 3(b) physics, part 1: the systematic bundle offset
+  // relative to the total leakage shrinks as 1/sqrt(rows).
+  auto relative_offset = [](int rows) {
+    double total = 0.0;
+    const int trials = 24;
+    for (int t = 0; t < trials; ++t) {
+      SramRngParams p;
+      p.rows = rows;
+      p.comparator_offset_sigma_a = 0.0;
+      Rng process(100 + static_cast<std::uint64_t>(t));
+      SramRng rng(p, process);
+      const double mean_leak = p.leak_nominal_a * rows *
+                               p.columns_per_side * 2.0;
+      total += std::abs(rng.systematic_offset_a()) / mean_leak;
+    }
+    return total / trials;
+  };
+  EXPECT_LT(relative_offset(256), 0.5 * relative_offset(16));
+}
+
+TEST(SramRng, MoreRowsFilterMismatchIntoBias) {
+  // Part 2: with supply-jitter noise proportional to total current, the
+  // shrinking relative offset turns into raw bias approaching 1/2.
+  auto mean_abs_bias = [](int rows) {
+    double total = 0.0;
+    const int trials = 24;
+    for (int t = 0; t < trials; ++t) {
+      SramRngParams p;
+      p.rows = rows;
+      p.comparator_offset_sigma_a = 0.0;
+      p.supply_jitter_coeff = 0.02;  // jitter-dominated instance
+      Rng process(100 + static_cast<std::uint64_t>(t)), noise(7);
+      SramRng rng(p, process);
+      total += std::abs(rng.measure_bias(3000, noise) - 0.5);
+    }
+    return total / trials;
+  };
+  EXPECT_LT(mean_abs_bias(256), mean_abs_bias(16));
+}
+
+TEST(SramRng, BitsAreSeriallyUncorrelated) {
+  Rng process(11), noise(13);
+  SramRng rng(SramRngParams{}, process);
+  rng.calibrate(4096, noise);
+  std::vector<double> bits;
+  for (int i = 0; i < 20000; ++i)
+    bits.push_back(rng.next_bit(noise) ? 1.0 : 0.0);
+  // Lag-1 autocorrelation should vanish.
+  std::vector<double> a(bits.begin(), bits.end() - 1);
+  std::vector<double> b(bits.begin() + 1, bits.end());
+  EXPECT_NEAR(core::pearson_correlation(a, b), 0.0, 0.03);
+}
+
+TEST(SramRng, BernoulliResolutionControlsP) {
+  Rng process(17), noise(19);
+  SramRng rng(SramRngParams{}, process);
+  rng.calibrate(4096, noise);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    ones += rng.bernoulli(0.25, 8, noise) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.25, 0.02);
+}
+
+TEST(SramRng, DropoutMaskHasExpectedDensity) {
+  Rng process(23), noise(29);
+  SramRng rng(SramRngParams{}, process);
+  rng.calibrate(4096, noise);
+  const auto mask = rng.dropout_mask(10000, noise);
+  int ones = 0;
+  for (auto b : mask) ones += b;
+  EXPECT_NEAR(ones / 10000.0, 0.5, 0.02);
+}
+
+TEST(SramRng, CountsGeneratedBits) {
+  Rng process(31), noise(37);
+  SramRng rng(SramRngParams{}, process);
+  const auto before = rng.bits_generated();
+  rng.dropout_mask(100, noise);
+  EXPECT_EQ(rng.bits_generated(), before + 100);
+}
+
+TEST(Lfsr, BalancedAndDeterministic) {
+  Lfsr a(0x1234), b(0x1234);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const bool bit = a.next_bit();
+    EXPECT_EQ(bit, b.next_bit());
+    ones += bit ? 1 : 0;
+  }
+  EXPECT_NEAR(ones / 10000.0, 0.5, 0.03);
+}
+
+TEST(Lfsr, ZeroSeedIsRescued) {
+  Lfsr l(0);
+  bool any_one = false;
+  for (int i = 0; i < 64; ++i) any_one = any_one || l.next_bit();
+  EXPECT_TRUE(any_one);
+}
+
+class CimMacroTest : public ::testing::Test {
+ protected:
+  static std::vector<double> random_weights(int n_out, int n_in,
+                                            std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> w(static_cast<std::size_t>(n_out) *
+                          static_cast<std::size_t>(n_in));
+    for (auto& v : w) v = rng.normal(0.0, 0.3);
+    return w;
+  }
+  static std::vector<double> random_input(int n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = rng.uniform();
+    return x;
+  }
+  static std::vector<double> reference_matvec(const std::vector<double>& w,
+                                              int n_out, int n_in,
+                                              const std::vector<double>& x) {
+    std::vector<double> y(static_cast<std::size_t>(n_out), 0.0);
+    for (int o = 0; o < n_out; ++o)
+      for (int i = 0; i < n_in; ++i)
+        y[static_cast<std::size_t>(o)] +=
+            w[static_cast<std::size_t>(o) * n_in + static_cast<std::size_t>(i)] *
+            x[static_cast<std::size_t>(i)];
+    return y;
+  }
+};
+
+TEST_F(CimMacroTest, IdealMatchesFloatWithinQuantError) {
+  const int n_out = 16, n_in = 48;
+  const auto w = random_weights(n_out, n_in, 3);
+  const auto x = random_input(n_in, 5);
+  CimMacroConfig cfg;
+  cfg.input_bits = 8;
+  cfg.weight_bits = 8;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 255.0);
+  const auto y = macro.matvec_ideal(x, {}, {});
+  const auto ref = reference_matvec(w, n_out, n_in, x);
+  for (int o = 0; o < n_out; ++o) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(o)], ref[static_cast<std::size_t>(o)],
+                0.05);
+  }
+}
+
+struct BitsCase {
+  int bits;
+  double tolerance;
+};
+
+class MacroPrecisionTest : public ::testing::TestWithParam<BitsCase> {};
+
+TEST_P(MacroPrecisionTest, ErrorShrinksWithPrecision) {
+  const int n_out = 12, n_in = 40;
+  Rng wrng(7);
+  std::vector<double> w(static_cast<std::size_t>(n_out * n_in));
+  for (auto& v : w) v = wrng.normal(0.0, 0.3);
+  std::vector<double> x(static_cast<std::size_t>(n_in));
+  for (auto& v : x) v = wrng.uniform();
+
+  CimMacroConfig cfg;
+  cfg.input_bits = GetParam().bits;
+  cfg.weight_bits = GetParam().bits;
+  cfg.adc_bits = 10;  // isolate input/weight quantization
+  const CimMacro macro(w, n_out, n_in, cfg,
+                       1.0 / ((1 << GetParam().bits) - 1));
+  const auto y = macro.matvec_ideal(x, {}, {});
+  double err = 0.0, mag = 0.0;
+  for (int o = 0; o < n_out; ++o) {
+    double ref = 0.0;
+    for (int i = 0; i < n_in; ++i)
+      ref += w[static_cast<std::size_t>(o * n_in + i)] *
+             x[static_cast<std::size_t>(i)];
+    err += std::abs(y[static_cast<std::size_t>(o)] - ref);
+    mag += std::abs(ref);
+  }
+  EXPECT_LT(err / mag, GetParam().tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MacroPrecisionTest,
+                         ::testing::Values(BitsCase{4, 0.30},
+                                           BitsCase{6, 0.08},
+                                           BitsCase{8, 0.02},
+                                           BitsCase{10, 0.006}));
+
+TEST_F(CimMacroTest, InputMaskZerosContribution) {
+  const int n_out = 8, n_in = 16;
+  const auto w = random_weights(n_out, n_in, 11);
+  std::vector<double> x(static_cast<std::size_t>(n_in), 0.5);
+  CimMacroConfig cfg;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
+  std::vector<std::uint8_t> none(static_cast<std::size_t>(n_in), 0);
+  const auto y = macro.matvec_ideal(x, none, {});
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_F(CimMacroTest, OutputMaskSkipsColumns) {
+  const int n_out = 8, n_in = 16;
+  const auto w = random_weights(n_out, n_in, 13);
+  const auto x = random_input(n_in, 17);
+  CimMacroConfig cfg;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(n_out), 1);
+  mask[3] = 0;
+  const auto y = macro.matvec_ideal(x, {}, mask);
+  EXPECT_DOUBLE_EQ(y[3], 0.0);
+  const auto full = macro.matvec_ideal(x, {}, {});
+  for (int o = 0; o < n_out; ++o) {
+    if (o == 3) continue;
+    EXPECT_DOUBLE_EQ(y[static_cast<std::size_t>(o)],
+                     full[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST_F(CimMacroTest, RowSubsetsAddUpExactlyInIdealMode) {
+  // The delta rule's foundation: W x|_A + W x|_B == W x when A and B
+  // partition the active rows (exact for the noise-free quantized macro).
+  const int n_out = 10, n_in = 32;
+  const auto w = random_weights(n_out, n_in, 19);
+  const auto x = random_input(n_in, 23);
+  CimMacroConfig cfg;
+  cfg.analog_noise = false;
+  cfg.adc_bits = 12;  // effectively lossless column readout
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
+
+  std::vector<std::size_t> rows_a, rows_b;
+  for (int i = 0; i < n_in; ++i)
+    (i % 2 == 0 ? rows_a : rows_b).push_back(static_cast<std::size_t>(i));
+  Rng rng(29);
+  const auto ya = macro.matvec_rows(x, rows_a, {}, rng);
+  const auto yb = macro.matvec_rows(x, rows_b, {}, rng);
+  const auto yfull = macro.matvec(x, {}, {}, rng);
+  for (int o = 0; o < n_out; ++o) {
+    EXPECT_NEAR(ya[static_cast<std::size_t>(o)] + yb[static_cast<std::size_t>(o)],
+                yfull[static_cast<std::size_t>(o)], 1e-9);
+  }
+}
+
+TEST_F(CimMacroTest, AnalogNoiseScalesWithActiveRows) {
+  const int n_out = 1, n_in = 64;
+  std::vector<double> w(static_cast<std::size_t>(n_in), 0.3);
+  std::vector<double> x(static_cast<std::size_t>(n_in), 0.8);
+  CimMacroConfig cfg;
+  cfg.adc_bits = 14;  // make quantization negligible vs noise
+  cfg.noise_coeff = 0.5;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
+  Rng rng(31);
+  core::RunningStats few, many;
+  std::vector<std::size_t> rows_few{0, 1, 2, 3};
+  for (int k = 0; k < 400; ++k) {
+    many.add(macro.matvec(x, {}, {}, rng)[0]);
+    few.add(macro.matvec_rows(x, rows_few, {}, rng)[0]);
+  }
+  EXPECT_GT(many.stddev(), few.stddev());
+}
+
+TEST_F(CimMacroTest, CoarseAdcAddsError) {
+  const int n_out = 6, n_in = 40;
+  const auto w = random_weights(n_out, n_in, 37);
+  const auto x = random_input(n_in, 41);
+  auto rel_err = [&](int adc_bits) {
+    CimMacroConfig cfg;
+    cfg.analog_noise = false;
+    cfg.adc_bits = adc_bits;
+    const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
+    Rng rng(43);
+    const auto y = macro.matvec(x, {}, {}, rng);
+    const auto ref = macro.matvec_ideal(x, {}, {});
+    double e = 0.0, m = 0.0;
+    for (int o = 0; o < n_out; ++o) {
+      e += std::abs(y[static_cast<std::size_t>(o)] -
+                    ref[static_cast<std::size_t>(o)]);
+      m += std::abs(ref[static_cast<std::size_t>(o)]);
+    }
+    return e / m;
+  };
+  EXPECT_GT(rel_err(3), rel_err(6));
+  EXPECT_GT(rel_err(6), rel_err(10) - 1e-12);
+}
+
+TEST_F(CimMacroTest, StatsTrackActivity) {
+  const int n_out = 8, n_in = 16;
+  const auto w = random_weights(n_out, n_in, 47);
+  const auto x = random_input(n_in, 53);
+  CimMacroConfig cfg;
+  cfg.input_bits = 4;
+  cfg.weight_bits = 4;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 15.0);
+  Rng rng(59);
+  macro.matvec(x, {}, {}, rng);
+  const auto& s = macro.stats();
+  EXPECT_EQ(s.matvec_calls, 1u);
+  // cycles = 2 signs * 3 planes * 4 input bits = 24
+  EXPECT_EQ(s.analog_cycles, 24u);
+  EXPECT_EQ(s.wordline_pulses, 24u * 16u);
+  EXPECT_EQ(s.adc_conversions, 24u * 8u);
+  EXPECT_EQ(s.nominal_macs, static_cast<std::uint64_t>(n_in) * n_out);
+
+  // Masked call counts only active rows/cols.
+  std::vector<std::uint8_t> in_mask(static_cast<std::size_t>(n_in), 1);
+  in_mask[0] = in_mask[1] = 0;
+  std::vector<std::uint8_t> out_mask(static_cast<std::size_t>(n_out), 1);
+  out_mask[7] = 0;
+  macro.reset_stats();
+  macro.matvec(x, in_mask, out_mask, rng);
+  EXPECT_EQ(macro.stats().wordline_pulses, 24u * 14u);
+  EXPECT_EQ(macro.stats().adc_conversions, 24u * 7u);
+}
+
+TEST_F(CimMacroTest, RejectsBadArguments) {
+  CimMacroConfig cfg;
+  EXPECT_THROW(CimMacro({1.0}, 1, 2, cfg, 1.0), std::invalid_argument);
+  const CimMacro macro({0.5, -0.5}, 1, 2, cfg, 1.0);
+  Rng rng(61);
+  EXPECT_THROW(macro.matvec({1.0}, {}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(macro.matvec_rows({1.0, 1.0}, {5}, {}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cimnav::cimsram

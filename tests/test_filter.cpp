@@ -1,0 +1,342 @@
+// Unit tests for the particle filter, motion model, and measurement
+// backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "filter/measurement.hpp"
+#include "filter/motion.hpp"
+#include "filter/particle_filter.hpp"
+#include "filter/kld.hpp"
+#include "filter/scenario.hpp"
+
+namespace cimnav::filter {
+namespace {
+
+using core::Pose;
+using core::Rng;
+using core::Vec3;
+
+TEST(Motion, DeterministicComposition) {
+  const Pose p{{1, 2, 0.5}, 3.14159265 / 2};  // facing +y
+  const Control c{{1, 0, 0}, 0.0};            // one meter forward
+  const Pose q = apply_motion(p, c);
+  EXPECT_NEAR(q.position.x, 1.0, 1e-8);
+  EXPECT_NEAR(q.position.y, 3.0, 1e-8);
+}
+
+TEST(Motion, NoiseStatisticsMatchModel) {
+  const Pose p{{0, 0, 0}, 0.0};
+  const Control c{{0.1, 0, 0}, 0.0};
+  MotionNoise noise;
+  noise.sigma_position = {0.05, 0.02, 0.01};
+  noise.sigma_yaw = 0.03;
+  Rng rng(3);
+  core::RunningStats sx, sy, syaw;
+  for (int i = 0; i < 20000; ++i) {
+    const Pose q = sample_motion(p, c, noise, rng);
+    sx.add(q.position.x);
+    sy.add(q.position.y);
+    syaw.add(q.yaw);
+  }
+  EXPECT_NEAR(sx.mean(), 0.1, 0.002);
+  EXPECT_NEAR(sx.stddev(), 0.05, 0.002);
+  EXPECT_NEAR(sy.stddev(), 0.02, 0.001);
+  EXPECT_NEAR(syaw.stddev(), 0.03, 0.002);
+}
+
+TEST(ParticleFilter, UniformInitCoversBox) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 2000;
+  ParticleFilter pf(cfg);
+  Rng rng(5);
+  pf.init_uniform({0, 0, 0}, {4, 3, 2}, rng);
+  core::RunningStats sx;
+  for (const auto& p : pf.particles()) {
+    EXPECT_GE(p.pose.position.x, 0.0);
+    EXPECT_LE(p.pose.position.x, 4.0);
+    sx.add(p.pose.position.x);
+  }
+  EXPECT_NEAR(sx.mean(), 2.0, 0.1);
+  EXPECT_NEAR(pf.effective_sample_size(), 2000.0, 1e-9);
+}
+
+TEST(ParticleFilter, GaussianInitCentersOnGuess) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 3000;
+  ParticleFilter pf(cfg);
+  Rng rng(7);
+  pf.init_gaussian(Pose{{1, 2, 0.5}, 0.3}, {0.2, 0.2, 0.1}, 0.05, rng);
+  const auto est = pf.estimate();
+  EXPECT_NEAR(est.pose.position.x, 1.0, 0.02);
+  EXPECT_NEAR(est.pose.yaw, 0.3, 0.01);
+  EXPECT_NEAR(est.position_stddev.x, 0.2, 0.02);
+}
+
+TEST(ParticleFilter, EssDropsWithSkewedWeights) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 100;
+  cfg.resample_threshold = 0.0;  // never auto-resample in this test
+  ParticleFilter pf(cfg);
+  Rng rng(11);
+  pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+
+  // A measurement model that loves one corner.
+  struct CornerModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng&) const override {
+      return -50.0 * pose.position.squared_norm();
+    }
+    const char* name() const override { return "corner"; }
+  } model;
+  vision::DepthScan empty_scan;
+  pf.update(empty_scan, model, rng);
+  EXPECT_LT(pf.last_update_ess(), 50.0);
+}
+
+TEST(ParticleFilter, SystematicResamplingPreservesMean) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 5000;
+  cfg.roughening_sigma_pos = {0, 0, 0};
+  cfg.roughening_sigma_yaw = 0.0;
+  ParticleFilter pf(cfg);
+  Rng rng(13);
+  pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+  // Weight particles by x: posterior mean of x should be ~2/3.
+  struct XModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng&) const override {
+      return std::log(std::max(pose.position.x, 1e-12));
+    }
+    const char* name() const override { return "x"; }
+  } model;
+  vision::DepthScan empty_scan;
+  pf.update(empty_scan, model, rng);  // triggers resample (low ESS)
+  const auto est = pf.estimate();
+  EXPECT_NEAR(est.pose.position.x, 2.0 / 3.0, 0.03);
+}
+
+TEST(ParticleFilter, ResampleResetsWeightsAndKeepsCount) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 200;
+  ParticleFilter pf(cfg);
+  Rng rng(17);
+  pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+  pf.resample(rng);
+  EXPECT_EQ(pf.particles().size(), 200u);
+  for (const auto& p : pf.particles()) EXPECT_DOUBLE_EQ(p.log_weight, 0.0);
+}
+
+TEST(ParticleFilter, EstimateUsesCircularYawMean) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 2;
+  ParticleFilter pf(cfg);
+  Rng rng(19);
+  pf.init_gaussian(Pose{{0, 0, 0}, 0.0}, {1e-9, 1e-9, 1e-9}, 1e-9, rng);
+  // Hand-place two particles straddling the wrap point.
+  auto& ps = const_cast<std::vector<Particle>&>(pf.particles());
+  ps[0].pose.yaw = 3.1;
+  ps[1].pose.yaw = -3.1;
+  const auto est = pf.estimate();
+  // Circular mean of 3.1 and -3.1 is pi (not 0).
+  EXPECT_GT(std::abs(est.pose.yaw), 3.0);
+}
+
+TEST(ParticleFilter, RequiresInitBeforeUse) {
+  ParticleFilter pf(ParticleFilterConfig{});
+  Rng rng(23);
+  EXPECT_THROW(pf.predict(Control{}, rng), std::invalid_argument);
+  EXPECT_THROW(pf.estimate(), std::invalid_argument);
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static ScenarioConfig small_config() {
+    ScenarioConfig cfg;
+    cfg.scene.room_size = {2.6, 2.2, 1.8};
+    cfg.scene.furniture_count = 4;
+    cfg.scene.clutter_count = 6;
+    cfg.map_cloud_points = 1500;
+    cfg.mixture_components = 25;
+    cfg.trajectory_steps = 6;
+    cfg.scan_pixels = 40;
+    cfg.filter.particle_count = 120;
+    cfg.cim_columns = 120;
+    return cfg;
+  }
+};
+
+TEST_F(ScenarioTest, TrajectoryStaysInsideInterior) {
+  const LocalizationScenario sc(small_config());
+  const auto lo = sc.scene().interior_min(), hi = sc.scene().interior_max();
+  for (const auto& p : sc.trajectory().poses) {
+    EXPECT_GE(p.position.x, lo.x);
+    EXPECT_LE(p.position.x, hi.x);
+    EXPECT_GE(p.position.z, lo.z);
+    EXPECT_LE(p.position.z, hi.z);
+  }
+}
+
+TEST_F(ScenarioTest, TrajectoryAvoidsBoxes) {
+  const LocalizationScenario sc(small_config());
+  for (const auto& p : sc.trajectory().poses) {
+    for (const auto& b : sc.scene().boxes()) {
+      const Vec3 d = p.position - b.center;
+      const bool inside = std::abs(d.x) < b.half_extents.x &&
+                          std::abs(d.y) < b.half_extents.y &&
+                          std::abs(d.z) < b.half_extents.z;
+      EXPECT_FALSE(inside);
+    }
+  }
+}
+
+TEST_F(ScenarioTest, ControlsReplayToGroundTruth) {
+  const LocalizationScenario sc(small_config());
+  Pose p = sc.trajectory().poses.front();
+  for (std::size_t i = 0; i < sc.trajectory().controls.size(); ++i) {
+    p = apply_motion(p, sc.trajectory().controls[i]);
+    EXPECT_NEAR(p.position_error(sc.trajectory().poses[i + 1]), 0.0, 1e-9);
+  }
+}
+
+TEST_F(ScenarioTest, TruePoseOutscoresPerturbedPose) {
+  const LocalizationScenario sc(small_config());
+  const auto model = sc.make_gmm_backend();
+  Rng rng(29);
+  const Pose truth = sc.trajectory().poses[3];
+  const auto& scan = sc.scans()[2];
+  const double at_truth = model->log_likelihood(truth, scan, rng);
+  int wins = 0;
+  for (int k = 0; k < 10; ++k) {
+    const Pose off{truth.position + Vec3{rng.normal(0, 0.4),
+                                         rng.normal(0, 0.4),
+                                         rng.normal(0, 0.2)},
+                   truth.yaw + rng.normal(0, 0.3)};
+    if (at_truth > model->log_likelihood(off, scan, rng)) ++wins;
+  }
+  EXPECT_GE(wins, 8);
+}
+
+TEST_F(ScenarioTest, AllBackendsConvergeFromTrackingInit) {
+  const LocalizationScenario sc(small_config());
+  const auto gmm = sc.make_gmm_backend();
+  const auto hmgm = sc.make_hmgm_backend();
+  const auto run_g = sc.run(*gmm, 404);
+  const auto run_h = sc.run(*hmgm, 404);
+  // Both digital backends end below the ~0.5 m initial displacement.
+  EXPECT_LT(run_g.final_error_m, 0.45);
+  EXPECT_LT(run_h.final_error_m, 0.55);
+  EXPECT_EQ(static_cast<int>(run_g.steps.size()), 6);
+}
+
+TEST_F(ScenarioTest, CimBackendTracksTruth) {
+  const LocalizationScenario sc(small_config());
+  const auto cim = sc.make_cim_backend();
+  const auto run = sc.run(*cim, 404);
+  EXPECT_LT(run.final_error_m, 0.8);
+}
+
+TEST_F(ScenarioTest, CimGainCalibrationRecoversScale) {
+  const LocalizationScenario sc(small_config());
+  circuit::LikelihoodArrayConfig acfg;
+  acfg.total_columns = 120;
+  Rng rng(31);
+  const map::WorldToVoltage mapping(
+      sc.scene().interior_min() - Vec3{0.3, 0.3, 0.3},
+      sc.scene().interior_max() + Vec3{0.3, 0.3, 0.3}, 0.1, 0.9);
+  const CimHmgmLikelihood cim(sc.maps().hmgm, mapping, acfg, rng, 1.0);
+  // The physical kernel compresses log-likelihood; calibration must find
+  // a substantial >1 gain.
+  EXPECT_GT(cim.calibrated_gain(), 1.2);
+  EXPECT_LT(cim.calibrated_gain(), 20.0);
+}
+
+TEST_F(ScenarioTest, GlobalLocalizationConverges) {
+  // Uniform init over the whole room: with more particles and the sharp
+  // GMM backend the cloud should collapse onto the trajectory.
+  ScenarioConfig cfg = small_config();
+  cfg.filter.particle_count = 500;
+  cfg.trajectory_steps = 8;
+  const LocalizationScenario sc(cfg);
+  const auto gmm = sc.make_gmm_backend();
+  const auto run = sc.run(*gmm, 777, /*global_init=*/true);
+  // Final error well under the room diagonal (~3.9 m) and under the
+  // average error of a random guess (~1.5 m).
+  EXPECT_LT(run.final_error_m, 0.8);
+  EXPECT_LT(run.steps.back().position_error_m,
+            run.steps.front().position_error_m);
+}
+
+TEST(Kld, RequiredParticlesGrowWithBins) {
+  const KldConfig cfg;
+  int prev = 0;
+  for (int bins : {2, 5, 20, 100, 500}) {
+    const int n = kld_required_particles(bins, cfg);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+  EXPECT_EQ(kld_required_particles(1, cfg), cfg.min_particles);
+  EXPECT_LE(kld_required_particles(100000, cfg), cfg.max_particles);
+}
+
+TEST(Kld, BinCountReflectsSpread) {
+  KldConfig cfg;
+  ParticleFilterConfig pcfg;
+  pcfg.particle_count = 500;
+  ParticleFilter wide(pcfg), tight(pcfg);
+  Rng rng(61);
+  wide.init_uniform({0, 0, 0}, {4, 3, 2}, rng);
+  tight.init_gaussian(Pose{{2, 1.5, 1}, 0.0}, {0.05, 0.05, 0.05}, 0.02, rng);
+  EXPECT_GT(count_occupied_bins(wide.particles(), cfg),
+            4 * count_occupied_bins(tight.particles(), cfg));
+}
+
+TEST(Kld, AdaptiveResampleShrinksConvergedCloud) {
+  // A converged belief needs far fewer particles than a global one —
+  // the workload elasticity KLD-sampling provides.
+  KldConfig cfg;
+  ParticleFilterConfig pcfg;
+  pcfg.particle_count = 2000;
+  ParticleFilter pf(pcfg);
+  Rng rng(67);
+  pf.init_gaussian(Pose{{2, 1.5, 1}, 0.0}, {0.08, 0.08, 0.05}, 0.05, rng);
+  const int n = kld_resample(pf, cfg, rng);
+  EXPECT_EQ(static_cast<int>(pf.particles().size()), n);
+  EXPECT_LT(n, 600);
+  EXPECT_GE(n, cfg.min_particles);
+
+  ParticleFilter global_pf(pcfg);
+  global_pf.init_uniform({0, 0, 0}, {4, 3, 2}, rng);
+  const int n_global = kld_resample(global_pf, cfg, rng);
+  EXPECT_GT(n_global, 3 * n);
+}
+
+TEST(Kld, ResampleToChangesCount) {
+  ParticleFilterConfig pcfg;
+  pcfg.particle_count = 100;
+  ParticleFilter pf(pcfg);
+  Rng rng(71);
+  pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+  pf.resample_to(37, rng);
+  EXPECT_EQ(pf.particles().size(), 37u);
+  pf.resample_to(250, rng);
+  EXPECT_EQ(pf.particles().size(), 250u);
+}
+
+TEST(Backends, BetaScalesLogLikelihood) {
+  const prob::Gmm g({{1.0, prob::DiagGaussian({0, 0, 0}, {1, 1, 1})}});
+  const GmmLikelihood m1(g, 1.0);
+  const GmmLikelihood m2(g, 2.0);
+  vision::DepthScan scan;
+  scan.intrinsics = vision::CameraIntrinsics::kinect_like(16, 12);
+  scan.pixels.push_back({8, 6, 1.0});
+  Rng rng(37);
+  const Pose pose{{0, 0, 0}, 0.0};
+  EXPECT_NEAR(m2.log_likelihood(pose, scan, rng),
+              2.0 * m1.log_likelihood(pose, scan, rng), 1e-9);
+}
+
+}  // namespace
+}  // namespace cimnav::filter

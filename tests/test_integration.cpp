@@ -1,0 +1,161 @@
+// Cross-module integration tests: the two end-to-end systems of the paper
+// exercised at reduced scale, checking the claims' *shape* rather than
+// exact numbers.
+#include <gtest/gtest.h>
+
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
+#include "core/stats.hpp"
+#include "energy/likelihood_energy.hpp"
+#include "energy/macro_energy.hpp"
+#include "filter/scenario.hpp"
+#include "vo/pipeline.hpp"
+
+namespace cimnav {
+namespace {
+
+filter::ScenarioConfig small_scenario() {
+  filter::ScenarioConfig cfg;
+  cfg.scene.room_size = {2.6, 2.2, 1.8};
+  cfg.scene.furniture_count = 4;
+  cfg.scene.clutter_count = 6;
+  cfg.map_cloud_points = 1500;
+  cfg.mixture_components = 25;
+  cfg.trajectory_steps = 8;
+  cfg.scan_pixels = 50;
+  cfg.filter.particle_count = 150;
+  cfg.cim_columns = 150;
+  return cfg;
+}
+
+TEST(LocalizationSystem, ErrorDecreasesOverUpdates) {
+  const filter::LocalizationScenario sc(small_scenario());
+  const auto gmm = sc.make_gmm_backend();
+  const auto run = sc.run(*gmm, 909);
+  // Errors after convergence are below the first-step error.
+  EXPECT_LT(run.steps.back().position_error_m,
+            run.steps.front().position_error_m);
+}
+
+TEST(LocalizationSystem, HmgmDigitalWithinFactorOfGmm) {
+  // Fig. 2(e-h)'s comparison at reduced scale, averaged over seeds: the
+  // co-designed map tracks the conventional one within a small factor.
+  const filter::LocalizationScenario sc(small_scenario());
+  const auto gmm = sc.make_gmm_backend();
+  const auto hmgm = sc.make_hmgm_backend();
+  double gmm_err = 0.0, hmgm_err = 0.0;
+  for (std::uint64_t s : {11ull, 22ull, 33ull}) {
+    gmm_err += sc.run(*gmm, s).mean_error_after_converge_m / 3.0;
+    hmgm_err += sc.run(*hmgm, s).mean_error_after_converge_m / 3.0;
+  }
+  EXPECT_LT(hmgm_err, 4.0 * gmm_err + 0.1);
+}
+
+TEST(LocalizationSystem, CimConvergesFromTrackingInit) {
+  const filter::LocalizationScenario sc(small_scenario());
+  const auto cim = sc.make_cim_backend(6, 6);
+  double err = 0.0;
+  for (std::uint64_t s : {11ull, 22ull}) {
+    err += sc.run(*cim, s).final_error_m / 2.0;
+  }
+  EXPECT_LT(err, 0.8);
+}
+
+TEST(LocalizationSystem, MoreConverterBitsNeverMuchWorse) {
+  const filter::LocalizationScenario sc(small_scenario());
+  const auto cim4 = sc.make_cim_backend(4, 4);
+  const auto cim8 = sc.make_cim_backend(8, 8);
+  double e4 = 0.0, e8 = 0.0;
+  for (std::uint64_t s : {11ull, 22ull, 33ull}) {
+    e4 += sc.run(*cim4, s).mean_error_after_converge_m / 3.0;
+    e8 += sc.run(*cim8, s).mean_error_after_converge_m / 3.0;
+  }
+  EXPECT_LT(e8, e4 + 0.25);
+}
+
+TEST(EnergySystem, CimAdvantageGrowsWithComponents) {
+  // The more mixture components, the better the parallel analog array
+  // amortizes its converters — the scaling argument behind Fig. 2(i).
+  auto ratio_at = [](int components) {
+    const auto digital = energy::digital_gmm_likelihood_energy(components);
+    const auto cim = energy::cim_likelihood_energy(5 * components, 4, 4);
+    return digital.total_j / cim.total_j;
+  };
+  EXPECT_GT(ratio_at(200), ratio_at(25));
+}
+
+TEST(VoSystem, McMeanBeatsDeterministicAtLowPrecision) {
+  vo::VoPipelineConfig cfg;
+  cfg.train_samples = 1200;
+  cfg.train.epochs = 30;
+  cfg.test_steps = 40;
+  cfg.hidden_sizes = {64, 32};
+  cfg.seed = 21;
+  const vo::VoPipeline pipe(cfg);
+
+  cimsram::CimMacroConfig mc;
+  mc.input_bits = 5;
+  mc.weight_bits = 5;
+  mc.adc_bits = 5;
+  const auto det = pipe.run_cim_deterministic(mc);
+  bnn::SoftwareMaskSource masks(core::Rng{31});
+  bnn::McOptions opt;
+  opt.iterations = 30;
+  opt.dropout_p = cfg.dropout_p;
+  const auto mcr = pipe.run_cim_mc(mc, opt, masks);
+  EXPECT_LT(mcr.mean_delta_error, det.mean_delta_error * 1.05);
+}
+
+TEST(VoSystem, WorkloadFeedsEnergyModelConsistently) {
+  // The functional simulator's measured flip counts should agree with the
+  // binomial model the energy estimator assumes (2 p (1-p) N per
+  // iteration), tying the two layers of the reproduction together.
+  vo::VoPipelineConfig cfg;
+  cfg.train_samples = 400;
+  cfg.train.epochs = 5;
+  cfg.test_steps = 10;
+  cfg.hidden_sizes = {32, 16};
+  const vo::VoPipeline pipe(cfg);
+
+  cimsram::CimMacroConfig mc;
+  bnn::SoftwareMaskSource masks(core::Rng{41});
+  bnn::McOptions opt;
+  opt.iterations = 40;
+  opt.dropout_p = 0.5;
+  opt.compute_reuse = true;
+  bnn::McWorkload wl;
+  pipe.run_cim_mc(mc, opt, masks, &wl);
+
+  const double frames = 10.0;
+  const double locus_width = 32.0;  // first hidden layer
+  const double expected_flips =
+      frames * (opt.iterations - 1) * 2.0 * 0.5 * 0.5 * locus_width;
+  EXPECT_NEAR(static_cast<double>(wl.input_mask_flips), expected_flips,
+              0.15 * expected_flips);
+}
+
+TEST(VoSystem, OrderingReducesMeasuredFlips) {
+  vo::VoPipelineConfig cfg;
+  cfg.train_samples = 400;
+  cfg.train.epochs = 5;
+  cfg.test_steps = 8;
+  cfg.hidden_sizes = {32, 16};
+  const vo::VoPipeline pipe(cfg);
+
+  cimsram::CimMacroConfig mc;
+  auto flips_with = [&](bool order) {
+    bnn::SoftwareMaskSource masks(core::Rng{43});
+    bnn::McOptions opt;
+    opt.iterations = 30;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = true;
+    opt.order_samples = order;
+    bnn::McWorkload wl;
+    pipe.run_cim_mc(mc, opt, masks, &wl);
+    return wl.input_mask_flips;
+  };
+  EXPECT_LT(flips_with(true), flips_with(false));
+}
+
+}  // namespace
+}  // namespace cimnav

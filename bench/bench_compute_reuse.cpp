@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hpp"
 #include "bnn/mask_source.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "core/table.hpp"
@@ -116,6 +117,43 @@ int main() {
     drift.add_row({static_cast<double>(t), d});
   }
   drift.print(std::cout);
+
+  // Machine-readable perf record: wall-clock of the three execution modes
+  // at the reference operating point (T=30, p=0.5) plus the measured
+  // word-line workload ratios, tracked across PRs via BENCH_*.json.
+  std::printf("\n=== timed modes (T=30, p=0.5) ===\n");
+  bench::Suite suite("compute_reuse");
+  const auto timed = [&](const char* name, bool reuse, bool order) {
+    bnn::SoftwareMaskSource masks(core::Rng{11});
+    bnn::McOptions opt;
+    opt.iterations = 30;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = reuse;
+    opt.order_samples = order;
+    core::Rng arng(13);
+    cim.reset_stats();
+    suite.run(name, 1, 0, "", [&] {
+      bnn::mc_predict_cim(cim, x, opt, masks, arng);
+    });
+  };
+  timed("mc_predict/dense", false, false);
+  timed("mc_predict/reuse", true, false);
+  timed("mc_predict/reuse+order", true, true);
+
+  const auto dense_wl = measure(30, 0.5, false, false);
+  const auto reuse_wl = measure(30, 0.5, true, false);
+  const auto both_wl = measure(30, 0.5, true, true);
+  suite.add_summary("wordline_pulses_dense",
+                    static_cast<double>(dense_wl.macro.wordline_pulses));
+  suite.add_summary("wordline_pulses_reuse",
+                    static_cast<double>(reuse_wl.macro.wordline_pulses));
+  suite.add_summary("wordline_pulses_reuse_order",
+                    static_cast<double>(both_wl.macro.wordline_pulses));
+  suite.add_summary("reuse_saving",
+                    1.0 - static_cast<double>(reuse_wl.macro.wordline_pulses) /
+                              static_cast<double>(
+                                  dense_wl.macro.wordline_pulses));
+  suite.write_json();
   std::printf("\n");
   return 0;
 }

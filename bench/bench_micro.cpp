@@ -1,19 +1,239 @@
-// Micro-benchmarks (google-benchmark) for the simulator's hot paths:
-// likelihood evaluation on the inverter array, particle-filter steps, and
-// CIM macro matrix-vector products. These measure the *simulator*, not
-// the modeled hardware — engineering numbers for users extending the
-// library.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the simulator's hot paths: likelihood evaluation on
+// the inverter array, particle-filter steps, CIM macro matrix-vector
+// products, and full MC-Dropout predictions through the batched engine.
+// These measure the *simulator*, not the modeled hardware — engineering
+// numbers for users extending the library.
+//
+// The headline comparison pits the batched multi-threaded engine against a
+// faithful port of the seed (pre-engine) execution path: per-call bit-plane
+// allocation, Box-Muller noise from one shared stream, scalar loops, and
+// strictly serial MC iterations. Results are written to BENCH_micro.json.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
 
+#include "bench_json.hpp"
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
 #include "circuit/array.hpp"
 #include "cimsram/cim_macro.hpp"
+#include "core/thread_pool.hpp"
 #include "filter/particle_filter.hpp"
+#include "nn/cim_mlp.hpp"
+#include "nn/mlp.hpp"
 #include "prob/gmm.hpp"
 #include "prob/hmg.hpp"
 
 namespace {
 
 using namespace cimnav;
+
+// ---------------------------------------------------------------------------
+// Faithful port of the seed CimMacro/CimMlp hot path (pre-engine): used as
+// the benchmark baseline so the engine's speedup is measured against the
+// algorithm this PR replaced, compiled with identical flags.
+// ---------------------------------------------------------------------------
+
+class SeedMacro {
+ public:
+  SeedMacro(const std::vector<double>& weights, int n_out, int n_in,
+            const cimsram::CimMacroConfig& config, double input_scale)
+      : config_(config), n_in_(n_in), n_out_(n_out),
+        input_scale_(input_scale) {
+    double w_max = 0.0;
+    for (double w : weights) w_max = std::max(w_max, std::abs(w));
+    const int mag_max = (1 << (config.weight_bits - 1)) - 1;
+    weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+    words_ = (n_in + 63) / 64;
+    const int planes = config.weight_bits - 1;
+    columns_.resize(static_cast<std::size_t>(n_out));
+    for (int j = 0; j < n_out; ++j) {
+      auto& col = columns_[static_cast<std::size_t>(j)];
+      col.pos.resize(static_cast<std::size_t>(planes));
+      col.neg.resize(static_cast<std::size_t>(planes));
+      for (auto& p : col.pos)
+        p.bits.assign(static_cast<std::size_t>(words_), 0);
+      for (auto& p : col.neg)
+        p.bits.assign(static_cast<std::size_t>(words_), 0);
+      for (int i = 0; i < n_in; ++i) {
+        const double w =
+            weights[static_cast<std::size_t>(j) *
+                        static_cast<std::size_t>(n_in) +
+                    static_cast<std::size_t>(i)];
+        int q = static_cast<int>(std::lround(w / weight_scale_));
+        q = std::clamp(q, -mag_max, mag_max);
+        const int mag = std::abs(q);
+        auto& side = q >= 0 ? col.pos : col.neg;
+        for (int p = 0; p < planes; ++p) {
+          if ((mag >> p) & 1)
+            side[static_cast<std::size_t>(p)]
+                .bits[static_cast<std::size_t>(i / 64)] |=
+                (std::uint64_t{1} << (i % 64));
+        }
+      }
+    }
+  }
+
+  int n_in() const { return n_in_; }
+
+  std::vector<double> matvec(const std::vector<double>& x,
+                             const std::vector<std::uint8_t>& in_mask,
+                             const std::vector<std::uint8_t>& out_mask,
+                             core::Rng& rng) const {
+    // Per-call gate + bit-plane allocation, exactly like the seed.
+    std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
+    for (int i = 0; i < n_in_; ++i) {
+      if (in_mask.empty() || in_mask[static_cast<std::size_t>(i)])
+        gate[static_cast<std::size_t>(i / 64)] |=
+            (std::uint64_t{1} << (i % 64));
+    }
+    std::vector<std::vector<std::uint64_t>> xbits(
+        static_cast<std::size_t>(config_.input_bits),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(words_), 0));
+    std::uint64_t active_rows = 0;
+    for (int i = 0; i < n_in_; ++i) {
+      const bool gated =
+          (gate[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1;
+      if (!gated) continue;
+      ++active_rows;
+      const int max_code = (1 << config_.input_bits) - 1;
+      const int code = static_cast<int>(
+          std::lround(x[static_cast<std::size_t>(i)] / input_scale_));
+      const auto q =
+          static_cast<std::uint32_t>(std::clamp(code, 0, max_code));
+      for (int b = 0; b < config_.input_bits; ++b) {
+        if ((q >> b) & 1)
+          xbits[static_cast<std::size_t>(b)]
+               [static_cast<std::size_t>(i / 64)] |=
+              (std::uint64_t{1} << (i % 64));
+      }
+    }
+    const int planes = config_.weight_bits - 1;
+    const double adc_levels =
+        static_cast<double>((1 << config_.adc_bits) - 1);
+    const double adc_step = static_cast<double>(n_in_) / adc_levels;
+    std::vector<double> y(static_cast<std::size_t>(n_out_), 0.0);
+    for (int j = 0; j < n_out_; ++j) {
+      if (!out_mask.empty() && !out_mask[static_cast<std::size_t>(j)])
+        continue;
+      const auto& col = columns_[static_cast<std::size_t>(j)];
+      double acc = 0.0;
+      for (int sign = 0; sign < 2; ++sign) {
+        const auto& side = sign == 0 ? col.pos : col.neg;
+        for (int p = 0; p < planes; ++p) {
+          for (int b = 0; b < config_.input_bits; ++b) {
+            int pop = 0;
+            const auto& pb = side[static_cast<std::size_t>(p)].bits;
+            const auto& xb = xbits[static_cast<std::size_t>(b)];
+            for (std::size_t w = 0; w < pb.size(); ++w)
+              pop += std::popcount(pb[w] & xb[w]);
+            double count = pop;
+            if (config_.analog_noise && active_rows > 0) {
+              // Box-Muller normal from the shared stream (seed rng path).
+              count += rng.normal(
+                  0.0, config_.noise_coeff *
+                           std::sqrt(static_cast<double>(active_rows)));
+            }
+            double code = std::round(count / adc_step);
+            code = std::clamp(code, 0.0, adc_levels);
+            count = code * adc_step;
+            acc += (sign == 0 ? 1.0 : -1.0) * count *
+                   static_cast<double>(1 << b) * static_cast<double>(1 << p);
+          }
+        }
+      }
+      y[static_cast<std::size_t>(j)] = acc * weight_scale_ * input_scale_;
+    }
+    return y;
+  }
+
+ private:
+  struct Plane {
+    std::vector<std::uint64_t> bits;
+  };
+  struct Column {
+    std::vector<Plane> pos, neg;
+  };
+  cimsram::CimMacroConfig config_;
+  int n_in_ = 0, n_out_ = 0, words_ = 0;
+  double weight_scale_ = 1.0, input_scale_ = 1.0;
+  std::vector<Column> columns_;
+};
+
+struct SeedMlp {
+  std::vector<SeedMacro> macros;
+  std::vector<nn::Vector> biases;
+  double keep_scale = 2.0;
+  bool dropout_on_input = false;
+
+  nn::Vector forward(const nn::Vector& x, const std::vector<nn::Mask>& masks,
+                     core::Rng& rng) const {
+    const int n_layers = static_cast<int>(macros.size());
+    std::size_t site = 0;
+    const nn::Mask empty;
+    const nn::Mask& in0 = dropout_on_input ? masks[site++] : empty;
+    nn::Vector a = x;
+    if (dropout_on_input) {
+      for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = in0[i] ? a[i] * keep_scale : 0.0;
+    }
+    nn::Mask row_mask = in0;
+    for (int l = 0; l < n_layers; ++l) {
+      const bool has_hidden_mask = l + 1 < n_layers;
+      const nn::Mask& col_mask = has_hidden_mask ? masks[site] : empty;
+      nn::Vector z = macros[static_cast<std::size_t>(l)].matvec(
+          a, row_mask, col_mask, rng);
+      const nn::Vector& b = biases[static_cast<std::size_t>(l)];
+      for (std::size_t i = 0; i < z.size(); ++i) {
+        if (!col_mask.empty() && !col_mask[i]) {
+          z[i] = 0.0;
+          continue;
+        }
+        z[i] += b[i];
+      }
+      if (has_hidden_mask) {
+        for (std::size_t i = 0; i < z.size(); ++i) {
+          z[i] = std::max(0.0, z[i]);
+          z[i] = col_mask[i] ? z[i] * keep_scale : 0.0;
+        }
+        row_mask = col_mask;
+        ++site;
+      }
+      a = std::move(z);
+    }
+    return a;
+  }
+
+  // Strictly serial MC-Dropout, Welford accumulation (the seed loop).
+  void mc_predict(const nn::Vector& x, int iterations, double dropout_p,
+                  bnn::MaskSource& mask_src, core::Rng& analog_rng) const {
+    const std::size_t n_out = biases.back().size();
+    nn::Vector mean(n_out, 0.0), m2(n_out, 0.0);
+    std::vector<int> widths;
+    if (dropout_on_input) widths.push_back(macros[0].n_in());
+    for (std::size_t l = 0; l + 1 < macros.size(); ++l)
+      widths.push_back(static_cast<int>(biases[l].size()));
+    for (int t = 0; t < iterations; ++t) {
+      std::vector<nn::Mask> masks(widths.size());
+      for (std::size_t s = 0; s < widths.size(); ++s) {
+        masks[s].resize(static_cast<std::size_t>(widths[s]));
+        for (auto& bit : masks[s])
+          bit = mask_src.draw(dropout_p) ? 0 : 1;
+      }
+      const nn::Vector y = forward(x, masks, analog_rng);
+      for (std::size_t i = 0; i < n_out; ++i) {
+        const double delta = y[i] - mean[i];
+        mean[i] += delta / static_cast<double>(t + 1);
+        m2[i] += delta * (y[i] - mean[i]);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 
 std::vector<circuit::VoltageComponent> bench_components(int k) {
   core::Rng rng(3);
@@ -27,74 +247,179 @@ std::vector<circuit::VoltageComponent> bench_components(int k) {
   return comps;
 }
 
-void BM_CimArrayReadout(benchmark::State& state) {
-  circuit::LikelihoodArrayConfig cfg;
-  cfg.total_columns = static_cast<int>(state.range(0));
-  core::Rng rng(5);
-  const circuit::CimLikelihoodArray arr(cfg, bench_components(40), rng);
-  core::Rng nrng(7);
-  double v = 0.25;
-  for (auto _ : state) {
-    v = v < 0.75 ? v + 0.001 : 0.25;
-    benchmark::DoNotOptimize(arr.read_log_likelihood({v, 0.5, 0.5}, nrng));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CimArrayReadout)->Arg(100)->Arg(500);
-
-void BM_GmmLogPdf(benchmark::State& state) {
-  core::Rng rng(9);
-  std::vector<core::Vec3> pts;
-  for (int i = 0; i < 2000; ++i)
-    pts.push_back({rng.uniform(0, 3), rng.uniform(0, 3), rng.uniform(0, 2)});
-  const auto gmm = prob::Gmm::fit(pts, static_cast<int>(state.range(0)), rng);
-  double x = 0.1;
-  for (auto _ : state) {
-    x = x < 2.9 ? x + 0.01 : 0.1;
-    benchmark::DoNotOptimize(gmm.log_pdf({x, 1.5, 1.0}));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GmmLogPdf)->Arg(20)->Arg(80);
-
-void BM_HmgKernel(benchmark::State& state) {
-  double x = -3.0;
-  for (auto _ : state) {
-    x = x < 3.0 ? x + 0.001 : -3.0;
-    benchmark::DoNotOptimize(
-        prob::hmg_log_kernel({x, 0.5, -0.5}, {0, 0, 0}, {1, 1, 1}));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_HmgKernel);
-
-void BM_CimMacroMatvec(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  core::Rng rng(11);
-  std::vector<double> w(static_cast<std::size_t>(n * n));
-  for (auto& v : w) v = rng.normal(0.0, 0.3);
-  cimsram::CimMacroConfig cfg;
-  const cimsram::CimMacro macro(w, n, n, cfg, 1.0 / 63.0);
-  std::vector<double> x(static_cast<std::size_t>(n));
-  for (auto& v : x) v = rng.uniform();
-  core::Rng arng(13);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(macro.matvec(x, {}, {}, arng));
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n) * n);
-}
-BENCHMARK(BM_CimMacroMatvec)->Arg(64)->Arg(128);
-
-void BM_ParticleFilterResample(benchmark::State& state) {
-  filter::ParticleFilterConfig cfg;
-  cfg.particle_count = static_cast<int>(state.range(0));
-  filter::ParticleFilter pf(cfg);
-  core::Rng rng(17);
-  pf.init_uniform({0, 0, 0}, {3, 3, 2}, rng);
-  for (auto _ : state) pf.resample(rng);
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ParticleFilterResample)->Arg(300)->Arg(3000);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::Suite suite("micro");
+  std::printf("=== cimnav micro-benchmarks ===\n\n");
+
+  {  // Inverter-array likelihood readout.
+    circuit::LikelihoodArrayConfig cfg;
+    core::Rng rng(5);
+    core::Rng nrng(7);
+    for (int cols : {100, 500}) {
+      cfg.total_columns = cols;
+      const circuit::CimLikelihoodArray arr(cfg, bench_components(40), rng);
+      double v = 0.25;
+      double sink = 0.0;
+      suite.run("cim_array_readout/cols=" + std::to_string(cols), 1, 0, "",
+                [&] {
+                  v = v < 0.75 ? v + 0.001 : 0.25;
+                  sink += arr.read_log_likelihood({v, 0.5, 0.5}, nrng);
+                });
+      if (sink == 42.0) std::printf("%f", sink);  // defeat DCE
+    }
+  }
+
+  {  // GMM log-pdf.
+    core::Rng rng(9);
+    std::vector<core::Vec3> pts;
+    for (int i = 0; i < 2000; ++i)
+      pts.push_back(
+          {rng.uniform(0, 3), rng.uniform(0, 3), rng.uniform(0, 2)});
+    for (int k : {20, 80}) {
+      const auto gmm = prob::Gmm::fit(pts, k, rng);
+      double x = 0.1, sink = 0.0;
+      suite.run("gmm_log_pdf/k=" + std::to_string(k), 1, 0, "", [&] {
+        x = x < 2.9 ? x + 0.01 : 0.1;
+        sink += gmm.log_pdf({x, 1.5, 1.0});
+      });
+      if (sink == 42.0) std::printf("%f", sink);
+    }
+  }
+
+  {  // HMG kernel.
+    double x = -3.0, sink = 0.0;
+    suite.run("hmg_log_kernel", 1, 0, "", [&] {
+      x = x < 3.0 ? x + 0.001 : -3.0;
+      sink += prob::hmg_log_kernel({x, 0.5, -0.5}, {0, 0, 0}, {1, 1, 1});
+    });
+    if (sink == 42.0) std::printf("%f", sink);
+  }
+
+  {  // CIM macro matvec: single call and batch-of-30.
+    for (int n : {64, 128}) {
+      core::Rng rng(11);
+      std::vector<double> w(static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(n));
+      for (auto& v : w) v = rng.normal(0.0, 0.3);
+      cimsram::CimMacroConfig cfg;
+      const cimsram::CimMacro macro(w, n, n, cfg, 1.0 / 63.0);
+      std::vector<double> x(static_cast<std::size_t>(n));
+      for (auto& v : x) v = rng.uniform();
+      core::Rng arng(13);
+      const double macs = static_cast<double>(n) * n;
+      suite.run("cim_macro_matvec/n=" + std::to_string(n), 1, macs, "macs",
+                [&] { macro.matvec(x, {}, {}, arng); });
+      const std::vector<std::vector<double>> xs(30, x);
+      suite.run("cim_macro_matvec_batch30/n=" + std::to_string(n), 1,
+                30.0 * macs,
+                "macs", [&] { macro.matvec_batch(xs, {}, {}, arng); });
+    }
+  }
+
+  {  // Particle-filter systematic resampling.
+    for (int n : {300, 3000}) {
+      filter::ParticleFilterConfig cfg;
+      cfg.particle_count = n;
+      filter::ParticleFilter pf(cfg);
+      core::Rng rng(17);
+      pf.init_uniform({0, 0, 0}, {3, 3, 2}, rng);
+      suite.run("particle_resample/n=" + std::to_string(n), 1, n,
+                "particles", [&] { pf.resample(rng); });
+    }
+  }
+
+  // ---- Headline: MC-Dropout prediction, engine vs seed path ----
+  {
+    core::Rng rng(5);
+    nn::MlpConfig net_cfg;
+    net_cfg.layer_sizes = {144, 64, 32, 4};
+    net_cfg.dropout_on_input = false;
+    net_cfg.dropout_p = 0.5;
+    nn::Mlp net(net_cfg, rng);
+    std::vector<nn::Vector> calib;
+    for (int i = 0; i < 16; ++i) {
+      nn::Vector v(144);
+      for (auto& e : v) e = rng.uniform();
+      calib.push_back(std::move(v));
+    }
+    cimsram::CimMacroConfig mc;
+    mc.input_bits = 4;
+    mc.weight_bits = 4;
+    core::Rng crng(7);
+    const nn::CimMlp cim(net, mc, calib, crng);
+    nn::Vector x(144);
+    for (auto& e : x) e = rng.uniform();
+
+    // The seed baseline shares weights and calibrated scales with the
+    // engine-backed network, so both execute the same nominal workload.
+    SeedMlp seed;
+    for (int l = 0; l < cim.layer_count(); ++l) {
+      const nn::Matrix& w = net.weights(l);
+      seed.macros.emplace_back(w.data(), w.rows(), w.cols(), mc,
+                               cim.macro(l).input_scale());
+      seed.biases.push_back(net.biases(l));
+    }
+    seed.keep_scale = cim.dropout_keep_scale();
+    seed.dropout_on_input = cim.dropout_on_input();
+
+    constexpr int kIters = 30;
+    constexpr double kP = 0.5;
+    // Nominal MACs per prediction, measured on the engine's counters.
+    cim.reset_stats();
+    {
+      bnn::SoftwareMaskSource masks(core::Rng{11});
+      bnn::McOptions opt;
+      opt.iterations = kIters;
+      opt.dropout_p = kP;
+      core::Rng arng(13);
+      bnn::mc_predict_cim(cim, x, opt, masks, arng);
+    }
+    const double macs_per_pred =
+        static_cast<double>(cim.total_stats().nominal_macs);
+    cim.reset_stats();
+
+    bnn::SoftwareMaskSource seed_masks(core::Rng{11});
+    core::Rng seed_arng(13);
+    const auto seed_result =
+        suite.run("mc_predict_cim/seed_baseline", 1, macs_per_pred, "macs",
+                  [&] { seed.mc_predict(x, kIters, kP, seed_masks,
+                                        seed_arng); });
+
+    auto run_engine = [&](const char* name, core::ThreadPool* pool,
+                          int threads, bool reuse) -> bench::Result {
+      bnn::SoftwareMaskSource masks(core::Rng{11});
+      bnn::McOptions opt;
+      opt.iterations = kIters;
+      opt.dropout_p = kP;
+      opt.compute_reuse = reuse;
+      opt.pool = pool;
+      core::Rng arng(13);
+      return suite.run(name, threads, macs_per_pred, "macs", [&] {
+        bnn::mc_predict_cim(cim, x, opt, masks, arng);
+      });
+    };
+
+    core::ThreadPool pool2(2), pool8(8);
+    const auto engine1 =
+        run_engine("mc_predict_cim/engine", nullptr, 1, false);
+    run_engine("mc_predict_cim/engine", &pool2, 2, false);
+    const auto engine8 =
+        run_engine("mc_predict_cim/engine", &pool8, 8, false);
+    run_engine("mc_predict_cim/engine+reuse", &pool8, 8, true);
+
+    const double speedup1 = seed_result.ns_per_op / engine1.ns_per_op;
+    const double speedup8 = seed_result.ns_per_op / engine8.ns_per_op;
+    suite.add_summary("mc_predict_speedup_1t_vs_seed", speedup1);
+    suite.add_summary("mc_predict_speedup_8t_vs_seed", speedup8);
+    suite.add_summary("mc_predict_macs_per_pred", macs_per_pred);
+    std::printf(
+        "\nmc_predict_cim speedup vs single-threaded seed path: "
+        "%.2fx (1 thread), %.2fx (8 threads)\n\n",
+        speedup1, speedup8);
+  }
+
+  suite.write_json();
+  return 0;
+}

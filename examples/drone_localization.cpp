@@ -8,11 +8,17 @@
 #include <iostream>
 
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "filter/scenario.hpp"
 
 int main() {
   using namespace cimnav;
   std::printf("cimnav drone localization: particle filter on CIM likelihood\n\n");
+
+  // Measurement updates fan particle blocks over the worker pool; noise
+  // streams are keyed on block indices, so the run is bit-identical at any
+  // thread count.
+  core::ThreadPool pool;
 
   filter::ScenarioConfig cfg;
   cfg.scene.room_size = {2.6, 2.2, 1.8};
@@ -22,6 +28,7 @@ int main() {
   cfg.filter.particle_count = 300;
   cfg.scan_pixels = 80;
   cfg.cim_columns = 500;
+  cfg.pool = &pool;
   const filter::LocalizationScenario scenario(cfg);
 
   std::printf("scene: %.1f x %.1f x %.1f m, %zu boxes\n",

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command tier-1 verify: configure + build + ctest + the JSON perf
+# benches. Extra arguments are forwarded to the CMake configure step, e.g.
+#   scripts/check.sh -DCIMNAV_NATIVE_OPT=OFF
+# Bench results land in BENCH_micro.json / BENCH_compute_reuse.json at the
+# repository root so the perf trajectory can be compared across PRs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . "$@"
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"
+
+./build/bench_micro
+./build/bench_compute_reuse
+
+echo "check.sh: build, tests and benches all passed"

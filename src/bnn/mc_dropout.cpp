@@ -158,25 +158,64 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
       order = greedy_min_hamming_order(locus_masks);
   }
 
-  VectorStats stats(
-      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out()));
-  nn::CimMlp::ReuseState reuse;
+  // One root draw seeds every per-iteration / per-chain noise stream, so
+  // the prediction is a pure function of (inputs, seeds) regardless of how
+  // the pool partitions the work.
+  const std::uint64_t noise_root = analog_rng();
+  const std::size_t t_total = order.size();
+
   const bool can_reuse =
       options.compute_reuse &&
       (net.dropout_on_input() || net.layer_count() >= 2) && !widths.empty();
-  for (std::size_t k = 0; k < order.size(); ++k) {
-    const auto& set = mask_sets[order[k]];
-    if (can_reuse) {
-      // Periodic dense refresh bounds the noise random-walk of the
-      // delta accumulator.
-      if (options.reuse_refresh_interval > 0 && k > 0 &&
-          k % static_cast<std::size_t>(options.reuse_refresh_interval) == 0)
-        reuse.valid = false;
-      stats.add(net.forward_with_reuse(x, set, reuse, analog_rng));
+  std::vector<nn::Vector> outputs;
+  if (!can_reuse) {
+    // Dense path: every iteration is independent; fan them all out. The
+    // visiting order is the identity unless sample ordering was requested
+    // (it only pays off with reuse), so the common case avoids copying
+    // the mask sets into visiting order.
+    if (options.order_samples && !locus_masks.empty()) {
+      std::vector<std::vector<nn::Mask>> ordered_sets;
+      ordered_sets.reserve(t_total);
+      for (std::size_t k = 0; k < t_total; ++k)
+        ordered_sets.push_back(mask_sets[order[k]]);
+      outputs =
+          net.forward_batch(x, ordered_sets, noise_root, options.pool);
     } else {
-      stats.add(net.forward(x, set, analog_rng));
+      outputs = net.forward_batch(x, mask_sets, noise_root, options.pool);
+    }
+  } else {
+    // Reuse path: the delta accumulator chains iterations sequentially,
+    // but a periodic dense refresh (bounding the noise random-walk of the
+    // accumulator) cuts the sequence into independent chains — those run
+    // concurrently.
+    const std::size_t chain_len =
+        options.reuse_refresh_interval > 0
+            ? static_cast<std::size_t>(options.reuse_refresh_interval)
+            : t_total;
+    const std::size_t n_chains = (t_total + chain_len - 1) / chain_len;
+    outputs.resize(t_total);
+    const auto run_chains = [&](std::size_t begin, std::size_t end, int) {
+      for (std::size_t c = begin; c < end; ++c) {
+        core::Rng chain_rng = core::Rng::stream(noise_root, c);
+        nn::CimMlp::ReuseState reuse;
+        const std::size_t k_end = std::min((c + 1) * chain_len, t_total);
+        for (std::size_t k = c * chain_len; k < k_end; ++k)
+          outputs[k] = net.forward_with_reuse(x, mask_sets[order[k]], reuse,
+                                              chain_rng);
+      }
+    };
+    if (options.pool != nullptr) {
+      options.pool->parallel_for(n_chains, 1, run_chains);
+    } else {
+      run_chains(0, n_chains, 0);
     }
   }
+
+  VectorStats stats(
+      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out()));
+  // Welford accumulation stays serial and in visiting order, so the final
+  // moments are bit-exact for any thread count.
+  for (const auto& out : outputs) stats.add(out);
 
   if (workload != nullptr) {
     workload->macro = stats_delta(net.total_stats(), before);

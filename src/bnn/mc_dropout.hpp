@@ -18,6 +18,7 @@
 #include "bnn/mask_source.hpp"
 #include "cimsram/cim_macro.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/cim_mlp.hpp"
 #include "nn/mlp.hpp"
 #include "nn/tensor.hpp"
@@ -44,6 +45,13 @@ struct McOptions {
   /// N iterations to bound analog-noise drift (0 = never refresh). The
   /// default trades ~1/8 of the reuse savings for drift-free accuracy.
   int reuse_refresh_interval = 8;
+  /// Worker pool for the CIM paths (nullptr = serial). Dense iterations
+  /// fan out individually; with compute_reuse, each refresh-delimited
+  /// chain stays sequential (the delta rule is inherently serial) but
+  /// independent chains run concurrently. Analog-noise streams are keyed
+  /// on iteration/chain indices, so predictions are bit-identical at any
+  /// thread count.
+  core::ThreadPool* pool = nullptr;
 };
 
 /// Workload accounting for one MC-Dropout prediction on CIM.

@@ -9,19 +9,90 @@
 namespace cimnav::cimsram {
 namespace {
 
-int popcount_words(const std::vector<std::uint64_t>& a,
-                   const std::vector<std::uint64_t>& b) {
+// Column-block granularity of the batched fan-out. Small enough to spread
+// a single wide layer over the pool, big enough that a block amortizes its
+// derived noise stream.
+constexpr int kColumnBlock = 32;
+
+// Upper bound on bit-serial cycles per column: 2 sides x (weight_bits-1)
+// planes x input_bits, with both precisions capped at 12 in the config
+// validation. Sizes the per-column stack buffers in run_columns.
+constexpr int kMaxCycles = 2 * 11 * 12;
+
+MacroWorkspace& tls_workspace() {
+  thread_local MacroWorkspace ws;
+  return ws;
+}
+
+// Stage-1 kernel of run_columns: bit-coincidence counts for every
+// (sign-plane, input-bit) cycle of one column. Specialized on the packed
+// word count so the inner loop fully unrolls for the common macro sizes
+// (W = 0 is the runtime-length fallback).
+template <int W>
+void fill_counts(const std::uint64_t* col, const std::uint64_t* gated_planes,
+                 int sign_planes, int input_bits, std::size_t words,
+                 double* counts) {
   int c = 0;
-  for (std::size_t w = 0; w < a.size(); ++w)
-    c += std::popcount(a[w] & b[w]);
-  return c;
+  for (int sp = 0; sp < sign_planes; ++sp) {
+    const std::uint64_t* plane =
+        col + static_cast<std::size_t>(sp) * (W > 0 ? W : words);
+    for (int b = 0; b < input_bits; ++b) {
+      const std::uint64_t* xb =
+          gated_planes + static_cast<std::size_t>(b) * (W > 0 ? W : words);
+      int pop = 0;
+      if constexpr (W > 0) {
+        for (int w = 0; w < W; ++w) pop += std::popcount(plane[w] & xb[w]);
+      } else {
+        for (std::size_t w = 0; w < words; ++w)
+          pop += std::popcount(plane[w] & xb[w]);
+      }
+      counts[c++] = static_cast<double>(pop);
+    }
+  }
+}
+
+using FillCountsFn = void (*)(const std::uint64_t*, const std::uint64_t*,
+                              int, int, std::size_t, double*);
+
+FillCountsFn select_fill_counts(int words) {
+  switch (words) {
+    case 1: return &fill_counts<1>;
+    case 2: return &fill_counts<2>;
+    case 3: return &fill_counts<3>;
+    case 4: return &fill_counts<4>;
+    default: return &fill_counts<0>;
+  }
 }
 
 }  // namespace
 
+void pack_row_mask(const std::vector<std::uint8_t>& mask, int n_rows,
+                   std::vector<std::uint64_t>& gate) {
+  CIMNAV_REQUIRE(mask.empty() ||
+                     mask.size() == static_cast<std::size_t>(n_rows),
+                 "row mask size mismatch");
+  const std::size_t words = static_cast<std::size_t>((n_rows + 63) / 64);
+  gate.assign(words, 0);
+  for (int i = 0; i < n_rows; ++i) {
+    if (mask.empty() || mask[static_cast<std::size_t>(i)])
+      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
+  }
+}
+
+void pack_rows(const std::vector<std::size_t>& rows, int n_rows,
+               std::vector<std::uint64_t>& gate) {
+  const std::size_t words = static_cast<std::size_t>((n_rows + 63) / 64);
+  gate.assign(words, 0);
+  for (std::size_t i : rows) {
+    CIMNAV_REQUIRE(i < static_cast<std::size_t>(n_rows), "row out of range");
+    gate[i / 64] |= (std::uint64_t{1} << (i % 64));
+  }
+}
+
 CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
                    const CimMacroConfig& config, double input_scale)
-    : config_(config), n_in_(n_in), n_out_(n_out), input_scale_(input_scale) {
+    : config_(config), n_in_(n_in), n_out_(n_out), input_scale_(input_scale),
+      inv_input_scale_(1.0 / input_scale) {
   CIMNAV_REQUIRE(n_in > 0 && n_out > 0, "matrix dims must be positive");
   CIMNAV_REQUIRE(weights.size() == static_cast<std::size_t>(n_in) *
                                        static_cast<std::size_t>(n_out),
@@ -41,14 +112,12 @@ CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
   weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
 
   words_ = (n_in + 63) / 64;
-  const int planes = config.weight_bits - 1;
-  columns_.resize(static_cast<std::size_t>(n_out));
+  planes_ = config.weight_bits - 1;
+  bits_.assign(static_cast<std::size_t>(n_out) * 2u *
+                   static_cast<std::size_t>(planes_) *
+                   static_cast<std::size_t>(words_),
+               0);
   for (int j = 0; j < n_out; ++j) {
-    auto& col = columns_[static_cast<std::size_t>(j)];
-    col.pos.resize(static_cast<std::size_t>(planes));
-    col.neg.resize(static_cast<std::size_t>(planes));
-    for (auto& p : col.pos) p.bits.assign(static_cast<std::size_t>(words_), 0);
-    for (auto& p : col.neg) p.bits.assign(static_cast<std::size_t>(words_), 0);
     for (int i = 0; i < n_in; ++i) {
       const double w = weights[static_cast<std::size_t>(j) *
                                    static_cast<std::size_t>(n_in) +
@@ -56,97 +125,246 @@ CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
       int q = static_cast<int>(std::lround(w / weight_scale_));
       q = std::clamp(q, -mag_max, mag_max);
       const int mag = std::abs(q);
-      auto& side = q >= 0 ? col.pos : col.neg;
-      for (int p = 0; p < planes; ++p) {
-        if ((mag >> p) & 1)
-          side[static_cast<std::size_t>(p)].bits[static_cast<std::size_t>(i / 64)] |=
-              (std::uint64_t{1} << (i % 64));
+      const int sign = q >= 0 ? 0 : 1;
+      for (int p = 0; p < planes_; ++p) {
+        if ((mag >> p) & 1) {
+          const std::size_t idx =
+              ((static_cast<std::size_t>(j) * 2u +
+                static_cast<std::size_t>(sign)) *
+                   static_cast<std::size_t>(planes_) +
+               static_cast<std::size_t>(p)) *
+                  static_cast<std::size_t>(words_) +
+              static_cast<std::size_t>(i / 64);
+          bits_[idx] |= (std::uint64_t{1} << (i % 64));
+        }
       }
     }
   }
+}
+
+CimMacro::CimMacro(CimMacro&& other) noexcept
+    : config_(other.config_), n_in_(other.n_in_), n_out_(other.n_out_),
+      words_(other.words_), planes_(other.planes_),
+      weight_scale_(other.weight_scale_), input_scale_(other.input_scale_),
+      inv_input_scale_(other.inv_input_scale_), bits_(std::move(other.bits_)) {
+  stat_calls_.store(other.stat_calls_.load());
+  stat_wordline_.store(other.stat_wordline_.load());
+  stat_adc_.store(other.stat_adc_.load());
+  stat_cycles_.store(other.stat_cycles_.load());
+  stat_macs_.store(other.stat_macs_.load());
+}
+
+CimMacro& CimMacro::operator=(CimMacro&& other) noexcept {
+  if (this != &other) {
+    config_ = other.config_;
+    n_in_ = other.n_in_;
+    n_out_ = other.n_out_;
+    words_ = other.words_;
+    planes_ = other.planes_;
+    weight_scale_ = other.weight_scale_;
+    input_scale_ = other.input_scale_;
+    inv_input_scale_ = other.inv_input_scale_;
+    bits_ = std::move(other.bits_);
+    stat_calls_.store(other.stat_calls_.load());
+    stat_wordline_.store(other.stat_wordline_.load());
+    stat_adc_.store(other.stat_adc_.load());
+    stat_cycles_.store(other.stat_cycles_.load());
+    stat_macs_.store(other.stat_macs_.load());
+  }
+  return *this;
 }
 
 std::uint32_t CimMacro::quantize_input(double x) const {
   const int max_code = (1 << config_.input_bits) - 1;
-  const auto code =
-      static_cast<int>(std::lround(x / input_scale_));
+  const auto code = static_cast<int>(std::lround(x * inv_input_scale_));
   return static_cast<std::uint32_t>(std::clamp(code, 0, max_code));
 }
 
-std::vector<double> CimMacro::run(const std::vector<double>& x,
-                                  const std::vector<std::uint64_t>& row_gate,
-                                  const std::vector<std::uint8_t>& out_mask,
-                                  bool ideal, core::Rng* rng) const {
+void CimMacro::encode_input(const std::vector<double>& x,
+                            EncodedInput& enc) const {
   CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(n_in_),
                  "input size mismatch");
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  enc.planes.assign(static_cast<std::size_t>(config_.input_bits) * stride, 0);
+  for (int i = 0; i < n_in_; ++i) {
+    const std::uint32_t q = quantize_input(x[static_cast<std::size_t>(i)]);
+    if (q == 0) continue;
+    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
+    const std::size_t word = static_cast<std::size_t>(i / 64);
+    for (int b = 0; b < config_.input_bits; ++b) {
+      if ((q >> b) & 1)
+        enc.planes[static_cast<std::size_t>(b) * stride + word] |= bit;
+    }
+  }
+}
+
+std::uint64_t CimMacro::count_active_cols(
+    const std::vector<std::uint8_t>& out_mask) const {
+  if (out_mask.empty()) return static_cast<std::uint64_t>(n_out_);
+  std::uint64_t c = 0;
+  for (std::uint8_t m : out_mask) c += m ? 1 : 0;
+  return c;
+}
+
+std::uint64_t CimMacro::cycles_per_call() const {
+  return static_cast<std::uint64_t>(planes_) *
+         static_cast<std::uint64_t>(config_.input_bits) * 2u;
+}
+
+void CimMacro::account(std::uint64_t calls, std::uint64_t active_rows,
+                       std::uint64_t active_cols) const {
+  const std::uint64_t cycles = cycles_per_call();
+  stat_calls_.fetch_add(calls, std::memory_order_relaxed);
+  stat_cycles_.fetch_add(calls * cycles, std::memory_order_relaxed);
+  stat_wordline_.fetch_add(calls * active_rows * cycles,
+                           std::memory_order_relaxed);
+  stat_adc_.fetch_add(calls * active_cols * cycles,
+                      std::memory_order_relaxed);
+  stat_macs_.fetch_add(calls * active_rows * active_cols,
+                       std::memory_order_relaxed);
+}
+
+MacroStats CimMacro::stats() const {
+  MacroStats s;
+  s.matvec_calls = stat_calls_.load(std::memory_order_relaxed);
+  s.wordline_pulses = stat_wordline_.load(std::memory_order_relaxed);
+  s.adc_conversions = stat_adc_.load(std::memory_order_relaxed);
+  s.analog_cycles = stat_cycles_.load(std::memory_order_relaxed);
+  s.nominal_macs = stat_macs_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void CimMacro::reset_stats() const {
+  stat_calls_.store(0, std::memory_order_relaxed);
+  stat_wordline_.store(0, std::memory_order_relaxed);
+  stat_adc_.store(0, std::memory_order_relaxed);
+  stat_cycles_.store(0, std::memory_order_relaxed);
+  stat_macs_.store(0, std::memory_order_relaxed);
+}
+
+void CimMacro::run_columns(const std::uint64_t* gated_planes,
+                           std::uint64_t active_rows,
+                           const std::vector<std::uint8_t>& out_mask,
+                           int col_begin, int col_end, bool ideal,
+                           core::Rng* rng, double* y) const {
+  // The column ADC spans the full physical row count.
+  const double adc_levels = static_cast<double>((1 << config_.adc_bits) - 1);
+  const double adc_step = static_cast<double>(n_in_) / adc_levels;
+  const double inv_adc_step = 1.0 / adc_step;
+  const bool noisy = !ideal && config_.analog_noise && rng != nullptr &&
+                     active_rows > 0;
+  const double noise_sigma =
+      noisy ? config_.noise_coeff *
+                  std::sqrt(static_cast<double>(active_rows))
+            : 0.0;
+  const std::size_t words = static_cast<std::size_t>(words_);
+  const std::size_t col_stride =
+      2u * static_cast<std::size_t>(planes_) * words;
+  const int cycles = 2 * planes_ * config_.input_bits;
+
+  // Shift-add weight of each (sign, plane, input-bit) cycle, in cycle
+  // order: +/- 2^(p+b). Shared by every column of this call.
+  double wtab[kMaxCycles];
+  {
+    int c = 0;
+    for (int sign = 0; sign < 2; ++sign) {
+      const double sgn = sign == 0 ? 1.0 : -1.0;
+      for (int p = 0; p < planes_; ++p)
+        for (int b = 0; b < config_.input_bits; ++b)
+          wtab[c++] = sgn * static_cast<double>(std::uint64_t{1} << (p + b));
+    }
+  }
+
+  const FillCountsFn fill = select_fill_counts(words_);
+  for (int j = col_begin; j < col_end; ++j) {
+    if (!out_mask.empty() && !out_mask[static_cast<std::size_t>(j)]) {
+      y[j] = 0.0;
+      continue;
+    }
+    const std::uint64_t* col =
+        bits_.data() + static_cast<std::size_t>(j) * col_stride;
+
+    // Stage 1: bit-coincidence counts for every cycle of this column.
+    double counts[kMaxCycles];
+    fill(col, gated_planes, 2 * planes_, config_.input_bits, words, counts);
+
+    // Stage 2: per-cycle analog disturbance (sequential draws, in cycle
+    // order, so the noise stream consumption is well defined).
+    if (noisy) {
+      for (int i = 0; i < cycles; ++i)
+        counts[i] += noise_sigma * rng->normal_fast();
+    }
+
+    // Stage 3: ADC quantization + shift-add reduction (vectorizable; no
+    // branches, no draws). floor(v + 0.5) equals the seed's round() here:
+    // they differ only on negative half-integers, which the [0, levels]
+    // clamp maps to 0 either way.
+    double acc = 0.0;
+    if (!ideal) {
+      for (int i = 0; i < cycles; ++i) {
+        double code = std::floor(counts[i] * inv_adc_step + 0.5);
+        code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
+        acc += wtab[i] * code;
+      }
+      acc *= adc_step;
+    } else {
+      for (int i = 0; i < cycles; ++i) acc += wtab[i] * counts[i];
+    }
+    y[j] = acc * weight_scale_ * input_scale_;
+  }
+}
+
+void CimMacro::run_gated(const EncodedInput& enc,
+                         const std::vector<std::uint64_t>& row_gate,
+                         const std::vector<std::uint8_t>& out_mask,
+                         bool ideal, core::Rng* rng, MacroWorkspace& ws,
+                         std::vector<double>& y) const {
+  CIMNAV_REQUIRE(row_gate.size() == static_cast<std::size_t>(words_),
+                 "row gate word count mismatch");
+  CIMNAV_REQUIRE(enc.planes.size() ==
+                     static_cast<std::size_t>(config_.input_bits) *
+                         static_cast<std::size_t>(words_),
+                 "encoded input shape mismatch");
   CIMNAV_REQUIRE(out_mask.empty() ||
                      out_mask.size() == static_cast<std::size_t>(n_out_),
                  "output mask size mismatch");
 
-  // Input bit planes, gated by the active-row mask.
-  std::vector<std::vector<std::uint64_t>> xbits(
-      static_cast<std::size_t>(config_.input_bits),
-      std::vector<std::uint64_t>(static_cast<std::size_t>(words_), 0));
+  const std::size_t words = static_cast<std::size_t>(words_);
+  ws.gated.resize(static_cast<std::size_t>(config_.input_bits) * words);
+  for (std::size_t k = 0; k < ws.gated.size(); ++k)
+    ws.gated[k] = enc.planes[k] & row_gate[k % words];
   std::uint64_t active_rows = 0;
-  for (int i = 0; i < n_in_; ++i) {
-    const bool gated = (row_gate[static_cast<std::size_t>(i / 64)] >>
-                        (i % 64)) & 1;
-    if (!gated) continue;
-    ++active_rows;
-    const std::uint32_t q = quantize_input(x[static_cast<std::size_t>(i)]);
-    for (int b = 0; b < config_.input_bits; ++b) {
-      if ((q >> b) & 1)
-        xbits[static_cast<std::size_t>(b)][static_cast<std::size_t>(i / 64)] |=
-            (std::uint64_t{1} << (i % 64));
-    }
-  }
+  for (std::uint64_t g : row_gate) active_rows += std::popcount(g);
 
-  const int planes = config_.weight_bits - 1;
-  // The column ADC spans the full physical row count.
-  const double adc_levels = static_cast<double>((1 << config_.adc_bits) - 1);
-  const double adc_step = static_cast<double>(n_in_) / adc_levels;
+  y.resize(static_cast<std::size_t>(n_out_));
+  run_columns(ws.gated.data(), active_rows, out_mask, 0, n_out_, ideal, rng,
+              y.data());
+  account(1, active_rows, count_active_cols(out_mask));
+}
 
-  std::vector<double> y(static_cast<std::size_t>(n_out_), 0.0);
-  std::uint64_t active_cols = 0;
-  for (int j = 0; j < n_out_; ++j) {
-    if (!out_mask.empty() && !out_mask[static_cast<std::size_t>(j)]) continue;
-    ++active_cols;
-    const auto& col = columns_[static_cast<std::size_t>(j)];
-    double acc = 0.0;
-    for (int sign = 0; sign < 2; ++sign) {
-      const auto& side = sign == 0 ? col.pos : col.neg;
-      for (int p = 0; p < planes; ++p) {
-        for (int b = 0; b < config_.input_bits; ++b) {
-          double count = popcount_words(side[static_cast<std::size_t>(p)].bits,
-                                        xbits[static_cast<std::size_t>(b)]);
-          if (!ideal) {
-            if (config_.analog_noise && rng != nullptr && active_rows > 0) {
-              count += rng->normal(
-                  0.0, config_.noise_coeff *
-                           std::sqrt(static_cast<double>(active_rows)));
-            }
-            // Per-cycle ADC quantization of the analog partial sum.
-            double code = std::round(count / adc_step);
-            code = std::clamp(code, 0.0, adc_levels);
-            count = code * adc_step;
-          }
-          acc += (sign == 0 ? 1.0 : -1.0) *
-                 count * static_cast<double>(1 << b) *
-                 static_cast<double>(1 << p);
-        }
-      }
-    }
-    y[static_cast<std::size_t>(j)] = acc * weight_scale_ * input_scale_;
-  }
+void CimMacro::matvec_encoded(const EncodedInput& enc,
+                              const std::vector<std::uint64_t>& row_gate,
+                              const std::vector<std::uint8_t>& out_mask,
+                              core::Rng& rng, MacroWorkspace& ws,
+                              std::vector<double>& y) const {
+  run_gated(enc, row_gate, out_mask, /*ideal=*/false, &rng, ws, y);
+}
 
-  // Activity accounting.
-  ++stats_.matvec_calls;
-  const auto cycles = static_cast<std::uint64_t>(planes) *
-                      static_cast<std::uint64_t>(config_.input_bits) * 2u;
-  stats_.analog_cycles += cycles;
-  stats_.wordline_pulses += active_rows * cycles;
-  stats_.adc_conversions += active_cols * cycles;
-  stats_.nominal_macs += active_rows * active_cols;
+void CimMacro::matvec_encoded(const EncodedInput& enc,
+                              const std::vector<std::uint64_t>& row_gate,
+                              const std::vector<std::uint8_t>& out_mask,
+                              core::Rng& rng, std::vector<double>& y) const {
+  run_gated(enc, row_gate, out_mask, /*ideal=*/false, &rng, tls_workspace(),
+            y);
+}
+
+std::vector<double> CimMacro::matvec_gated(
+    const std::vector<double>& x, const std::vector<std::uint64_t>& row_gate,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const {
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  std::vector<double> y;
+  run_gated(ws.enc, row_gate, out_mask, /*ideal=*/false, &rng, ws, y);
   return y;
 }
 
@@ -157,23 +375,23 @@ std::vector<double> CimMacro::matvec(const std::vector<double>& x,
   CIMNAV_REQUIRE(in_mask.empty() ||
                      in_mask.size() == static_cast<std::size_t>(n_in_),
                  "input mask size mismatch");
-  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
-  for (int i = 0; i < n_in_; ++i) {
-    if (in_mask.empty() || in_mask[static_cast<std::size_t>(i)])
-      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
-  }
-  return run(x, gate, out_mask, /*ideal=*/false, &rng);
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_row_mask(in_mask, n_in_, ws.gate);
+  std::vector<double> y;
+  run_gated(ws.enc, ws.gate, out_mask, /*ideal=*/false, &rng, ws, y);
+  return y;
 }
 
 std::vector<double> CimMacro::matvec_rows(
     const std::vector<double>& x, const std::vector<std::size_t>& rows,
     const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const {
-  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
-  for (std::size_t i : rows) {
-    CIMNAV_REQUIRE(i < static_cast<std::size_t>(n_in_), "row out of range");
-    gate[i / 64] |= (std::uint64_t{1} << (i % 64));
-  }
-  return run(x, gate, out_mask, /*ideal=*/false, &rng);
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_rows(rows, n_in_, ws.gate);
+  std::vector<double> y;
+  run_gated(ws.enc, ws.gate, out_mask, /*ideal=*/false, &rng, ws, y);
+  return y;
 }
 
 std::vector<double> CimMacro::matvec_ideal(
@@ -182,12 +400,98 @@ std::vector<double> CimMacro::matvec_ideal(
   CIMNAV_REQUIRE(in_mask.empty() ||
                      in_mask.size() == static_cast<std::size_t>(n_in_),
                  "input mask size mismatch");
-  std::vector<std::uint64_t> gate(static_cast<std::size_t>(words_), 0);
-  for (int i = 0; i < n_in_; ++i) {
-    if (in_mask.empty() || in_mask[static_cast<std::size_t>(i)])
-      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_row_mask(in_mask, n_in_, ws.gate);
+  std::vector<double> y;
+  run_gated(ws.enc, ws.gate, out_mask, /*ideal=*/true, nullptr, ws, y);
+  return y;
+}
+
+std::vector<std::vector<double>> CimMacro::run_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask, bool ideal,
+    std::uint64_t noise_root, core::ThreadPool* pool) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  CIMNAV_REQUIRE(out_mask.empty() ||
+                     out_mask.size() == static_cast<std::size_t>(n_out_),
+                 "output mask size mismatch");
+  std::vector<std::vector<double>> ys(xs.size());
+  if (xs.empty()) return ys;
+
+  const std::size_t words = static_cast<std::size_t>(words_);
+  const std::size_t plane_words =
+      static_cast<std::size_t>(config_.input_bits) * words;
+  std::vector<std::uint64_t> gate;
+  pack_row_mask(in_mask, n_in_, gate);
+  std::uint64_t active_rows = 0;
+  for (std::uint64_t g : gate) active_rows += std::popcount(g);
+
+  // Phase 1: quantize + bit-plane-expand + gate every input exactly once.
+  std::vector<std::uint64_t> gated_all(xs.size() * plane_words);
+  const auto encode_range = [&](std::size_t begin, std::size_t end, int) {
+    MacroWorkspace& ws = tls_workspace();
+    for (std::size_t s = begin; s < end; ++s) {
+      encode_input(xs[s], ws.enc);
+      std::uint64_t* dst = gated_all.data() + s * plane_words;
+      for (std::size_t k = 0; k < plane_words; ++k)
+        dst[k] = ws.enc.planes[k] & gate[k % words];
+    }
+  };
+  for (auto& y : ys) y.resize(static_cast<std::size_t>(n_out_));
+
+  // Phase 2: fan (sample x column block) items over the pool. Noise
+  // streams are keyed on the item index, so any partitioning onto workers
+  // yields identical results at any thread count.
+  const std::size_t n_blocks =
+      (static_cast<std::size_t>(n_out_) + kColumnBlock - 1) / kColumnBlock;
+  const auto run_items = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t item = begin; item < end; ++item) {
+      const std::size_t s = item / n_blocks;
+      const std::size_t blk = item % n_blocks;
+      const int col_begin = static_cast<int>(blk) * kColumnBlock;
+      const int col_end = std::min(col_begin + kColumnBlock, n_out_);
+      if (ideal) {
+        run_columns(gated_all.data() + s * plane_words, active_rows,
+                    out_mask, col_begin, col_end, /*ideal=*/true, nullptr,
+                    ys[s].data());
+      } else {
+        core::Rng item_rng = core::Rng::stream(noise_root, item);
+        run_columns(gated_all.data() + s * plane_words, active_rows,
+                    out_mask, col_begin, col_end, /*ideal=*/false, &item_rng,
+                    ys[s].data());
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(xs.size(), 1, encode_range);
+    pool->parallel_for(xs.size() * n_blocks, 1, run_items);
+  } else {
+    encode_range(0, xs.size(), 0);
+    run_items(0, xs.size() * n_blocks, 0);
   }
-  return run(x, gate, out_mask, /*ideal=*/true, nullptr);
+  account(xs.size(), active_rows, count_active_cols(out_mask));
+  return ys;
+}
+
+std::vector<std::vector<double>> CimMacro::matvec_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng,
+    core::ThreadPool* pool) const {
+  return run_batch(xs, in_mask, out_mask, /*ideal=*/false, rng(), pool);
+}
+
+std::vector<std::vector<double>> CimMacro::matvec_ideal_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask,
+    core::ThreadPool* pool) const {
+  return run_batch(xs, in_mask, out_mask, /*ideal=*/true, 0, pool);
 }
 
 }  // namespace cimnav::cimsram

@@ -21,12 +21,22 @@
 // sigma = noise_coeff * sqrt(active_rows) (charge-domain mismatch/thermal
 // aggregate) plus the ADC's quantization. Counters record word-line
 // pulses, ADC conversions and nominal MACs for the energy model.
+//
+// Execution engine: the hot path is allocation-free. An input is quantized
+// and bit-plane-expanded once into an EncodedInput; row gates are packed
+// 64-bit words; all scratch lives in a per-thread Workspace. Batched entry
+// points fan (samples x column blocks) over a core::ThreadPool with noise
+// streams keyed on work-item indices, so results are bit-identical at any
+// thread count. Activity counters are atomic and may be updated from
+// concurrent workers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 
 namespace cimnav::cimsram {
 
@@ -49,17 +59,51 @@ struct MacroStats {
   std::uint64_t nominal_macs = 0;      ///< active_in x active_out per call
 };
 
+/// Quantized input expanded into packed word-line bit planes: bit b of
+/// input row i lives at planes[b * words + i/64] bit i%64. Encoding is
+/// mask-independent, so one EncodedInput serves every dropout mask of a
+/// frame (the amortization MC-Dropout batching relies on).
+struct EncodedInput {
+  std::vector<std::uint64_t> planes;
+};
+
+/// Per-thread scratch buffers for the zero-allocation execution path. All
+/// vectors grow to the largest macro they have served and then stay put.
+struct MacroWorkspace {
+  EncodedInput enc;                   ///< scratch encoding (wrapper APIs)
+  std::vector<std::uint64_t> gate;    ///< packed row gate
+  std::vector<std::uint64_t> gated;   ///< planes & gate, input_bits x words
+};
+
+/// Packs a 0/1 per-row mask (empty = all active) into word-line gate words.
+void pack_row_mask(const std::vector<std::uint8_t>& mask, int n_rows,
+                   std::vector<std::uint64_t>& gate);
+
+/// Packs an explicit row-index list into word-line gate words.
+void pack_rows(const std::vector<std::size_t>& rows, int n_rows,
+               std::vector<std::uint64_t>& gate);
+
 /// A programmed CIM macro holding one layer's weight matrix.
 class CimMacro {
  public:
   /// Quantizes and stores `weights` (row-major, n_out x n_in). The input
   /// scale maps real activations onto the unsigned input grid:
-  /// q_x = clamp(round(x / input_scale), 0, 2^input_bits - 1).
+  /// q_x = clamp(round(x / input_scale), 0, 2^input_bits - 1), evaluated
+  /// as x * (1 / input_scale) with a precomputed reciprocal — exact ties
+  /// may land one code away from the exact-division grid (irrelevant
+  /// under the analog noise model, and the ADC clamp bounds it).
   CimMacro(const std::vector<double>& weights, int n_out, int n_in,
            const CimMacroConfig& config, double input_scale);
 
+  CimMacro(CimMacro&& other) noexcept;
+  CimMacro& operator=(CimMacro&& other) noexcept;
+  CimMacro(const CimMacro&) = delete;
+  CimMacro& operator=(const CimMacro&) = delete;
+
   int n_in() const { return n_in_; }
   int n_out() const { return n_out_; }
+  /// Packed 64-bit words per word-line bit plane (= ceil(n_in / 64)).
+  int gate_words() const { return words_; }
   double weight_scale() const { return weight_scale_; }
   double input_scale() const { return input_scale_; }
   const CimMacroConfig& config() const { return config_; }
@@ -86,40 +130,106 @@ class CimMacro {
                                    const std::vector<std::uint8_t>& out_mask)
       const;
 
+  /// Quantizes and bit-plane-expands `x` once; the encoding can then be
+  /// replayed against any number of row gates / output masks.
+  void encode_input(const std::vector<double>& x, EncodedInput& enc) const;
+
+  /// Low-level gated product on a pre-packed row gate (gate_words() words;
+  /// bits past n_in must be clear). This is the engine primitive every
+  /// other entry point reduces to. `y` is resized to n_out.
+  void matvec_encoded(const EncodedInput& enc,
+                      const std::vector<std::uint64_t>& row_gate,
+                      const std::vector<std::uint8_t>& out_mask,
+                      core::Rng& rng, MacroWorkspace& ws,
+                      std::vector<double>& y) const;
+
+  /// Same, on the thread-local workspace.
+  void matvec_encoded(const EncodedInput& enc,
+                      const std::vector<std::uint64_t>& row_gate,
+                      const std::vector<std::uint8_t>& out_mask,
+                      core::Rng& rng, std::vector<double>& y) const;
+
+  /// Convenience gated product that quantizes `x` on the fly (thread-local
+  /// workspace). Validates the packed gate width.
+  std::vector<double> matvec_gated(const std::vector<double>& x,
+                                   const std::vector<std::uint64_t>& row_gate,
+                                   const std::vector<std::uint8_t>& out_mask,
+                                   core::Rng& rng) const;
+
+  /// Batched noisy product: every input is encoded once, then
+  /// (samples x column blocks) fan out over `pool` (nullptr = serial).
+  /// Noise streams are keyed on (sample, column block) indices derived
+  /// from one draw of `rng`, so results are bit-identical at any thread
+  /// count, including against the serial path.
+  std::vector<std::vector<double>> matvec_batch(
+      const std::vector<std::vector<double>>& xs,
+      const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask, core::Rng& rng,
+      core::ThreadPool* pool = nullptr) const;
+
+  /// Batched ideal product (no noise, exact accumulator); same fan-out and
+  /// the same results as per-sample matvec_ideal calls.
+  std::vector<std::vector<double>> matvec_ideal_batch(
+      const std::vector<std::vector<double>>& xs,
+      const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask,
+      core::ThreadPool* pool = nullptr) const;
+
   /// Quantized integer input code for an activation (test access).
   std::uint32_t quantize_input(double x) const;
 
-  const MacroStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative activity counters (thread-safe).
+  MacroStats stats() const;
   /// Clears the activity counters (stats are mutable bookkeeping).
-  void reset_stats() const { stats_ = MacroStats{}; }
+  void reset_stats() const;
 
  private:
-  // One differential half-column: packed bit-planes over input rows.
-  struct Plane {
-    std::vector<std::uint64_t> bits;  // ceil(n_in / 64) words
-  };
-  struct Column {
-    std::vector<Plane> pos;  // weight magnitude planes, positive side
-    std::vector<Plane> neg;  // negative side
-  };
+  /// Column range [col_begin, col_end) of the bit-serial accumulation over
+  /// pre-gated word-line planes. `gated_planes` holds input_bits x words_
+  /// words (planes & gate). No stats bookkeeping; callers account.
+  void run_columns(const std::uint64_t* gated_planes,
+                   std::uint64_t active_rows,
+                   const std::vector<std::uint8_t>& out_mask, int col_begin,
+                   int col_end, bool ideal, core::Rng* rng, double* y) const;
 
-  double column_cycle_count(const Plane& plane,
-                            const std::vector<std::uint64_t>& active_bits,
-                            int popcount_total, core::Rng& rng) const;
+  /// Engine entry shared by the single-call wrappers: gate the encoding,
+  /// run all columns, account stats.
+  void run_gated(const EncodedInput& enc,
+                 const std::vector<std::uint64_t>& row_gate,
+                 const std::vector<std::uint8_t>& out_mask, bool ideal,
+                 core::Rng* rng, MacroWorkspace& ws,
+                 std::vector<double>& y) const;
 
-  std::vector<double> run(const std::vector<double>& x,
-                          const std::vector<std::uint64_t>& row_gate,
-                          const std::vector<std::uint8_t>& out_mask,
-                          bool ideal, core::Rng* rng) const;
+  /// Shared implementation of the batched entry points.
+  std::vector<std::vector<double>> run_batch(
+      const std::vector<std::vector<double>>& xs,
+      const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask, bool ideal,
+      std::uint64_t noise_root, core::ThreadPool* pool) const;
+
+  std::uint64_t count_active_cols(
+      const std::vector<std::uint8_t>& out_mask) const;
+  std::uint64_t cycles_per_call() const;
+  void account(std::uint64_t calls, std::uint64_t active_rows,
+               std::uint64_t active_cols) const;
 
   CimMacroConfig config_;
   int n_in_ = 0;
   int n_out_ = 0;
-  int words_ = 0;  // packed words per plane
+  int words_ = 0;   // packed words per plane
+  int planes_ = 0;  // weight magnitude planes (weight_bits - 1)
   double weight_scale_ = 1.0;
   double input_scale_ = 1.0;
-  std::vector<Column> columns_;
-  mutable MacroStats stats_;
+  double inv_input_scale_ = 1.0;  // hoists the division out of quantize
+  /// Weight bit planes, contiguous per column:
+  /// bits_[((j * 2 + sign) * planes_ + p) * words_ + w].
+  std::vector<std::uint64_t> bits_;
+
+  mutable std::atomic<std::uint64_t> stat_calls_{0};
+  mutable std::atomic<std::uint64_t> stat_wordline_{0};
+  mutable std::atomic<std::uint64_t> stat_adc_{0};
+  mutable std::atomic<std::uint64_t> stat_cycles_{0};
+  mutable std::atomic<std::uint64_t> stat_macs_{0};
 };
 
 }  // namespace cimnav::cimsram

@@ -151,7 +151,7 @@ double CimLikelihoodArray::column_current(
 }
 
 double CimLikelihoodArray::ideal_current(const core::Vec3& point_v) const {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   const std::array<std::uint32_t, 3> codes{dac_.encode(point_v.x),
                                            dac_.encode(point_v.y),
                                            dac_.encode(point_v.z)};

@@ -20,6 +20,7 @@
 // behavior, not an idealization.
 #pragma once
 
+#include <atomic>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -94,7 +95,9 @@ class CimLikelihoodArray {
   const LikelihoodArrayConfig& config() const { return config_; }
 
   /// Total evaluations since construction (for energy accounting).
-  std::uint64_t evaluation_count() const { return evaluations_; }
+  std::uint64_t evaluation_count() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Column {
@@ -111,7 +114,8 @@ class CimLikelihoodArray {
   LogAdc adc_;
   std::vector<Column> columns_;
   std::vector<int> columns_per_component_;
-  mutable std::uint64_t evaluations_ = 0;
+  // Atomic: likelihood reads run concurrently from particle-block workers.
+  mutable std::atomic<std::uint64_t> evaluations_{0};
 };
 
 /// Allocates `total` columns across components proportionally to weights

@@ -58,7 +58,14 @@ GaussianFit fit_gaussian(const std::vector<double>& x,
   }
   f.sigma = std::sqrt(-1.0 / (2.0 * c2));
   f.center = c1 * f.sigma * f.sigma;
-  f.amplitude = std::exp(c0 + f.center * f.center / (2.0 * f.sigma * f.sigma));
+  const double log_amp = c0 + f.center * f.center / (2.0 * f.sigma * f.sigma);
+  // Near-zero curvature (log y almost linear, e.g. monotone exponential
+  // data) sends sigma/center to huge values and the amplitude exponent to
+  // overflow; that is "no bump", not a fit.
+  if (!std::isfinite(f.sigma) || !std::isfinite(f.center) ||
+      log_amp > 700.0 || !std::isfinite(log_amp))
+    return GaussianFit{};
+  f.amplitude = std::exp(log_amp);
 
   // R^2 in the linear domain.
   double mean_y = 0.0;

@@ -15,34 +15,34 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t v, int k) {
-  return (v << k) | (v >> (64 - k));
+}  // namespace
+
+namespace detail {
+
+ZigguratTables::ZigguratTables() {
+  double f = std::exp(-0.5 * kZigR * kZigR);
+  x[0] = kZigV / f;
+  x[1] = kZigR;
+  x[kZigLayers] = 0.0;
+  for (int i = 2; i < kZigLayers; ++i) {
+    x[i] = std::sqrt(-2.0 * std::log(kZigV / x[i - 1] + f));
+    f = std::exp(-0.5 * x[i] * x[i]);
+  }
+  for (int i = 0; i < kZigLayers; ++i) ratio[i] = x[i + 1] / x[i];
 }
 
-}  // namespace
+const ZigguratTables& ziggurat() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
+}  // namespace detail
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
   // A theoretically possible all-zero state would lock the generator.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random bits into the mantissa: uniform on [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
 }
 
 double Rng::uniform(double lo, double hi) {
@@ -81,9 +81,43 @@ double Rng::normal(double mean, double sigma) {
   return mean + sigma * normal();
 }
 
-bool Rng::bernoulli(double p) {
-  CIMNAV_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p must lie in [0, 1]");
-  return uniform() < p;
+double Rng::normal_fast_slow(std::uint64_t bits) {
+  const detail::ZigguratTables& t = detail::ziggurat();
+  using detail::kZigLayers;
+  using detail::kZigR;
+  for (;;) {
+    const int layer = static_cast<int>(bits & (kZigLayers - 1));
+    // Signed uniform in [-1, 1) from the top 53 bits.
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;
+    if (std::abs(u) < t.ratio[layer]) return u * t.x[layer];
+    if (layer == 0) {
+      // Tail beyond R: Marsaglia's exact exponential-rejection scheme.
+      double xt, yt;
+      do {
+        xt = -std::log(1.0 - uniform()) / kZigR;
+        yt = -std::log(1.0 - uniform());
+      } while (yt + yt < xt * xt);
+      return u < 0.0 ? -(kZigR + xt) : kZigR + xt;
+    }
+    // Wedge: accept x with probability proportional to the density gap
+    // between the layer's inner and outer edges.
+    const double x = u * t.x[layer];
+    const double f0 =
+        std::exp(-0.5 * (t.x[layer] * t.x[layer] - x * x));
+    const double f1 =
+        std::exp(-0.5 * (t.x[layer + 1] * t.x[layer + 1] - x * x));
+    if (f1 + uniform() * (f0 - f1) < 1.0) return x;
+    bits = (*this)();
+  }
+}
+
+double Rng::normal_fast(double mean, double sigma) {
+  CIMNAV_REQUIRE(sigma >= 0.0, "normal sigma must be non-negative");
+  return mean + sigma * normal_fast();
+}
+
+void Rng::bernoulli_range_error() {
+  CIMNAV_REQUIRE(false, "bernoulli p must lie in [0, 1]");
 }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {
@@ -114,5 +148,14 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::split() { return Rng((*this)()); }
+
+Rng Rng::stream(std::uint64_t root, std::uint64_t stream_id) {
+  // Mix the pair through two SplitMix64 steps so adjacent stream ids land
+  // on decorrelated seeds; the Rng constructor expands the result further.
+  std::uint64_t s = root;
+  const std::uint64_t mixed_root = splitmix64(s);
+  std::uint64_t t = mixed_root + 0x9E3779B97F4A7C15ull * (stream_id + 1);
+  return Rng(splitmix64(t));
+}
 
 }  // namespace cimnav::core

@@ -9,12 +9,37 @@
 // distributions work with it as well.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 namespace cimnav::core {
 
+namespace detail {
+
+/// 128-layer ziggurat tables for the unnormalized normal density
+/// f(x) = exp(-x²/2). Constants from Doornik, "An Improved Ziggurat Method
+/// to Generate Normal Random Samples" (2005): R is the rightmost layer
+/// edge, V the common area of each layer (base strip + tail included).
+inline constexpr int kZigLayers = 128;
+inline constexpr double kZigR = 3.442619855899;
+inline constexpr double kZigV = 9.91256303526217e-3;
+
+struct ZigguratTables {
+  double x[kZigLayers + 1];  // layer edges, x[0] = V/f(R) pseudo-base
+  double ratio[kZigLayers];  // x[i+1] / x[i], the no-reject threshold
+  ZigguratTables();
+};
+
+const ZigguratTables& ziggurat();
+
+}  // namespace detail
+
 /// xoshiro256++ engine with SplitMix64 seeding.
+///
+/// The raw draw, uniform() and the ziggurat fast path are defined inline:
+/// they sit on the per-ADC-cycle noise path of the CIM macro where call
+/// overhead is comparable to the work itself.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -26,10 +51,23 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
 
   /// Next raw 64-bit output.
-  result_type operator()();
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 random bits into the mantissa: uniform on [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -43,8 +81,31 @@ class Rng {
   /// Normal with given mean and standard deviation (sigma >= 0).
   double normal(double mean, double sigma);
 
-  /// Bernoulli draw with probability p of returning true.
-  bool bernoulli(double p);
+  /// Standard normal via a 128-layer ziggurat (Marsaglia-Tsang layout with
+  /// Doornik's wedge test). Exact — same distribution as normal() — but
+  /// several times faster: one raw draw and two table lookups in ~98% of
+  /// calls. Consumes the raw stream differently from normal(), so mixing
+  /// the two on one Rng changes the draw sequence (never the statistics).
+  double normal_fast() {
+    const detail::ZigguratTables& t = detail::ziggurat();
+    const std::uint64_t bits = (*this)();
+    const int layer = static_cast<int>(bits & (detail::kZigLayers - 1));
+    // Signed uniform in [-1, 1) from the top 53 bits.
+    const double u = static_cast<double>(bits >> 11) * 0x1.0p-52 - 1.0;
+    if (std::abs(u) < t.ratio[layer]) [[likely]]
+      return u * t.x[layer];
+    return normal_fast_slow(bits);
+  }
+
+  /// Ziggurat normal with given mean and standard deviation (sigma >= 0).
+  double normal_fast(double mean, double sigma);
+
+  /// Bernoulli draw with probability p of returning true. Requires
+  /// p in [0, 1] (validated out of line).
+  bool bernoulli(double p) {
+    if (p < 0.0 || p > 1.0) bernoulli_range_error();
+    return uniform() < p;
+  }
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
   /// Requires at least one strictly positive weight.
@@ -57,7 +118,23 @@ class Rng {
   /// each subsystem its own stream while keeping one experiment seed.
   Rng split();
 
+  /// Deterministic independent stream keyed by (root, stream_id). Unlike
+  /// split(), this does not advance any generator: the same pair always
+  /// yields the same stream, which makes parallel work reproducible at any
+  /// thread count when streams are keyed on work-item indices.
+  static Rng stream(std::uint64_t root, std::uint64_t stream_id);
+
  private:
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  /// Ziggurat tail / wedge handling for the ~2% of draws the inline fast
+  /// path rejects; `bits` is the raw draw that failed.
+  double normal_fast_slow(std::uint64_t bits);
+
+  [[noreturn]] static void bernoulli_range_error();
+
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;
   bool has_spare_normal_ = false;

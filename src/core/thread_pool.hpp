@@ -1,0 +1,95 @@
+// Fixed-size worker pool with a parallel_for primitive for the simulator's
+// hot loops (batched CIM matvecs, MC-Dropout iterations, particle blocks).
+//
+// Design goals, in order:
+//
+//  1. Reproducibility. Every worker owns a core::Rng stream derived
+//     deterministically from one root seed. Code that must be bit-exact at
+//     *any* thread count should instead key its streams on the work-item
+//     index via core::Rng::stream(root, index) — the partitioning of items
+//     onto workers then no longer affects results.
+//  2. Safety under nesting. parallel_for called from inside a worker (for
+//     example a batched layer inside a parallelized MC iteration) degrades
+//     to an inline serial loop instead of deadlocking the pool.
+//  3. Zero steady-state allocation. One job descriptor lives on the
+//     caller's stack; workers pull chunk indices from an atomic cursor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace cimnav::core {
+
+class ThreadPool {
+ public:
+  /// Chunked loop body: [begin, end) of the index space, executing worker id.
+  using ForBody = std::function<void(std::size_t, std::size_t, int)>;
+
+  /// `threads` <= 0 selects std::thread::hardware_concurrency(). The pool
+  /// spawns threads-1 workers; the caller of parallel_for participates as
+  /// worker 0.
+  explicit ThreadPool(int threads = 0,
+                      std::uint64_t root_seed = 0xC1A0900DD5EEDull);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller).
+  int thread_count() const { return thread_count_; }
+
+  /// Runs body over [0, n) in chunks of at most `grain` indices. Blocks
+  /// until every chunk has finished. Concurrent calls from different
+  /// threads serialize; calls from inside a pool worker run inline. If a
+  /// chunk body throws, remaining chunks still run, and the first
+  /// exception is rethrown on the calling thread after the job completes.
+  void parallel_for(std::size_t n, std::size_t grain, const ForBody& body);
+
+  /// The worker-local stream (worker 0 = the caller). Streams are seeded
+  /// deterministically from the root seed per *worker*, so results are
+  /// reproducible for a fixed thread count; use Rng::stream per item for
+  /// thread-count-independent reproducibility.
+  Rng& worker_rng(int worker);
+
+ private:
+  struct Job {
+    const ForBody* body = nullptr;
+    std::size_t n = 0;
+    std::size_t grain = 1;
+    std::size_t n_chunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> done_chunks{0};
+    // Workers currently inside drain(); the job descriptor lives on the
+    // caller's stack, so the caller must not return while this is nonzero.
+    std::atomic<int> active_workers{0};
+    // First exception thrown by any chunk body (guarded by the pool
+    // mutex); rethrown on the caller's thread once the job completes.
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+  };
+
+  void worker_loop(int worker_index);
+  void drain(Job& job, int worker_index);
+
+  int thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::vector<Rng> worker_rngs_;
+
+  std::mutex mutex_;                  // guards job_ / generation_ / stop_
+  std::condition_variable wake_;      // workers wait for a new generation
+  std::condition_variable finished_;  // caller waits for done_chunks == n
+  std::mutex submit_mutex_;           // serializes concurrent parallel_for
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace cimnav::core

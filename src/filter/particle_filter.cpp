@@ -51,10 +51,31 @@ void ParticleFilter::predict(const Control& control, core::Rng& rng) {
 }
 
 void ParticleFilter::update(const vision::DepthScan& scan,
-                            const MeasurementModel& model, core::Rng& rng) {
+                            const MeasurementModel& model, core::Rng& rng,
+                            core::ThreadPool* pool) {
   CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
-  for (auto& p : particles_)
-    p.log_weight += model.log_likelihood(p.pose, scan, rng);
+  // Fixed block size (not thread count!) keys the per-block noise streams,
+  // so weights are reproducible however the blocks land on workers.
+  constexpr std::size_t kParticleBlock = 32;
+  const std::uint64_t noise_root = rng();
+  const std::size_t n_blocks =
+      (particles_.size() + kParticleBlock - 1) / kParticleBlock;
+  const auto weigh_blocks = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t b = begin; b < end; ++b) {
+      core::Rng block_rng = core::Rng::stream(noise_root, b);
+      const std::size_t i_end =
+          std::min((b + 1) * kParticleBlock, particles_.size());
+      for (std::size_t i = b * kParticleBlock; i < i_end; ++i) {
+        auto& p = particles_[i];
+        p.log_weight += model.log_likelihood(p.pose, scan, block_rng);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_blocks, 1, weigh_blocks);
+  } else {
+    weigh_blocks(0, n_blocks, 0);
+  }
   last_update_ess_ = effective_sample_size();
   if (last_update_ess_ < config_.resample_threshold *
                              static_cast<double>(particles_.size())) {

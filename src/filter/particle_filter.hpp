@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "core/vec.hpp"
 #include "filter/measurement.hpp"
 #include "filter/motion.hpp"
@@ -57,8 +58,11 @@ class ParticleFilter {
 
   /// Correction step: re-weights particles by measurement likelihood
   /// (Eq. 1b), then resamples if the ESS fraction falls below threshold.
+  /// Likelihoods are evaluated in fixed-size particle blocks fanned over
+  /// `pool` (nullptr = serial) with noise streams keyed on block indices,
+  /// so the result is bit-identical at any thread count.
   void update(const vision::DepthScan& scan, const MeasurementModel& model,
-              core::Rng& rng);
+              core::Rng& rng, core::ThreadPool* pool = nullptr);
 
   /// Effective sample size of the current normalized weights.
   double effective_sample_size() const;

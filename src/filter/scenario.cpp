@@ -144,7 +144,7 @@ BackendRun LocalizationScenario::run(const MeasurementModel& model,
   std::vector<double> tail_errors;
   for (std::size_t i = 0; i < trajectory_.controls.size(); ++i) {
     pf.predict(trajectory_.controls[i], rng);
-    pf.update(scans_[i], model, rng);
+    pf.update(scans_[i], model, rng, config_.pool);
     const PoseEstimate est = pf.estimate();
     const core::Pose& truth = trajectory_.poses[i + 1];
 

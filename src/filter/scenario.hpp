@@ -36,6 +36,9 @@ struct ScenarioConfig {
   int cim_adc_bits = 6;
   int cim_columns = 500;
   std::uint64_t seed = 42;
+  /// Worker pool for the measurement updates (nullptr = serial); results
+  /// are bit-identical at any thread count.
+  core::ThreadPool* pool = nullptr;
 };
 
 /// A synthesized flight: ground-truth poses plus body-frame controls.

@@ -72,8 +72,28 @@ const cimsram::CimMacro& CimMlp::macro(int layer) const {
   return macros_[static_cast<std::size_t>(layer)];
 }
 
-Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
-                       core::Rng& rng) const {
+void CimMlp::encode_layer0(const Vector& x,
+                           cimsram::EncodedInput& enc) const {
+  CIMNAV_REQUIRE(x.size() ==
+                     static_cast<std::size_t>(macros_.front().n_in()),
+                 "input size mismatch");
+  if (dropout_on_input_) {
+    // Masked inputs are scaled digitally before the DAC (the CL AND gates
+    // the word line; the keep scale rides on the digital input code), so
+    // the encoded values are mask-independent: dropped rows are simply
+    // gated off.
+    thread_local Vector scaled;
+    scaled.resize(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) scaled[i] = x[i] * keep_scale_;
+    macros_.front().encode_input(scaled, enc);
+  } else {
+    macros_.front().encode_input(x, enc);
+  }
+}
+
+Vector CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
+                               const std::vector<Mask>& masks,
+                               core::Rng& rng) const {
   const int n_layers = layer_count();
   const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
   CIMNAV_REQUIRE(masks.size() == static_cast<std::size_t>(expected_sites),
@@ -82,22 +102,30 @@ Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
   std::size_t site = 0;
   const Mask empty;
   const Mask& in0 = dropout_on_input_ ? masks[site++] : empty;
+  if (dropout_on_input_)
+    CIMNAV_REQUIRE(in0.size() ==
+                       static_cast<std::size_t>(macros_.front().n_in()),
+                   "input mask size mismatch");
 
-  Vector a = x;
-  // Masked inputs are scaled digitally before the DAC (the CL AND gates
-  // the word line; the keep scale rides on the digital input code).
-  if (dropout_on_input_) {
-    CIMNAV_REQUIRE(in0.size() == a.size(), "input mask size mismatch");
-    for (std::size_t i = 0; i < a.size(); ++i)
-      a[i] = in0[i] ? a[i] * keep_scale_ : 0.0;
-  }
+  // All scratch is thread-local: the MC hot loop runs this body T times
+  // per prediction and must not allocate in steady state.
+  thread_local std::vector<std::uint64_t> gate;
+  thread_local cimsram::EncodedInput enc_hidden;
+  thread_local Vector a, z;
 
-  Mask row_mask = in0;  // rows dropped for the current layer
+  const Mask* row_mask = &in0;  // rows dropped for the current layer
   for (int l = 0; l < n_layers; ++l) {
     const bool has_hidden_mask = l + 1 < n_layers;
     const Mask& col_mask = has_hidden_mask ? masks[site] : empty;
-    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, row_mask,
-                                                           col_mask, rng);
+    const auto& macro = macros_[static_cast<std::size_t>(l)];
+    if (l == 0) {
+      cimsram::pack_row_mask(*row_mask, macro.n_in(), gate);
+      macro.matvec_encoded(enc0, gate, col_mask, rng, z);
+    } else {
+      macro.encode_input(a, enc_hidden);
+      cimsram::pack_row_mask(*row_mask, macro.n_in(), gate);
+      macro.matvec_encoded(enc_hidden, gate, col_mask, rng, z);
+    }
     const Vector& b = biases_[static_cast<std::size_t>(l)];
     for (std::size_t i = 0; i < z.size(); ++i) {
       if (!col_mask.empty() && !col_mask[i]) {
@@ -111,12 +139,42 @@ Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
         z[i] = std::max(0.0, z[i]);
         z[i] = col_mask[i] ? z[i] * keep_scale_ : 0.0;
       }
-      row_mask = col_mask;
+      row_mask = &col_mask;
       ++site;
     }
-    a = std::move(z);
+    std::swap(a, z);
   }
   return a;
+}
+
+Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
+                       core::Rng& rng) const {
+  thread_local cimsram::EncodedInput enc0;
+  encode_layer0(x, enc0);
+  return forward_encoded(enc0, masks, rng);
+}
+
+std::vector<Vector> CimMlp::forward_batch(
+    const Vector& x, const std::vector<std::vector<Mask>>& mask_sets,
+    std::uint64_t noise_root, core::ThreadPool* pool) const {
+  std::vector<Vector> outs(mask_sets.size());
+  if (mask_sets.empty()) return outs;
+  // The layer-0 values are iteration-invariant (dropout only flips gates),
+  // so quantization + bit-plane expansion amortize across all iterations.
+  cimsram::EncodedInput enc0;
+  encode_layer0(x, enc0);
+  const auto body = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t t = begin; t < end; ++t) {
+      core::Rng iter_rng = core::Rng::stream(noise_root, t);
+      outs[t] = forward_encoded(enc0, mask_sets[t], iter_rng);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(mask_sets.size(), 1, body);
+  } else {
+    body(0, mask_sets.size(), 0);
+  }
+  return outs;
 }
 
 Vector CimMlp::forward_deterministic(const Vector& x, core::Rng& rng) const {
@@ -144,28 +202,40 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
   const Mask no_col_gate;  // accumulators keep all columns live
 
   // Applies the delta rule P_i = P_{i-1} + W v|_A - W v|_D at `macro`.
+  // frozen_enc holds the bit-plane encoding of the frozen values, so both
+  // the dense (re)initialization and the sparse deltas replay it against
+  // packed row gates without re-quantizing anything.
   const auto delta_update = [&](const cimsram::CimMacro& macro,
-                                const Vector& values, const Mask& mask) {
+                                const Mask& mask) {
+    thread_local std::vector<std::uint64_t> gate;
+    thread_local std::vector<std::size_t> added, removed;
+    thread_local Vector delta;
     if (!state.valid) {
-      state.reuse_acc = macro.matvec(values, mask, no_col_gate, rng);
+      cimsram::pack_row_mask(mask, macro.n_in(), gate);
+      macro.matvec_encoded(state.frozen_enc, gate, no_col_gate, rng,
+                           state.reuse_acc);
     } else {
       CIMNAV_REQUIRE(state.prev_mask.size() == mask.size(),
                      "reuse state mask size mismatch");
-      std::vector<std::size_t> added, removed;
+      added.clear();
+      removed.clear();
       for (std::size_t i = 0; i < mask.size(); ++i) {
         if (mask[i] && !state.prev_mask[i]) added.push_back(i);
         if (!mask[i] && state.prev_mask[i]) removed.push_back(i);
       }
       if (!added.empty()) {
-        const Vector da = macro.matvec_rows(values, added, no_col_gate, rng);
+        cimsram::pack_rows(added, macro.n_in(), gate);
+        macro.matvec_encoded(state.frozen_enc, gate, no_col_gate, rng,
+                             delta);
         for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
-          state.reuse_acc[i] += da[i];
+          state.reuse_acc[i] += delta[i];
       }
       if (!removed.empty()) {
-        const Vector dr =
-            macro.matvec_rows(values, removed, no_col_gate, rng);
+        cimsram::pack_rows(removed, macro.n_in(), gate);
+        macro.matvec_encoded(state.frozen_enc, gate, no_col_gate, rng,
+                             delta);
         for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
-          state.reuse_acc[i] -= dr[i];
+          state.reuse_acc[i] -= delta[i];
       }
     }
     state.prev_mask = mask;
@@ -196,8 +266,9 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
       state.frozen_values.resize(x.size());
       for (std::size_t i = 0; i < x.size(); ++i)
         state.frozen_values[i] = x[i] * keep_scale_;
+      macros_[0].encode_input(state.frozen_values, state.frozen_enc);
     }
-    delta_update(macros_[0], state.frozen_values, in_mask);
+    delta_update(macros_[0], in_mask);
     state.valid = true;
 
     a = state.reuse_acc;
@@ -223,8 +294,9 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
         state.frozen_values[i] =
             std::max(0.0, state.layer0_preact[i] + biases_[0][i]) *
             keep_scale_;
+      macros_[1].encode_input(state.frozen_values, state.frozen_enc);
     }
-    delta_update(macros_[1], state.frozen_values, m1);
+    delta_update(macros_[1], m1);
     state.valid = true;
 
     a = state.reuse_acc;

@@ -17,10 +17,12 @@
 // iterations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cimsram/cim_macro.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/mlp.hpp"
 #include "nn/tensor.hpp"
 
@@ -42,6 +44,16 @@ class CimMlp {
   Vector forward(const Vector& x, const std::vector<Mask>& masks,
                  core::Rng& rng) const;
 
+  /// Batched masked forward: one shared input, one mask set per iteration.
+  /// The layer-0 input is quantized and bit-plane-expanded exactly once
+  /// (its values are iteration-invariant under dropout; only gates flip),
+  /// then iterations fan out over `pool` (nullptr = serial). Analog-noise
+  /// streams are keyed on the iteration index derived from `noise_root`,
+  /// so results are bit-identical at any thread count.
+  std::vector<Vector> forward_batch(
+      const Vector& x, const std::vector<std::vector<Mask>>& mask_sets,
+      std::uint64_t noise_root, core::ThreadPool* pool = nullptr) const;
+
   /// Deterministic forward (no dropout, all neurons active).
   Vector forward_deterministic(const Vector& x, core::Rng& rng) const;
 
@@ -61,6 +73,9 @@ class CimMlp {
     Vector layer0_preact;  ///< cached W1 x (hidden-site mode)
     Vector reuse_acc;      ///< full-column accumulator at the reuse layer
     Mask prev_mask;        ///< mask that produced the accumulator
+    /// Bit-plane encoding of frozen_values; delta evaluations replay it
+    /// against sparse row gates without re-quantizing.
+    cimsram::EncodedInput frozen_enc;
     bool valid = false;
   };
 
@@ -78,9 +93,14 @@ class CimMlp {
   bool dropout_on_input() const { return dropout_on_input_; }
 
  private:
-  Vector finish_layers_after_first(Vector z0, const Vector& x_unused,
-                                   const std::vector<Mask>& masks,
-                                   core::Rng& rng) const;
+  /// Full masked forward on a pre-encoded layer-0 input (the engine path
+  /// behind forward and forward_batch).
+  Vector forward_encoded(const cimsram::EncodedInput& enc0,
+                         const std::vector<Mask>& masks,
+                         core::Rng& rng) const;
+
+  /// Encodes the (dropout-scaled) layer-0 input for `x` into `enc`.
+  void encode_layer0(const Vector& x, cimsram::EncodedInput& enc) const;
 
   std::vector<cimsram::CimMacro> macros_;
   std::vector<Vector> biases_;

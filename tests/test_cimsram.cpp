@@ -353,5 +353,36 @@ TEST_F(CimMacroTest, RejectsBadArguments) {
                std::invalid_argument);
 }
 
+TEST_F(CimMacroTest, GatedMatvecValidatesRowGateWidth) {
+  // Regression: the engine core used to index a caller-provided packed row
+  // gate without checking its width; a short gate read out of bounds.
+  const int n_out = 4, n_in = 100;  // 100 rows -> 2 packed gate words
+  const auto w = random_weights(n_out, n_in, 71);
+  const auto x = random_input(n_in, 73);
+  CimMacroConfig cfg;
+  cfg.input_bits = 4;
+  cfg.weight_bits = 4;
+  const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 15.0);
+  ASSERT_EQ(macro.gate_words(), 2);
+  Rng rng(79);
+
+  std::vector<std::uint64_t> short_gate(1, ~std::uint64_t{0});
+  EXPECT_THROW(macro.matvec_gated(x, short_gate, {}, rng),
+               std::invalid_argument);
+  std::vector<std::uint64_t> long_gate(3, ~std::uint64_t{0});
+  EXPECT_THROW(macro.matvec_gated(x, long_gate, {}, rng),
+               std::invalid_argument);
+
+  // A correctly-sized all-ones gate matches the unmasked product exactly
+  // in the ideal sense: same active rows, same stats accounting.
+  std::vector<std::uint64_t> gate;
+  pack_row_mask({}, n_in, gate);
+  macro.reset_stats();
+  const auto y = macro.matvec_gated(x, gate, {}, rng);
+  EXPECT_EQ(y.size(), static_cast<std::size_t>(n_out));
+  EXPECT_EQ(macro.stats().wordline_pulses,
+            macro.stats().analog_cycles * static_cast<std::uint64_t>(n_in));
+}
+
 }  // namespace
 }  // namespace cimnav::cimsram

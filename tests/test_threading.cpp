@@ -1,0 +1,284 @@
+// Tests for the batched multi-threaded CIM execution engine: thread-pool
+// semantics, derived-stream reproducibility, batch-vs-single-call parity,
+// and bit-exact determinism of MC-Dropout predictions across thread
+// counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <cmath>
+#include <vector>
+
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
+#include "cimsram/cim_macro.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "filter/particle_filter.hpp"
+#include "nn/cim_mlp.hpp"
+#include "nn/mlp.hpp"
+
+namespace cimnav {
+namespace {
+
+using core::Rng;
+using core::ThreadPool;
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  constexpr std::size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 64, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(16, 1, [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested call must not deadlock; it degrades to a serial loop.
+      pool.parallel_for(8, 2, [&](std::size_t b2, std::size_t e2, int) {
+        total.fetch_add(e2 - b2, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16u * 8u);
+}
+
+TEST(ThreadPool, BodyExceptionRethrownOnCallerAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(64, 1,
+                        [&](std::size_t begin, std::size_t, int) {
+                          if (begin == 13)
+                            throw std::runtime_error("chunk failure");
+                        }),
+      std::runtime_error);
+  // The pool must remain fully usable after a failed job.
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(100, 3, [&](std::size_t begin, std::size_t end, int) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, WorkerRngStreamsAreDeterministic) {
+  ThreadPool a(3, /*root_seed=*/123), b(3, /*root_seed=*/123);
+  for (int w = 0; w < 3; ++w)
+    EXPECT_EQ(a.worker_rng(w)(), b.worker_rng(w)());
+  ThreadPool c(2, /*root_seed=*/456);
+  EXPECT_NE(a.worker_rng(0)(), c.worker_rng(0)());
+}
+
+TEST(RngStream, KeyedStreamsAreReproducibleAndDistinct) {
+  Rng s1 = Rng::stream(42, 7);
+  Rng s2 = Rng::stream(42, 7);
+  Rng s3 = Rng::stream(42, 8);
+  const std::uint64_t a = s1(), b = s2(), c = s3();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(RngFastNormal, MatchesNormalMoments) {
+  Rng rng(2024);
+  const int n = 200000;
+  double m = 0.0, m2 = 0.0;
+  int tail = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal_fast();
+    m += v;
+    m2 += v * v;
+    if (std::abs(v) > 2.0) ++tail;
+  }
+  m /= n;
+  m2 /= n;
+  EXPECT_NEAR(m, 0.0, 0.01);
+  EXPECT_NEAR(m2 - m * m, 1.0, 0.02);
+  // Two-sided 2-sigma tail of the standard normal is ~4.55%.
+  EXPECT_NEAR(static_cast<double>(tail) / n, 0.0455, 0.004);
+}
+
+class BatchEngineTest : public ::testing::Test {
+ protected:
+  static cimsram::CimMacro make_macro(int n_out, int n_in) {
+    Rng rng(31);
+    std::vector<double> w(static_cast<std::size_t>(n_out) *
+                          static_cast<std::size_t>(n_in));
+    for (auto& v : w) v = rng.normal(0.0, 0.3);
+    cimsram::CimMacroConfig cfg;
+    cfg.input_bits = 4;
+    cfg.weight_bits = 4;
+    return cimsram::CimMacro(w, n_out, n_in, cfg, 1.0 / 15.0);
+  }
+  static std::vector<std::vector<double>> make_inputs(int count, int n,
+                                                      std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<std::vector<double>> xs(static_cast<std::size_t>(count));
+    for (auto& x : xs) {
+      x.resize(static_cast<std::size_t>(n));
+      for (auto& v : x) v = rng.uniform();
+    }
+    return xs;
+  }
+};
+
+TEST_F(BatchEngineTest, IdealBatchMatchesSingleCallsBitExactly) {
+  const auto macro = make_macro(70, 90);  // off the block/word boundaries
+  const auto xs = make_inputs(9, 90, 37);
+  std::vector<std::uint8_t> in_mask(90, 1), out_mask(70, 1);
+  in_mask[3] = in_mask[64] = 0;
+  out_mask[0] = out_mask[33] = out_mask[69] = 0;
+
+  ThreadPool pool(4);
+  const auto batch = macro.matvec_ideal_batch(xs, in_mask, out_mask, &pool);
+  ASSERT_EQ(batch.size(), xs.size());
+  for (std::size_t s = 0; s < xs.size(); ++s) {
+    const auto single = macro.matvec_ideal(xs[s], in_mask, out_mask);
+    ASSERT_EQ(batch[s].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j)
+      EXPECT_EQ(batch[s][j], single[j]) << "sample " << s << " col " << j;
+  }
+}
+
+TEST_F(BatchEngineTest, NoisyBatchIsThreadCountInvariant) {
+  const auto macro = make_macro(48, 64);
+  const auto xs = make_inputs(7, 64, 41);
+
+  auto run = [&](ThreadPool* pool) {
+    Rng rng(99);  // same root draw -> same per-item noise streams
+    return macro.matvec_batch(xs, {}, {}, rng, pool);
+  };
+  const auto serial = run(nullptr);
+  ThreadPool p2(2), p8(8);
+  const auto two = run(&p2);
+  const auto eight = run(&p8);
+  for (std::size_t s = 0; s < xs.size(); ++s)
+    for (std::size_t j = 0; j < serial[s].size(); ++j) {
+      EXPECT_EQ(serial[s][j], two[s][j]);
+      EXPECT_EQ(serial[s][j], eight[s][j]);
+    }
+}
+
+class McDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    nn::MlpConfig cfg;
+    cfg.layer_sizes = {24, 16, 8, 3};
+    cfg.dropout_on_input = false;
+    net_ = std::make_unique<nn::Mlp>(cfg, rng);
+    std::vector<nn::Vector> calib;
+    for (int i = 0; i < 4; ++i) {
+      nn::Vector v(24);
+      for (auto& e : v) e = rng.uniform();
+      calib.push_back(std::move(v));
+    }
+    cimsram::CimMacroConfig mc;
+    mc.input_bits = 4;
+    mc.weight_bits = 4;
+    Rng crng(7);
+    cim_ = std::make_unique<nn::CimMlp>(*net_, mc, calib, crng);
+    x_.resize(24);
+    for (auto& e : x_) e = rng.uniform();
+  }
+
+  bnn::McPrediction predict(core::ThreadPool* pool, bool reuse) {
+    bnn::SoftwareMaskSource masks(Rng{11});
+    bnn::McOptions opt;
+    opt.iterations = 30;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = reuse;
+    opt.pool = pool;
+    Rng arng(13);
+    return bnn::mc_predict_cim(*cim_, x_, opt, masks, arng);
+  }
+
+  std::unique_ptr<nn::Mlp> net_;
+  std::unique_ptr<nn::CimMlp> cim_;
+  nn::Vector x_;
+};
+
+TEST_F(McDeterminismTest, DensePredictionBitExactAcrossThreadCounts) {
+  ThreadPool p1(1), p2(2), p8(8);
+  const auto serial = predict(nullptr, false);
+  const auto one = predict(&p1, false);
+  const auto two = predict(&p2, false);
+  const auto eight = predict(&p8, false);
+  ASSERT_EQ(serial.mean.size(), 3u);
+  for (std::size_t i = 0; i < serial.mean.size(); ++i) {
+    EXPECT_EQ(serial.mean[i], one.mean[i]);
+    EXPECT_EQ(serial.mean[i], two.mean[i]);
+    EXPECT_EQ(serial.mean[i], eight.mean[i]);
+    EXPECT_EQ(serial.variance[i], one.variance[i]);
+    EXPECT_EQ(serial.variance[i], two.variance[i]);
+    EXPECT_EQ(serial.variance[i], eight.variance[i]);
+  }
+}
+
+TEST_F(McDeterminismTest, ReusePredictionBitExactAcrossThreadCounts) {
+  ThreadPool p2(2), p8(8);
+  const auto serial = predict(nullptr, true);
+  const auto two = predict(&p2, true);
+  const auto eight = predict(&p8, true);
+  for (std::size_t i = 0; i < serial.mean.size(); ++i) {
+    EXPECT_EQ(serial.mean[i], two.mean[i]);
+    EXPECT_EQ(serial.mean[i], eight.mean[i]);
+    EXPECT_EQ(serial.variance[i], two.variance[i]);
+    EXPECT_EQ(serial.variance[i], eight.variance[i]);
+  }
+}
+
+TEST_F(McDeterminismTest, DenseAndReuseAgreeStatistically) {
+  // Reuse replays the same masks through the delta rule; predictions must
+  // agree closely (analog noise paths differ, so not bit-exact).
+  ThreadPool p4(4);
+  const auto dense = predict(&p4, false);
+  const auto reuse = predict(&p4, true);
+  for (std::size_t i = 0; i < dense.mean.size(); ++i)
+    EXPECT_NEAR(dense.mean[i], reuse.mean[i],
+                0.25 * (1.0 + std::abs(dense.mean[i])));
+}
+
+TEST(ParticleFilterThreading, UpdateBitExactAcrossThreadCounts) {
+  filter::ParticleFilterConfig cfg;
+  cfg.particle_count = 100;
+  // Digital likelihood stand-in keyed only on the pose, so weights are a
+  // pure function of the particle cloud.
+  class FakeModel final : public filter::MeasurementModel {
+   public:
+    double log_likelihood(const core::Pose& pose,
+                          const vision::DepthScan&,
+                          core::Rng& rng) const override {
+      // Consumes the per-block stream like an analog backend would.
+      return -pose.position.norm() + 1e-9 * rng.uniform();
+    }
+    const char* name() const override { return "fake"; }
+  } model;
+
+  auto run = [&](core::ThreadPool* pool) {
+    filter::ParticleFilter pf(cfg);
+    Rng rng(17);
+    pf.init_uniform({0, 0, 0}, {3, 3, 2}, rng);
+    vision::DepthScan scan;
+    pf.update(scan, model, rng, pool);
+    return pf.particles();
+  };
+  ThreadPool p2(2), p8(8);
+  const auto serial = run(nullptr);
+  const auto two = run(&p2);
+  const auto eight = run(&p8);
+  ASSERT_EQ(serial.size(), two.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].log_weight, two[i].log_weight);
+    EXPECT_EQ(serial[i].log_weight, eight[i].log_weight);
+  }
+}
+
+}  // namespace
+}  // namespace cimnav

@@ -11,13 +11,18 @@
 
 #include "bnn/mask_source.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "vo/pipeline.hpp"
 
 int main() {
   using namespace cimnav;
   std::printf("=== Fig. 3(c-e): uncertainty-expressive VO trajectories ===\n\n");
 
+  // Each frame's MC iterations fan out over the pool (bit-identical to a
+  // serial run; see VoPipelineConfig::pool).
+  core::ThreadPool pool;
   vo::VoPipelineConfig cfg;
+  cfg.pool = &pool;
   const vo::VoPipeline pipe(cfg);
   std::printf("trained VO regressor: train MSE %.5f, test MSE %.5f\n\n",
               pipe.train_mse(), pipe.test_mse());

@@ -7,13 +7,16 @@
 #include "bnn/mask_source.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "vo/pipeline.hpp"
 
 int main() {
   using namespace cimnav;
   std::printf("=== Fig. 3(f): pose error vs predictive uncertainty ===\n\n");
 
+  core::ThreadPool pool;
   vo::VoPipelineConfig cfg;
+  cfg.pool = &pool;
   const vo::VoPipeline pipe(cfg);
 
   core::Table corr({"condition", "Pearson", "Spearman",

@@ -19,7 +19,9 @@
 #include "bnn/mask_source.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "circuit/array.hpp"
+#include "cimsram/backend.hpp"
 #include "cimsram/cim_macro.hpp"
+#include "cimsram/sharded_macro.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/particle_filter.hpp"
 #include "nn/cim_mlp.hpp"
@@ -297,24 +299,40 @@ int main() {
     if (sink == 42.0) std::printf("%f", sink);
   }
 
-  {  // CIM macro matvec: single call and batch-of-30.
+  {  // CIM macro matvec: single call and batch-of-30, per backend.
     for (int n : {64, 128}) {
       core::Rng rng(11);
       std::vector<double> w(static_cast<std::size_t>(n) *
                             static_cast<std::size_t>(n));
       for (auto& v : w) v = rng.normal(0.0, 0.3);
-      cimsram::CimMacroConfig cfg;
-      const cimsram::CimMacro macro(w, n, n, cfg, 1.0 / 63.0);
       std::vector<double> x(static_cast<std::size_t>(n));
       for (auto& v : x) v = rng.uniform();
       core::Rng arng(13);
       const double macs = static_cast<double>(n) * n;
-      suite.run("cim_macro_matvec/n=" + std::to_string(n), 1, macs, "macs",
-                [&] { macro.matvec(x, {}, {}, arng); });
       const std::vector<std::vector<double>> xs(30, x);
-      suite.run("cim_macro_matvec_batch30/n=" + std::to_string(n), 1,
-                30.0 * macs,
-                "macs", [&] { macro.matvec_batch(xs, {}, {}, arng); });
+      for (const std::string& be : cimsram::backend_names()) {
+        cimsram::CimMacroConfig cfg;
+        cfg.backend = be;
+        const cimsram::CimMacro macro(w, n, n, cfg, 1.0 / 63.0);
+        suite.run("cim_macro_matvec/n=" + std::to_string(n) + "/" + be, 1,
+                  macs, "macs", [&] { macro.matvec(x, {}, {}, arng); });
+        suite.run("cim_macro_matvec_batch30/n=" + std::to_string(n) + "/" +
+                      be,
+                  1, 30.0 * macs, "macs",
+                  [&] { macro.matvec_batch(xs, {}, {}, arng); });
+      }
+      if (n == 128) {
+        // Same layer split across 64x64 physical arrays (2x2 shard grid)
+        // behind the MacroLike surface.
+        cimsram::CimMacroConfig cfg;
+        cfg.max_rows = 64;
+        cfg.max_cols = 64;
+        const auto sharded =
+            cimsram::make_macro(w, n, n, cfg, 1.0 / 63.0);
+        suite.run("cim_macro_matvec_batch30/n=128/sharded64x64", 1,
+                  30.0 * macs, "macs",
+                  [&] { sharded->matvec_batch(xs, {}, {}, arng); });
+      }
     }
   }
 
@@ -418,6 +436,47 @@ int main() {
         "\nmc_predict_cim speedup vs single-threaded seed path: "
         "%.2fx (1 thread), %.2fx (8 threads)\n\n",
         speedup1, speedup8);
+
+    // Backend sweep: the same prediction through every registered column
+    // kernel, serially, so the ratio isolates the kernel itself. Each
+    // backend is measured three times in alternation and the medians are
+    // compared, shielding the tracked bitsliced/reference ratio from
+    // CPU-steal spikes on shared hosts (the two sides are timed in
+    // different windows, so a spike on one side would otherwise skew the
+    // ratio).
+    std::vector<double> ref_runs, bit_runs;
+    for (int round = 0; round < 3; ++round) {
+      for (const std::string& be : cimsram::backend_names()) {
+        cimsram::CimMacroConfig bcfg = mc;
+        bcfg.backend = be;
+        core::Rng bcrng(7);
+        const nn::CimMlp bcim(net, bcfg, calib, bcrng);
+        bnn::SoftwareMaskSource bmasks(core::Rng{11});
+        bnn::McOptions opt;
+        opt.iterations = kIters;
+        opt.dropout_p = kP;
+        core::Rng barng(13);
+        const auto res = suite.run(
+            "mc_predict_cim/backend=" + be + "/round=" +
+                std::to_string(round),
+            1, macs_per_pred, "macs",
+            [&] { bnn::mc_predict_cim(bcim, x, opt, bmasks, barng); });
+        if (be == "reference") ref_runs.push_back(res.ns_per_op);
+        if (be == "bitsliced") bit_runs.push_back(res.ns_per_op);
+      }
+    }
+    if (!ref_runs.empty() && !bit_runs.empty()) {
+      const auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+      };
+      const double ratio = median(ref_runs) / median(bit_runs);
+      suite.add_summary("mc_predict_bitsliced_speedup_vs_reference", ratio);
+      std::printf(
+          "\nmc_predict_cim BitSlicedBackend speedup vs ReferenceBackend: "
+          "%.2fx\n\n",
+          ratio);
+    }
   }
 
   suite.write_json();

@@ -11,6 +11,7 @@
 #include "bnn/mask_source.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "vo/conformal.hpp"
 #include "vo/pipeline.hpp"
 
@@ -18,7 +19,11 @@ int main() {
   using namespace cimnav;
   std::printf("cimnav uncertainty-aware VO on the SRAM CIM macro\n\n");
 
+  // MC iterations of each frame fan out over the pool; results are
+  // bit-identical to a serial run (noise keyed on iteration indices).
+  core::ThreadPool pool;
   vo::VoPipelineConfig cfg;
+  cfg.pool = &pool;
   cfg.train_samples = 4000;
   cfg.train.epochs = 120;
   cfg.test_steps = 120;

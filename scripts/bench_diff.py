@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare freshly emitted BENCH_*.json against the
+committed baselines and fail on regressions of tracked metrics.
+
+Only *summary* metrics are tracked, and almost all of them are within-run
+ratios (speedups) or deterministic workload counts (word-line pulses), so
+they are comparable across machines of different absolute speed. Raw
+ns/op results are reported but never gated — they are meaningless across
+heterogeneous CI hosts.
+
+Usage:
+  scripts/bench_diff.py [--baseline-dir bench/baselines] [--current-dir .]
+                        [--threshold 0.20]
+
+Exit status 1 when any tracked metric regresses by more than the
+threshold (default 20%, the CI gate from the ROADMAP).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# metric -> direction:
+#   "higher" : larger is better (speedups, savings); fail on a drop
+#   "lower"  : smaller is better (workload counts); fail on a rise
+#   "stable" : a deterministic quantity; fail on drift either way
+TRACKED = {
+    "BENCH_micro.json": {
+        "mc_predict_speedup_1t_vs_seed": "higher",
+        "mc_predict_speedup_8t_vs_seed": "higher",
+        "mc_predict_bitsliced_speedup_vs_reference": "higher",
+        "mc_predict_macs_per_pred": "stable",
+    },
+    "BENCH_compute_reuse.json": {
+        "wordline_pulses_dense": "lower",
+        "wordline_pulses_reuse": "lower",
+        "wordline_pulses_reuse_order": "lower",
+        "reuse_saving": "higher",
+    },
+}
+
+
+def load_summary(path):
+    with open(path) as f:
+        return json.load(f).get("summary", {})
+
+
+def relative_regression(direction, base, cur):
+    """Fractional regression of `cur` vs `base` (positive = worse)."""
+    if base == 0:
+        return 0.0
+    if direction == "higher":
+        return (base - cur) / abs(base)
+    if direction == "lower":
+        return (cur - base) / abs(base)
+    return abs(cur - base) / abs(base)  # stable
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--current-dir", default=".")
+    ap.add_argument("--threshold", type=float, default=0.20)
+    args = ap.parse_args()
+
+    failures = []
+    checked = 0
+    for fname, metrics in TRACKED.items():
+        base_path = os.path.join(args.baseline_dir, fname)
+        cur_path = os.path.join(args.current_dir, fname)
+        if not os.path.exists(base_path):
+            print(f"[bench_diff] no baseline {base_path}; skipping "
+                  f"(commit one to start gating)")
+            continue
+        if not os.path.exists(cur_path):
+            failures.append(f"{fname}: fresh results missing at {cur_path}")
+            continue
+        base = load_summary(base_path)
+        cur = load_summary(cur_path)
+        for metric, direction in metrics.items():
+            if metric not in base:
+                print(f"[bench_diff] {fname}:{metric} not in baseline; "
+                      f"skipping (refresh the baseline to start gating it)")
+                continue
+            if metric not in cur:
+                failures.append(f"{fname}: tracked metric '{metric}' "
+                                f"missing from fresh results")
+                continue
+            checked += 1
+            reg = relative_regression(direction, base[metric], cur[metric])
+            status = "FAIL" if reg > args.threshold else "ok"
+            print(f"[bench_diff] {status:4s} {fname}:{metric} ({direction}) "
+                  f"baseline {base[metric]:.4f} -> current {cur[metric]:.4f} "
+                  f"({reg:+.1%} regression)")
+            if reg > args.threshold:
+                failures.append(
+                    f"{fname}: {metric} regressed {reg:.1%} "
+                    f"({base[metric]:.4f} -> {cur[metric]:.4f}, "
+                    f"threshold {args.threshold:.0%})")
+
+    print(f"[bench_diff] {checked} tracked metrics checked, "
+          f"{len(failures)} failure(s)")
+    for f in failures:
+        print(f"[bench_diff] FAILURE: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,4 +16,9 @@ ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"
 ./build/bench_micro
 ./build/bench_compute_reuse
 
-echo "check.sh: build, tests and benches all passed"
+# Perf-trajectory gate: tracked summary metrics (within-run speedup ratios
+# and deterministic workload counts) must stay within 20% of the committed
+# baselines under bench/baselines/.
+python3 scripts/bench_diff.py
+
+echo "check.sh: build, tests, benches and perf gate all passed"

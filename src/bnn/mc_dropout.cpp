@@ -40,17 +40,6 @@ class VectorStats {
   nn::Vector m2_;
 };
 
-cimsram::MacroStats stats_delta(const cimsram::MacroStats& after,
-                                const cimsram::MacroStats& before) {
-  cimsram::MacroStats d;
-  d.matvec_calls = after.matvec_calls - before.matvec_calls;
-  d.wordline_pulses = after.wordline_pulses - before.wordline_pulses;
-  d.adc_conversions = after.adc_conversions - before.adc_conversions;
-  d.analog_cycles = after.analog_cycles - before.analog_cycles;
-  d.nominal_macs = after.nominal_macs - before.nominal_macs;
-  return d;
-}
-
 }  // namespace
 
 double McPrediction::scalar_variance() const {
@@ -132,9 +121,14 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
     widths.push_back(net.macro(l).n_out());
 
   // Pre-draw all T mask sets (the ordering optimization needs them all).
+  // Buffers are thread_local so the MC hot path stops allocating after
+  // the first prediction of each shape.
   std::uint64_t bits_drawn = 0;
-  std::vector<std::vector<nn::Mask>> mask_sets(
-      static_cast<std::size_t>(options.iterations));
+  // NB: pool-worker lambdas below must see the *caller's* instance, so
+  // the thread_local is reached through a captured local reference.
+  thread_local std::vector<std::vector<nn::Mask>> mask_sets_tls;
+  std::vector<std::vector<nn::Mask>>& mask_sets = mask_sets_tls;
+  mask_sets.resize(static_cast<std::size_t>(options.iterations));
   for (auto& set : mask_sets) {
     set.resize(widths.size());
     for (std::size_t s = 0; s < widths.size(); ++s) {
@@ -147,11 +141,12 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   }
 
   // The reuse locus is always mask site 0: the input mask when input-site
-  // dropout is on, the first hidden mask otherwise.
+  // dropout is on, the first hidden mask otherwise. The locus copies are
+  // only needed by the ordering optimization and the flip accounting.
   std::vector<std::size_t> order(mask_sets.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::vector<nn::Mask> locus_masks;
-  if (!widths.empty()) {
+  if (!widths.empty() && (options.order_samples || workload != nullptr)) {
     locus_masks.reserve(mask_sets.size());
     for (const auto& set : mask_sets) locus_masks.push_back(set[0]);
     if (options.order_samples)
@@ -167,7 +162,8 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   const bool can_reuse =
       options.compute_reuse &&
       (net.dropout_on_input() || net.layer_count() >= 2) && !widths.empty();
-  std::vector<nn::Vector> outputs;
+  thread_local std::vector<nn::Vector> outputs_tls;
+  std::vector<nn::Vector>& outputs = outputs_tls;
   if (!can_reuse) {
     // Dense path: every iteration is independent; fan them all out. The
     // visiting order is the identity unless sample ordering was requested
@@ -178,10 +174,9 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
       ordered_sets.reserve(t_total);
       for (std::size_t k = 0; k < t_total; ++k)
         ordered_sets.push_back(mask_sets[order[k]]);
-      outputs =
-          net.forward_batch(x, ordered_sets, noise_root, options.pool);
+      net.forward_batch(x, ordered_sets, noise_root, options.pool, outputs);
     } else {
-      outputs = net.forward_batch(x, mask_sets, noise_root, options.pool);
+      net.forward_batch(x, mask_sets, noise_root, options.pool, outputs);
     }
   } else {
     // Reuse path: the delta accumulator chains iterations sequentially,
@@ -218,7 +213,7 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   for (const auto& out : outputs) stats.add(out);
 
   if (workload != nullptr) {
-    workload->macro = stats_delta(net.total_stats(), before);
+    workload->macro = net.total_stats() - before;
     workload->mask_bits_drawn = bits_drawn;
     workload->input_mask_flips =
         locus_masks.empty() ? 0 : total_hamming(locus_masks, order);

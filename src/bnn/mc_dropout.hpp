@@ -59,6 +59,14 @@ struct McWorkload {
   cimsram::MacroStats macro;           ///< analog activity during the run
   std::uint64_t input_mask_flips = 0;  ///< sum of consecutive Hamming dists
   std::uint64_t mask_bits_drawn = 0;
+
+  /// Aggregation across predictions (e.g. a whole VO trajectory).
+  McWorkload& operator+=(const McWorkload& o) {
+    macro += o.macro;
+    input_mask_flips += o.input_mask_flips;
+    mask_bits_drawn += o.mask_bits_drawn;
+    return *this;
+  }
 };
 
 /// Reference float MC-Dropout on the trained network.

@@ -14,57 +14,30 @@ namespace {
 // derived noise stream.
 constexpr int kColumnBlock = 32;
 
-// Upper bound on bit-serial cycles per column: 2 sides x (weight_bits-1)
-// planes x input_bits, with both precisions capped at 12 in the config
-// validation. Sizes the per-column stack buffers in run_columns.
-constexpr int kMaxCycles = 2 * 11 * 12;
-
 MacroWorkspace& tls_workspace() {
   thread_local MacroWorkspace ws;
   return ws;
 }
 
-// Stage-1 kernel of run_columns: bit-coincidence counts for every
-// (sign-plane, input-bit) cycle of one column. Specialized on the packed
-// word count so the inner loop fully unrolls for the common macro sizes
-// (W = 0 is the runtime-length fallback).
-template <int W>
-void fill_counts(const std::uint64_t* col, const std::uint64_t* gated_planes,
-                 int sign_planes, int input_bits, std::size_t words,
-                 double* counts) {
-  int c = 0;
-  for (int sp = 0; sp < sign_planes; ++sp) {
-    const std::uint64_t* plane =
-        col + static_cast<std::size_t>(sp) * (W > 0 ? W : words);
-    for (int b = 0; b < input_bits; ++b) {
-      const std::uint64_t* xb =
-          gated_planes + static_cast<std::size_t>(b) * (W > 0 ? W : words);
-      int pop = 0;
-      if constexpr (W > 0) {
-        for (int w = 0; w < W; ++w) pop += std::popcount(plane[w] & xb[w]);
-      } else {
-        for (std::size_t w = 0; w < words; ++w)
-          pop += std::popcount(plane[w] & xb[w]);
-      }
-      counts[c++] = static_cast<double>(pop);
-    }
-  }
-}
-
-using FillCountsFn = void (*)(const std::uint64_t*, const std::uint64_t*,
-                              int, int, std::size_t, double*);
-
-FillCountsFn select_fill_counts(int words) {
-  switch (words) {
-    case 1: return &fill_counts<1>;
-    case 2: return &fill_counts<2>;
-    case 3: return &fill_counts<3>;
-    case 4: return &fill_counts<4>;
-    default: return &fill_counts<0>;
-  }
-}
-
 }  // namespace
+
+MacroStats& MacroStats::operator+=(const MacroStats& o) {
+  matvec_calls += o.matvec_calls;
+  wordline_pulses += o.wordline_pulses;
+  adc_conversions += o.adc_conversions;
+  analog_cycles += o.analog_cycles;
+  nominal_macs += o.nominal_macs;
+  return *this;
+}
+
+MacroStats& MacroStats::operator-=(const MacroStats& o) {
+  matvec_calls -= o.matvec_calls;
+  wordline_pulses -= o.wordline_pulses;
+  adc_conversions -= o.adc_conversions;
+  analog_cycles -= o.analog_cycles;
+  nominal_macs -= o.nominal_macs;
+  return *this;
+}
 
 void pack_row_mask(const std::vector<std::uint8_t>& mask, int n_rows,
                    std::vector<std::uint64_t>& gate) {
@@ -72,10 +45,22 @@ void pack_row_mask(const std::vector<std::uint8_t>& mask, int n_rows,
                      mask.size() == static_cast<std::size_t>(n_rows),
                  "row mask size mismatch");
   const std::size_t words = static_cast<std::size_t>((n_rows + 63) / 64);
-  gate.assign(words, 0);
-  for (int i = 0; i < n_rows; ++i) {
-    if (mask.empty() || mask[static_cast<std::size_t>(i)])
-      gate[static_cast<std::size_t>(i / 64)] |= (std::uint64_t{1} << (i % 64));
+  if (mask.empty()) {
+    gate.assign(words, ~std::uint64_t{0});
+    if (n_rows % 64 != 0) gate[words - 1] = (std::uint64_t{1} << (n_rows % 64)) - 1;
+    return;
+  }
+  gate.resize(words);
+  // Branchless bit packing: random dropout masks mispredict a per-bit
+  // branch half the time, which dominated this loop.
+  for (std::size_t w = 0; w < words; ++w) {
+    const int i0 = static_cast<int>(w) * 64;
+    const int i1 = std::min(i0 + 64, n_rows);
+    std::uint64_t g = 0;
+    for (int i = i0; i < i1; ++i)
+      g |= static_cast<std::uint64_t>(mask[static_cast<std::size_t>(i)] != 0)
+           << (i - i0);
+    gate[w] = g;
   }
 }
 
@@ -90,8 +75,10 @@ void pack_rows(const std::vector<std::size_t>& rows, int n_rows,
 }
 
 CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
-                   const CimMacroConfig& config, double input_scale)
-    : config_(config), n_in_(n_in), n_out_(n_out), input_scale_(input_scale),
+                   const CimMacroConfig& config, double input_scale,
+                   double weight_scale_override)
+    : config_(config), backend_(&backend(config.backend)), n_in_(n_in),
+      n_out_(n_out), input_scale_(input_scale),
       inv_input_scale_(1.0 / input_scale) {
   CIMNAV_REQUIRE(n_in > 0 && n_out > 0, "matrix dims must be positive");
   CIMNAV_REQUIRE(weights.size() == static_cast<std::size_t>(n_in) *
@@ -104,12 +91,19 @@ CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
   CIMNAV_REQUIRE(config.adc_bits >= 1 && config.adc_bits <= 16,
                  "adc bits must be in [1, 16]");
   CIMNAV_REQUIRE(input_scale > 0.0, "input scale must be positive");
+  CIMNAV_REQUIRE(weight_scale_override >= 0.0,
+                 "weight scale override must be non-negative");
 
-  // Per-tensor symmetric weight quantization.
-  double w_max = 0.0;
-  for (double w : weights) w_max = std::max(w_max, std::abs(w));
+  // Per-tensor symmetric weight quantization (optionally on a shared grid
+  // forced by a composite macro).
   const int mag_max = (1 << (config.weight_bits - 1)) - 1;
-  weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+  if (weight_scale_override > 0.0) {
+    weight_scale_ = weight_scale_override;
+  } else {
+    double w_max = 0.0;
+    for (double w : weights) w_max = std::max(w_max, std::abs(w));
+    weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+  }
 
   words_ = (n_in + 63) / 64;
   planes_ = config.weight_bits - 1;
@@ -143,9 +137,10 @@ CimMacro::CimMacro(const std::vector<double>& weights, int n_out, int n_in,
 }
 
 CimMacro::CimMacro(CimMacro&& other) noexcept
-    : config_(other.config_), n_in_(other.n_in_), n_out_(other.n_out_),
-      words_(other.words_), planes_(other.planes_),
-      weight_scale_(other.weight_scale_), input_scale_(other.input_scale_),
+    : config_(std::move(other.config_)), backend_(other.backend_),
+      n_in_(other.n_in_), n_out_(other.n_out_), words_(other.words_),
+      planes_(other.planes_), weight_scale_(other.weight_scale_),
+      input_scale_(other.input_scale_),
       inv_input_scale_(other.inv_input_scale_), bits_(std::move(other.bits_)) {
   stat_calls_.store(other.stat_calls_.load());
   stat_wordline_.store(other.stat_wordline_.load());
@@ -156,7 +151,8 @@ CimMacro::CimMacro(CimMacro&& other) noexcept
 
 CimMacro& CimMacro::operator=(CimMacro&& other) noexcept {
   if (this != &other) {
-    config_ = other.config_;
+    config_ = std::move(other.config_);
+    backend_ = other.backend_;
     n_in_ = other.n_in_;
     n_out_ = other.n_out_;
     words_ = other.words_;
@@ -174,35 +170,57 @@ CimMacro& CimMacro::operator=(CimMacro&& other) noexcept {
   return *this;
 }
 
+void encode_input_planes(const std::vector<double>& x, int n_in,
+                         int input_bits, double inv_input_scale,
+                         EncodedInput& enc) {
+  CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(n_in),
+                 "input size mismatch");
+  CIMNAV_REQUIRE(input_bits >= 1 && input_bits <= 12,
+                 "input bits must be in [1, 12]");
+  const int words = (n_in + 63) / 64;
+  const std::size_t stride = static_cast<std::size_t>(words);
+  const int max_code = (1 << input_bits) - 1;
+  enc.planes.assign(static_cast<std::size_t>(input_bits) * stride, 0);
+  // Word-at-a-time: accumulate the word's bit planes in registers, store
+  // once per plane (the per-bit read-modify-write of the naive loop is
+  // measurable in the MC hot path).
+  for (int w = 0; w < words; ++w) {
+    std::uint64_t acc[12] = {};
+    const int i0 = w * 64;
+    const int i1 = std::min(i0 + 64, n_in);
+    for (int i = i0; i < i1; ++i) {
+      // Truncation of (x / s + 0.5) equals lround(x / s) for every value
+      // the [0, max] clamp can produce, and inlines where lround would not.
+      const auto code = static_cast<int>(
+          x[static_cast<std::size_t>(i)] * inv_input_scale + 0.5);
+      const std::uint32_t q =
+          static_cast<std::uint32_t>(std::clamp(code, 0, max_code));
+      // Branchless scatter: data-dependent skips mispredict on real
+      // activations; input_bits unconditional ORs are cheaper.
+      for (int b = 0; b < input_bits; ++b)
+        acc[b] |= static_cast<std::uint64_t>((q >> b) & 1u) << (i - i0);
+    }
+    for (int b = 0; b < input_bits; ++b)
+      enc.planes[static_cast<std::size_t>(b) * stride +
+                 static_cast<std::size_t>(w)] = acc[b];
+  }
+}
+
 std::uint32_t CimMacro::quantize_input(double x) const {
   const int max_code = (1 << config_.input_bits) - 1;
-  const auto code = static_cast<int>(std::lround(x * inv_input_scale_));
+  const auto code = static_cast<int>(x * inv_input_scale_ + 0.5);
   return static_cast<std::uint32_t>(std::clamp(code, 0, max_code));
 }
 
 void CimMacro::encode_input(const std::vector<double>& x,
                             EncodedInput& enc) const {
-  CIMNAV_REQUIRE(x.size() == static_cast<std::size_t>(n_in_),
-                 "input size mismatch");
-  const std::size_t stride = static_cast<std::size_t>(words_);
-  enc.planes.assign(static_cast<std::size_t>(config_.input_bits) * stride, 0);
-  for (int i = 0; i < n_in_; ++i) {
-    const std::uint32_t q = quantize_input(x[static_cast<std::size_t>(i)]);
-    if (q == 0) continue;
-    const std::uint64_t bit = std::uint64_t{1} << (i % 64);
-    const std::size_t word = static_cast<std::size_t>(i / 64);
-    for (int b = 0; b < config_.input_bits; ++b) {
-      if ((q >> b) & 1)
-        enc.planes[static_cast<std::size_t>(b) * stride + word] |= bit;
-    }
-  }
+  encode_input_planes(x, n_in_, config_.input_bits, inv_input_scale_, enc);
 }
 
-std::uint64_t CimMacro::count_active_cols(
-    const std::vector<std::uint8_t>& out_mask) const {
-  if (out_mask.empty()) return static_cast<std::uint64_t>(n_out_);
+std::uint64_t CimMacro::count_active_cols(const std::uint8_t* out_mask) const {
+  if (out_mask == nullptr) return static_cast<std::uint64_t>(n_out_);
   std::uint64_t c = 0;
-  for (std::uint8_t m : out_mask) c += m ? 1 : 0;
+  for (int j = 0; j < n_out_; ++j) c += out_mask[j] ? 1 : 0;
   return c;
 }
 
@@ -242,76 +260,43 @@ void CimMacro::reset_stats() const {
   stat_macs_.store(0, std::memory_order_relaxed);
 }
 
-void CimMacro::run_columns(const std::uint64_t* gated_planes,
-                           std::uint64_t active_rows,
-                           const std::vector<std::uint8_t>& out_mask,
-                           int col_begin, int col_end, bool ideal,
-                           core::Rng* rng, double* y) const {
-  // The column ADC spans the full physical row count.
-  const double adc_levels = static_cast<double>((1 << config_.adc_bits) - 1);
-  const double adc_step = static_cast<double>(n_in_) / adc_levels;
-  const double inv_adc_step = 1.0 / adc_step;
-  const bool noisy = !ideal && config_.analog_noise && rng != nullptr &&
-                     active_rows > 0;
-  const double noise_sigma =
-      noisy ? config_.noise_coeff *
-                  std::sqrt(static_cast<double>(active_rows))
-            : 0.0;
+MacroView CimMacro::view(bool unit_scale) const {
+  MacroView v;
+  v.weight_bits = bits_.data();
+  v.n_in = n_in_;
+  v.n_out = n_out_;
+  v.words = words_;
+  v.planes = planes_;
+  v.input_bits = config_.input_bits;
+  v.adc_bits = config_.adc_bits;
+  v.analog_noise = config_.analog_noise;
+  v.noise_coeff = config_.noise_coeff;
+  v.weight_scale = unit_scale ? 1.0 : weight_scale_;
+  v.input_scale = unit_scale ? 1.0 : input_scale_;
+  return v;
+}
+
+void CimMacro::run_view(const std::uint64_t* planes, std::size_t plane_stride,
+                        const std::uint64_t* row_gate,
+                        const std::uint8_t* out_mask, bool ideal,
+                        bool unit_scale, core::Rng* rng, MacroWorkspace& ws,
+                        double* y) const {
   const std::size_t words = static_cast<std::size_t>(words_);
-  const std::size_t col_stride =
-      2u * static_cast<std::size_t>(planes_) * words;
-  const int cycles = 2 * planes_ * config_.input_bits;
-
-  // Shift-add weight of each (sign, plane, input-bit) cycle, in cycle
-  // order: +/- 2^(p+b). Shared by every column of this call.
-  double wtab[kMaxCycles];
-  {
-    int c = 0;
-    for (int sign = 0; sign < 2; ++sign) {
-      const double sgn = sign == 0 ? 1.0 : -1.0;
-      for (int p = 0; p < planes_; ++p)
-        for (int b = 0; b < config_.input_bits; ++b)
-          wtab[c++] = sgn * static_cast<double>(std::uint64_t{1} << (p + b));
-    }
+  ws.gated.resize(static_cast<std::size_t>(config_.input_bits) * words);
+  for (int b = 0; b < config_.input_bits; ++b) {
+    const std::uint64_t* src = planes + static_cast<std::size_t>(b) *
+                                            plane_stride;
+    std::uint64_t* dst = ws.gated.data() + static_cast<std::size_t>(b) *
+                                               words;
+    for (std::size_t w = 0; w < words; ++w) dst[w] = src[w] & row_gate[w];
   }
+  std::uint64_t active_rows = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    active_rows += static_cast<std::uint64_t>(std::popcount(row_gate[w]));
 
-  const FillCountsFn fill = select_fill_counts(words_);
-  for (int j = col_begin; j < col_end; ++j) {
-    if (!out_mask.empty() && !out_mask[static_cast<std::size_t>(j)]) {
-      y[j] = 0.0;
-      continue;
-    }
-    const std::uint64_t* col =
-        bits_.data() + static_cast<std::size_t>(j) * col_stride;
-
-    // Stage 1: bit-coincidence counts for every cycle of this column.
-    double counts[kMaxCycles];
-    fill(col, gated_planes, 2 * planes_, config_.input_bits, words, counts);
-
-    // Stage 2: per-cycle analog disturbance (sequential draws, in cycle
-    // order, so the noise stream consumption is well defined).
-    if (noisy) {
-      for (int i = 0; i < cycles; ++i)
-        counts[i] += noise_sigma * rng->normal_fast();
-    }
-
-    // Stage 3: ADC quantization + shift-add reduction (vectorizable; no
-    // branches, no draws). floor(v + 0.5) equals the seed's round() here:
-    // they differ only on negative half-integers, which the [0, levels]
-    // clamp maps to 0 either way.
-    double acc = 0.0;
-    if (!ideal) {
-      for (int i = 0; i < cycles; ++i) {
-        double code = std::floor(counts[i] * inv_adc_step + 0.5);
-        code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
-        acc += wtab[i] * code;
-      }
-      acc *= adc_step;
-    } else {
-      for (int i = 0; i < cycles; ++i) acc += wtab[i] * counts[i];
-    }
-    y[j] = acc * weight_scale_ * input_scale_;
-  }
+  backend_->run_columns(view(unit_scale), ws.gated.data(), active_rows,
+                        out_mask, 0, n_out_, ideal, rng, y);
+  account(1, active_rows, count_active_cols(out_mask));
 }
 
 void CimMacro::run_gated(const EncodedInput& enc,
@@ -328,18 +313,10 @@ void CimMacro::run_gated(const EncodedInput& enc,
   CIMNAV_REQUIRE(out_mask.empty() ||
                      out_mask.size() == static_cast<std::size_t>(n_out_),
                  "output mask size mismatch");
-
-  const std::size_t words = static_cast<std::size_t>(words_);
-  ws.gated.resize(static_cast<std::size_t>(config_.input_bits) * words);
-  for (std::size_t k = 0; k < ws.gated.size(); ++k)
-    ws.gated[k] = enc.planes[k] & row_gate[k % words];
-  std::uint64_t active_rows = 0;
-  for (std::uint64_t g : row_gate) active_rows += std::popcount(g);
-
   y.resize(static_cast<std::size_t>(n_out_));
-  run_columns(ws.gated.data(), active_rows, out_mask, 0, n_out_, ideal, rng,
-              y.data());
-  account(1, active_rows, count_active_cols(out_mask));
+  run_view(enc.planes.data(), static_cast<std::size_t>(words_),
+           row_gate.data(), out_mask.empty() ? nullptr : out_mask.data(),
+           ideal, /*unit_scale=*/false, rng, ws, y.data());
 }
 
 void CimMacro::matvec_encoded(const EncodedInput& enc,
@@ -421,6 +398,7 @@ std::vector<std::vector<double>> CimMacro::run_batch(
                  "output mask size mismatch");
   std::vector<std::vector<double>> ys(xs.size());
   if (xs.empty()) return ys;
+  const std::uint8_t* mask_ptr = out_mask.empty() ? nullptr : out_mask.data();
 
   const std::size_t words = static_cast<std::size_t>(words_);
   const std::size_t plane_words =
@@ -437,8 +415,12 @@ std::vector<std::vector<double>> CimMacro::run_batch(
     for (std::size_t s = begin; s < end; ++s) {
       encode_input(xs[s], ws.enc);
       std::uint64_t* dst = gated_all.data() + s * plane_words;
-      for (std::size_t k = 0; k < plane_words; ++k)
-        dst[k] = ws.enc.planes[k] & gate[k % words];
+      for (int b = 0; b < config_.input_bits; ++b) {
+        const std::uint64_t* src =
+            ws.enc.planes.data() + static_cast<std::size_t>(b) * words;
+        std::uint64_t* dst_b = dst + static_cast<std::size_t>(b) * words;
+        for (std::size_t w = 0; w < words; ++w) dst_b[w] = src[w] & gate[w];
+      }
     }
   };
   for (auto& y : ys) y.resize(static_cast<std::size_t>(n_out_));
@@ -446,6 +428,7 @@ std::vector<std::vector<double>> CimMacro::run_batch(
   // Phase 2: fan (sample x column block) items over the pool. Noise
   // streams are keyed on the item index, so any partitioning onto workers
   // yields identical results at any thread count.
+  const MacroView v = view(/*unit_scale=*/false);
   const std::size_t n_blocks =
       (static_cast<std::size_t>(n_out_) + kColumnBlock - 1) / kColumnBlock;
   const auto run_items = [&](std::size_t begin, std::size_t end, int) {
@@ -455,14 +438,14 @@ std::vector<std::vector<double>> CimMacro::run_batch(
       const int col_begin = static_cast<int>(blk) * kColumnBlock;
       const int col_end = std::min(col_begin + kColumnBlock, n_out_);
       if (ideal) {
-        run_columns(gated_all.data() + s * plane_words, active_rows,
-                    out_mask, col_begin, col_end, /*ideal=*/true, nullptr,
-                    ys[s].data());
+        backend_->run_columns(v, gated_all.data() + s * plane_words,
+                              active_rows, mask_ptr, col_begin, col_end,
+                              /*ideal=*/true, nullptr, ys[s].data());
       } else {
         core::Rng item_rng = core::Rng::stream(noise_root, item);
-        run_columns(gated_all.data() + s * plane_words, active_rows,
-                    out_mask, col_begin, col_end, /*ideal=*/false, &item_rng,
-                    ys[s].data());
+        backend_->run_columns(v, gated_all.data() + s * plane_words,
+                              active_rows, mask_ptr, col_begin, col_end,
+                              /*ideal=*/false, &item_rng, ys[s].data());
       }
     }
   };
@@ -474,7 +457,7 @@ std::vector<std::vector<double>> CimMacro::run_batch(
     encode_range(0, xs.size(), 0);
     run_items(0, xs.size() * n_blocks, 0);
   }
-  account(xs.size(), active_rows, count_active_cols(out_mask));
+  account(xs.size(), active_rows, count_active_cols(mask_ptr));
   return ys;
 }
 

@@ -1,40 +1,49 @@
-// 8T-SRAM compute-in-memory macro (paper Fig. 3a).
+// 8T-SRAM compute-in-memory macro (paper Fig. 3a) — execution architecture.
 //
-// The macro stores a quantized weight matrix and computes output = W x by
-// bit-serial, bit-sliced analog accumulation:
+// Physical model. A macro stores a quantized weight matrix and computes
+// output = W x by bit-serial, bit-sliced analog accumulation: weights are
+// signed integers split into differential (positive/negative) columns of
+// weight_bits-1 binary planes; inputs are unsigned integers applied one
+// bit per cycle on the read word lines; each cycle every active column
+// develops an analog partial sum proportional to the number of
+// (input bit & weight bit) coincidences, read by a per-column ADC over the
+// full row range and shift-added digitally. MC-Dropout masks map onto the
+// ports: an input mask gates word lines (CL AND) and an output mask gates
+// whole columns (RL AND), so dropped neurons cost neither word-line energy
+// nor ADC conversions. Analog non-ideality is a Gaussian disturbance per
+// column sum with sigma = noise_coeff * sqrt(active_rows), plus the ADC's
+// quantization.
 //
-//  * weights are signed integers split into a positive and a negative
-//    column per output (differential columns — the standard 8T signed
-//    scheme), each stored as weight_bits-1 binary planes;
-//  * inputs are unsigned integers applied one bit per cycle on the read
-//    word lines (RL);
-//  * in each cycle every active column develops an analog partial sum
-//    proportional to the number of (input bit & weight bit) coincidences;
-//    the sum is read by a per-column ADC of adc_bits over the full row
-//    range, then shift-added digitally.
+// Execution architecture (this header):
 //
-// MC-Dropout hooks: an input mask gates word lines (CL AND in the paper)
-// and an output mask gates whole columns (RL AND), so dropped neurons cost
-// neither word-line energy nor ADC conversions.
+//   MacroLike                 the consumer surface. CimMlp, the MC-Dropout
+//     ^        ^              engine, the VO pipeline and the energy model
+//     |        |              talk to a *layer* through it, so a layer is
+//  CimMacro  ShardedMacro     a monolithic array or a shard grid
+//     |       (grid of        transparently (see sharded_macro.hpp and the
+//     v        CimMacros)     make_macro factory there).
+//  ComputeBackend             the column kernel (backend.hpp): encode and
+//                             gating are backend-independent; backends
+//                             ("reference", "bitsliced", registry-
+//                             extensible) evaluate the gated coincidence
+//                             counts, noise and ADC for a column range.
 //
-// Non-idealities: Gaussian analog disturbance on each column sum with
-// sigma = noise_coeff * sqrt(active_rows) (charge-domain mismatch/thermal
-// aggregate) plus the ADC's quantization. Counters record word-line
-// pulses, ADC conversions and nominal MACs for the energy model.
-//
-// Execution engine: the hot path is allocation-free. An input is quantized
-// and bit-plane-expanded once into an EncodedInput; row gates are packed
-// 64-bit words; all scratch lives in a per-thread Workspace. Batched entry
-// points fan (samples x column blocks) over a core::ThreadPool with noise
-// streams keyed on work-item indices, so results are bit-identical at any
-// thread count. Activity counters are atomic and may be updated from
-// concurrent workers.
+// The hot path is allocation-free: an input is quantized and
+// bit-plane-expanded once into an EncodedInput; row gates are packed
+// 64-bit words; all scratch lives in a per-thread MacroWorkspace. Batched
+// entry points fan (samples x column blocks) over a core::ThreadPool with
+// noise streams keyed on work-item indices, so results are bit-identical
+// at any thread count. Activity counters are atomic, may be updated from
+// concurrent workers, and aggregate across composite macros via the
+// MacroStats operators.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "cimsram/backend.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 
@@ -48,21 +57,44 @@ struct CimMacroConfig {
   bool analog_noise = true;
   /// Column-sum disturbance sigma in row-count units per sqrt(active row).
   double noise_coeff = 0.03;
+  /// Column-kernel backend: "reference", "bitsliced", or "auto" (the
+  /// fastest available). See backend.hpp for the contract between them.
+  std::string backend = "auto";
+  /// Physical array bounds for make_macro (0 = unbounded): a layer larger
+  /// than max_rows x max_cols is split into a ShardedMacro grid. max_rows
+  /// must be a multiple of 64 (word-line gates are packed words).
+  int max_rows = 0;
+  int max_cols = 0;
 };
 
-/// Cumulative activity counters for energy/throughput accounting.
+/// Cumulative activity counters for energy/throughput accounting. For a
+/// sharded layer these count *physical* operations: a column spanning R
+/// row shards costs R ADC conversions per cycle, one per shard readout.
 struct MacroStats {
   std::uint64_t matvec_calls = 0;
   std::uint64_t wordline_pulses = 0;   ///< (active rows) x cycles
   std::uint64_t adc_conversions = 0;
   std::uint64_t analog_cycles = 0;     ///< input-bit x plane x sign cycles
   std::uint64_t nominal_macs = 0;      ///< active_in x active_out per call
+
+  /// Aggregation across macros / shards (snapshot semantics).
+  MacroStats& operator+=(const MacroStats& o);
+  /// Activity delta between two snapshots of one counter set.
+  MacroStats& operator-=(const MacroStats& o);
+  friend MacroStats operator+(MacroStats a, const MacroStats& b) {
+    return a += b;
+  }
+  friend MacroStats operator-(MacroStats a, const MacroStats& b) {
+    return a -= b;
+  }
 };
 
 /// Quantized input expanded into packed word-line bit planes: bit b of
 /// input row i lives at planes[b * words + i/64] bit i%64. Encoding is
 /// mask-independent, so one EncodedInput serves every dropout mask of a
-/// frame (the amortization MC-Dropout batching relies on).
+/// frame (the amortization MC-Dropout batching relies on). Row-sharded
+/// macros slice the same encoding word-wise per shard — one reason shard
+/// row bounds are multiples of 64.
 struct EncodedInput {
   std::vector<std::uint64_t> planes;
 };
@@ -76,15 +108,101 @@ struct MacroWorkspace {
 };
 
 /// Packs a 0/1 per-row mask (empty = all active) into word-line gate words.
+/// Bits at and above n_rows are left clear.
 void pack_row_mask(const std::vector<std::uint8_t>& mask, int n_rows,
                    std::vector<std::uint64_t>& gate);
 
-/// Packs an explicit row-index list into word-line gate words.
+/// Packs an explicit row-index list into word-line gate words. Indices
+/// must lie in [0, n_rows); duplicates are idempotent.
 void pack_rows(const std::vector<std::size_t>& rows, int n_rows,
                std::vector<std::uint64_t>& gate);
 
-/// A programmed CIM macro holding one layer's weight matrix.
-class CimMacro {
+/// Shared encoder behind every MacroLike: quantizes `x` onto the unsigned
+/// grid q = clamp(round(x * inv_input_scale), 0, 2^input_bits - 1) and
+/// expands the codes into packed bit planes (ceil(n_in / 64) words each).
+/// Monolithic and sharded macros with the same input grid produce
+/// identical encodings, which is what lets a shard grid slice one logical
+/// encoding word-wise.
+void encode_input_planes(const std::vector<double>& x, int n_in,
+                         int input_bits, double inv_input_scale,
+                         EncodedInput& enc);
+
+/// The consumer-facing surface of one logical CIM layer. Implemented by
+/// the monolithic CimMacro and by ShardedMacro (a grid of CimMacros);
+/// everything downstream of the macro — CimMlp, bnn::mc_predict_cim,
+/// vo::VoPipeline, energy accounting, the benches — programs against this,
+/// so physical array bounds are an execution detail.
+class MacroLike {
+ public:
+  virtual ~MacroLike() = default;
+
+  virtual int n_in() const = 0;
+  virtual int n_out() const = 0;
+  /// Packed 64-bit words per word-line bit plane (= ceil(n_in / 64)).
+  virtual int gate_words() const = 0;
+  virtual double input_scale() const = 0;
+  virtual const CimMacroConfig& config() const = 0;
+
+  /// Quantizes and bit-plane-expands `x` once; the encoding can then be
+  /// replayed against any number of row gates / output masks.
+  virtual void encode_input(const std::vector<double>& x,
+                            EncodedInput& enc) const = 0;
+
+  /// Low-level gated product on a pre-packed row gate (gate_words() words;
+  /// bits past n_in must be clear). This is the engine primitive every
+  /// other entry point reduces to. `y` is resized to n_out.
+  virtual void matvec_encoded(const EncodedInput& enc,
+                              const std::vector<std::uint64_t>& row_gate,
+                              const std::vector<std::uint8_t>& out_mask,
+                              core::Rng& rng,
+                              std::vector<double>& y) const = 0;
+
+  /// Full matrix-vector product through the analog array. Masks are
+  /// optional (empty = all active); values are 0/1 per neuron.
+  virtual std::vector<double> matvec(const std::vector<double>& x,
+                                     const std::vector<std::uint8_t>& in_mask,
+                                     const std::vector<std::uint8_t>& out_mask,
+                                     core::Rng& rng) const = 0;
+
+  /// Partial product over a subset of input rows (delta evaluation for
+  /// compute reuse): only `rows` word lines fire.
+  virtual std::vector<double> matvec_rows(
+      const std::vector<double>& x, const std::vector<std::size_t>& rows,
+      const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const = 0;
+
+  /// Ideal (float64) product for reference/testing; applies the same
+  /// quantization grids but no analog noise and an exact accumulator.
+  virtual std::vector<double> matvec_ideal(
+      const std::vector<double>& x, const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask) const = 0;
+
+  /// Batched noisy product: every input is encoded once, then work items
+  /// fan out over `pool` (nullptr = serial). Noise streams are keyed on
+  /// work-item indices derived from one draw of `rng`, so results are
+  /// bit-identical at any thread count, including against the serial path.
+  virtual std::vector<std::vector<double>> matvec_batch(
+      const std::vector<std::vector<double>>& xs,
+      const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask, core::Rng& rng,
+      core::ThreadPool* pool = nullptr) const = 0;
+
+  /// Batched ideal product (no noise, exact accumulator); same fan-out and
+  /// the same results as per-sample matvec_ideal calls.
+  virtual std::vector<std::vector<double>> matvec_ideal_batch(
+      const std::vector<std::vector<double>>& xs,
+      const std::vector<std::uint8_t>& in_mask,
+      const std::vector<std::uint8_t>& out_mask,
+      core::ThreadPool* pool = nullptr) const = 0;
+
+  /// Snapshot of the cumulative activity counters (thread-safe). Composite
+  /// macros return the aggregate over their shards.
+  virtual MacroStats stats() const = 0;
+  /// Clears the activity counters (stats are mutable bookkeeping).
+  virtual void reset_stats() const = 0;
+};
+
+/// A programmed monolithic CIM macro holding one layer's weight matrix.
+class CimMacro final : public MacroLike {
  public:
   /// Quantizes and stores `weights` (row-major, n_out x n_in). The input
   /// scale maps real activations onto the unsigned input grid:
@@ -92,51 +210,44 @@ class CimMacro {
   /// as x * (1 / input_scale) with a precomputed reciprocal — exact ties
   /// may land one code away from the exact-division grid (irrelevant
   /// under the analog noise model, and the ADC clamp bounds it).
+  /// `weight_scale_override` > 0 forces the weight quantization step
+  /// instead of deriving it from this slice's maximum — ShardedMacro uses
+  /// it so every shard shares the logical tensor's grid.
   CimMacro(const std::vector<double>& weights, int n_out, int n_in,
-           const CimMacroConfig& config, double input_scale);
+           const CimMacroConfig& config, double input_scale,
+           double weight_scale_override = 0.0);
 
   CimMacro(CimMacro&& other) noexcept;
   CimMacro& operator=(CimMacro&& other) noexcept;
   CimMacro(const CimMacro&) = delete;
   CimMacro& operator=(const CimMacro&) = delete;
 
-  int n_in() const { return n_in_; }
-  int n_out() const { return n_out_; }
-  /// Packed 64-bit words per word-line bit plane (= ceil(n_in / 64)).
-  int gate_words() const { return words_; }
+  int n_in() const override { return n_in_; }
+  int n_out() const override { return n_out_; }
+  int gate_words() const override { return words_; }
   double weight_scale() const { return weight_scale_; }
-  double input_scale() const { return input_scale_; }
-  const CimMacroConfig& config() const { return config_; }
+  double input_scale() const override { return input_scale_; }
+  const CimMacroConfig& config() const override { return config_; }
 
-  /// Full matrix-vector product through the analog array. Masks are
-  /// optional (empty = all active); values are 0/1 per neuron.
   std::vector<double> matvec(const std::vector<double>& x,
                              const std::vector<std::uint8_t>& in_mask,
                              const std::vector<std::uint8_t>& out_mask,
-                             core::Rng& rng) const;
+                             core::Rng& rng) const override;
 
-  /// Partial product over a subset of input rows (delta evaluation for
-  /// compute reuse): only `rows` word lines fire. Output has n_out
-  /// entries; `out_mask` optionally gates columns.
   std::vector<double> matvec_rows(const std::vector<double>& x,
                                   const std::vector<std::size_t>& rows,
                                   const std::vector<std::uint8_t>& out_mask,
-                                  core::Rng& rng) const;
+                                  core::Rng& rng) const override;
 
-  /// Ideal (float64) product for reference/testing; applies the same
-  /// quantization grids but no analog noise and an exact accumulator.
   std::vector<double> matvec_ideal(const std::vector<double>& x,
                                    const std::vector<std::uint8_t>& in_mask,
                                    const std::vector<std::uint8_t>& out_mask)
-      const;
+      const override;
 
-  /// Quantizes and bit-plane-expands `x` once; the encoding can then be
-  /// replayed against any number of row gates / output masks.
-  void encode_input(const std::vector<double>& x, EncodedInput& enc) const;
+  void encode_input(const std::vector<double>& x,
+                    EncodedInput& enc) const override;
 
-  /// Low-level gated product on a pre-packed row gate (gate_words() words;
-  /// bits past n_in must be clear). This is the engine primitive every
-  /// other entry point reduces to. `y` is resized to n_out.
+  /// Gated product on an explicit workspace (zero-allocation hot loops).
   void matvec_encoded(const EncodedInput& enc,
                       const std::vector<std::uint64_t>& row_gate,
                       const std::vector<std::uint8_t>& out_mask,
@@ -147,7 +258,7 @@ class CimMacro {
   void matvec_encoded(const EncodedInput& enc,
                       const std::vector<std::uint64_t>& row_gate,
                       const std::vector<std::uint8_t>& out_mask,
-                      core::Rng& rng, std::vector<double>& y) const;
+                      core::Rng& rng, std::vector<double>& y) const override;
 
   /// Convenience gated product that quantizes `x` on the fly (thread-local
   /// workspace). Validates the packed gate width.
@@ -156,44 +267,41 @@ class CimMacro {
                                    const std::vector<std::uint8_t>& out_mask,
                                    core::Rng& rng) const;
 
-  /// Batched noisy product: every input is encoded once, then
-  /// (samples x column blocks) fan out over `pool` (nullptr = serial).
-  /// Noise streams are keyed on (sample, column block) indices derived
-  /// from one draw of `rng`, so results are bit-identical at any thread
-  /// count, including against the serial path.
   std::vector<std::vector<double>> matvec_batch(
       const std::vector<std::vector<double>>& xs,
       const std::vector<std::uint8_t>& in_mask,
       const std::vector<std::uint8_t>& out_mask, core::Rng& rng,
-      core::ThreadPool* pool = nullptr) const;
+      core::ThreadPool* pool = nullptr) const override;
 
-  /// Batched ideal product (no noise, exact accumulator); same fan-out and
-  /// the same results as per-sample matvec_ideal calls.
   std::vector<std::vector<double>> matvec_ideal_batch(
       const std::vector<std::vector<double>>& xs,
       const std::vector<std::uint8_t>& in_mask,
       const std::vector<std::uint8_t>& out_mask,
-      core::ThreadPool* pool = nullptr) const;
+      core::ThreadPool* pool = nullptr) const override;
 
   /// Quantized integer input code for an activation (test access).
   std::uint32_t quantize_input(double x) const;
 
-  /// Snapshot of the cumulative activity counters (thread-safe).
-  MacroStats stats() const;
-  /// Clears the activity counters (stats are mutable bookkeeping).
-  void reset_stats() const;
+  MacroStats stats() const override;
+  void reset_stats() const override;
+
+  /// Composite-macro primitive: gated product on a *view* of a larger
+  /// encoding. `planes` points at this macro's word range of a logical
+  /// encoding whose per-plane stride is `plane_stride` words; `row_gate`
+  /// points at the matching gate words (gate_words() of them, bits past
+  /// n_in clear); `out_mask` (nullable) covers this macro's n_out columns.
+  /// With `unit_scale`, the output keeps the shared quantization grid
+  /// (weight_scale and input_scale are applied by the caller after the
+  /// shard reduction, so row-shard partial sums add exactly). Writes n_out
+  /// values to `y` and accounts stats.
+  void run_view(const std::uint64_t* planes, std::size_t plane_stride,
+                const std::uint64_t* row_gate, const std::uint8_t* out_mask,
+                bool ideal, bool unit_scale, core::Rng* rng,
+                MacroWorkspace& ws, double* y) const;
 
  private:
-  /// Column range [col_begin, col_end) of the bit-serial accumulation over
-  /// pre-gated word-line planes. `gated_planes` holds input_bits x words_
-  /// words (planes & gate). No stats bookkeeping; callers account.
-  void run_columns(const std::uint64_t* gated_planes,
-                   std::uint64_t active_rows,
-                   const std::vector<std::uint8_t>& out_mask, int col_begin,
-                   int col_end, bool ideal, core::Rng* rng, double* y) const;
-
   /// Engine entry shared by the single-call wrappers: gate the encoding,
-  /// run all columns, account stats.
+  /// run all columns through the backend, account stats.
   void run_gated(const EncodedInput& enc,
                  const std::vector<std::uint64_t>& row_gate,
                  const std::vector<std::uint8_t>& out_mask, bool ideal,
@@ -207,13 +315,15 @@ class CimMacro {
       const std::vector<std::uint8_t>& out_mask, bool ideal,
       std::uint64_t noise_root, core::ThreadPool* pool) const;
 
-  std::uint64_t count_active_cols(
-      const std::vector<std::uint8_t>& out_mask) const;
+  MacroView view(bool unit_scale) const;
+
+  std::uint64_t count_active_cols(const std::uint8_t* out_mask) const;
   std::uint64_t cycles_per_call() const;
   void account(std::uint64_t calls, std::uint64_t active_rows,
                std::uint64_t active_cols) const;
 
   CimMacroConfig config_;
+  const ComputeBackend* backend_ = nullptr;
   int n_in_ = 0;
   int n_out_ = 0;
   int words_ = 0;   // packed words per plane

@@ -1,0 +1,323 @@
+#include "cimsram/sharded_macro.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace cimnav::cimsram {
+namespace {
+
+MacroWorkspace& tls_workspace() {
+  thread_local MacroWorkspace ws;
+  return ws;
+}
+
+std::vector<int> split_offsets(int total, int bound) {
+  std::vector<int> off{0};
+  if (bound <= 0 || bound >= total) {
+    off.push_back(total);
+    return off;
+  }
+  for (int o = bound; o < total; o += bound) off.push_back(o);
+  off.push_back(total);
+  return off;
+}
+
+}  // namespace
+
+ShardedMacro::ShardedMacro(const std::vector<double>& weights, int n_out,
+                           int n_in, const CimMacroConfig& config,
+                           double input_scale)
+    : config_(config), n_in_(n_in), n_out_(n_out), input_scale_(input_scale),
+      inv_input_scale_(1.0 / input_scale) {
+  CIMNAV_REQUIRE(n_in > 0 && n_out > 0, "matrix dims must be positive");
+  CIMNAV_REQUIRE(weights.size() == static_cast<std::size_t>(n_in) *
+                                       static_cast<std::size_t>(n_out),
+                 "weight size mismatch");
+  CIMNAV_REQUIRE(config.max_rows == 0 || config.max_rows % 64 == 0,
+                 "shard row bound must be a multiple of 64 (word-aligned "
+                 "encoding/gate slices)");
+  CIMNAV_REQUIRE(config.max_cols >= 0, "shard column bound must be >= 0");
+  words_ = (n_in + 63) / 64;
+  row_off_ = split_offsets(n_in, config.max_rows);
+  col_off_ = split_offsets(n_out, config.max_cols);
+
+  // The logical tensor's symmetric quantization grid, forced onto every
+  // shard so partial sums share one integer lattice.
+  const int mag_max = (1 << (config.weight_bits - 1)) - 1;
+  double w_max = 0.0;
+  for (double w : weights) w_max = std::max(w_max, std::abs(w));
+  weight_scale_ = w_max > 0.0 ? w_max / static_cast<double>(mag_max) : 1.0;
+
+  const int rr = grid_rows(), cc = grid_cols();
+  shards_.reserve(static_cast<std::size_t>(rr) * static_cast<std::size_t>(cc));
+  std::vector<double> slice;
+  for (int r = 0; r < rr; ++r) {
+    for (int c = 0; c < cc; ++c) {
+      const int r0 = row_off_[static_cast<std::size_t>(r)];
+      const int r1 = row_off_[static_cast<std::size_t>(r) + 1];
+      const int c0 = col_off_[static_cast<std::size_t>(c)];
+      const int c1 = col_off_[static_cast<std::size_t>(c) + 1];
+      slice.clear();
+      slice.reserve(static_cast<std::size_t>(c1 - c0) *
+                    static_cast<std::size_t>(r1 - r0));
+      for (int j = c0; j < c1; ++j)
+        for (int i = r0; i < r1; ++i)
+          slice.push_back(weights[static_cast<std::size_t>(j) *
+                                      static_cast<std::size_t>(n_in) +
+                                  static_cast<std::size_t>(i)]);
+      shards_.emplace_back(slice, c1 - c0, r1 - r0, config, input_scale,
+                           weight_scale_);
+    }
+  }
+}
+
+const CimMacro& ShardedMacro::shard(int r, int c) const {
+  CIMNAV_REQUIRE(r >= 0 && r < grid_rows() && c >= 0 && c < grid_cols(),
+                 "shard index out of range");
+  return shards_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(grid_cols()) +
+                 static_cast<std::size_t>(c)];
+}
+
+void ShardedMacro::encode_input(const std::vector<double>& x,
+                                EncodedInput& enc) const {
+  encode_input_planes(x, n_in_, config_.input_bits, inv_input_scale_, enc);
+}
+
+void ShardedMacro::run_all(const EncodedInput& enc,
+                           const std::vector<std::uint64_t>& row_gate,
+                           const std::vector<std::uint8_t>& out_mask,
+                           bool ideal, core::Rng* rng,
+                           std::vector<double>& y) const {
+  CIMNAV_REQUIRE(row_gate.size() == static_cast<std::size_t>(words_),
+                 "row gate word count mismatch");
+  CIMNAV_REQUIRE(enc.planes.size() ==
+                     static_cast<std::size_t>(config_.input_bits) *
+                         static_cast<std::size_t>(words_),
+                 "encoded input shape mismatch");
+  CIMNAV_REQUIRE(out_mask.empty() ||
+                     out_mask.size() == static_cast<std::size_t>(n_out_),
+                 "output mask size mismatch");
+  const std::uint8_t* mask = out_mask.empty() ? nullptr : out_mask.data();
+  const std::size_t stride = static_cast<std::size_t>(words_);
+
+  thread_local std::vector<double> acc, partial;
+  acc.assign(static_cast<std::size_t>(n_out_), 0.0);
+  MacroWorkspace& ws = tls_workspace();
+  // Fixed (r, c) order: the row-shard reduction order defines the result.
+  for (int r = 0; r < grid_rows(); ++r) {
+    const std::size_t word_off =
+        static_cast<std::size_t>(row_off_[static_cast<std::size_t>(r)] / 64);
+    for (int c = 0; c < grid_cols(); ++c) {
+      const int c0 = col_off_[static_cast<std::size_t>(c)];
+      const CimMacro& s = shard(r, c);
+      partial.resize(static_cast<std::size_t>(s.n_out()));
+      s.run_view(enc.planes.data() + word_off, stride,
+                 row_gate.data() + word_off,
+                 mask == nullptr ? nullptr : mask + c0, ideal,
+                 /*unit_scale=*/true, rng, ws, partial.data());
+      for (int j = 0; j < s.n_out(); ++j)
+        acc[static_cast<std::size_t>(c0 + j)] += partial[static_cast<std::size_t>(j)];
+    }
+  }
+  y.resize(static_cast<std::size_t>(n_out_));
+  for (int j = 0; j < n_out_; ++j) {
+    if (mask != nullptr && !mask[j]) {
+      y[static_cast<std::size_t>(j)] = 0.0;
+      continue;
+    }
+    // Same rounding order as the monolithic kernel: (acc * ws) * is.
+    y[static_cast<std::size_t>(j)] =
+        acc[static_cast<std::size_t>(j)] * weight_scale_ * input_scale_;
+  }
+}
+
+void ShardedMacro::matvec_encoded(const EncodedInput& enc,
+                                  const std::vector<std::uint64_t>& row_gate,
+                                  const std::vector<std::uint8_t>& out_mask,
+                                  core::Rng& rng,
+                                  std::vector<double>& y) const {
+  run_all(enc, row_gate, out_mask, /*ideal=*/false, &rng, y);
+}
+
+std::vector<double> ShardedMacro::matvec(
+    const std::vector<double>& x, const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_row_mask(in_mask, n_in_, ws.gate);
+  std::vector<double> y;
+  run_all(ws.enc, ws.gate, out_mask, /*ideal=*/false, &rng, y);
+  return y;
+}
+
+std::vector<double> ShardedMacro::matvec_rows(
+    const std::vector<double>& x, const std::vector<std::size_t>& rows,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const {
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_rows(rows, n_in_, ws.gate);
+  std::vector<double> y;
+  run_all(ws.enc, ws.gate, out_mask, /*ideal=*/false, &rng, y);
+  return y;
+}
+
+std::vector<double> ShardedMacro::matvec_ideal(
+    const std::vector<double>& x, const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  MacroWorkspace& ws = tls_workspace();
+  encode_input(x, ws.enc);
+  pack_row_mask(in_mask, n_in_, ws.gate);
+  std::vector<double> y;
+  run_all(ws.enc, ws.gate, out_mask, /*ideal=*/true, nullptr, y);
+  return y;
+}
+
+std::vector<std::vector<double>> ShardedMacro::run_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask, bool ideal,
+    std::uint64_t noise_root, core::ThreadPool* pool) const {
+  CIMNAV_REQUIRE(in_mask.empty() ||
+                     in_mask.size() == static_cast<std::size_t>(n_in_),
+                 "input mask size mismatch");
+  CIMNAV_REQUIRE(out_mask.empty() ||
+                     out_mask.size() == static_cast<std::size_t>(n_out_),
+                 "output mask size mismatch");
+  std::vector<std::vector<double>> ys(xs.size());
+  if (xs.empty()) return ys;
+  const std::uint8_t* mask = out_mask.empty() ? nullptr : out_mask.data();
+
+  const std::size_t stride = static_cast<std::size_t>(words_);
+  const std::size_t plane_words =
+      static_cast<std::size_t>(config_.input_bits) * stride;
+  std::vector<std::uint64_t> gate;
+  pack_row_mask(in_mask, n_in_, gate);
+
+  // Phase 1: encode every sample ONCE into the shared logical layout; all
+  // shards slice the same planes.
+  std::vector<std::uint64_t> enc_all(xs.size() * plane_words);
+  const auto encode_range = [&](std::size_t begin, std::size_t end, int) {
+    MacroWorkspace& ws = tls_workspace();
+    for (std::size_t s = begin; s < end; ++s) {
+      encode_input(xs[s], ws.enc);
+      std::copy(ws.enc.planes.begin(), ws.enc.planes.end(),
+                enc_all.begin() + static_cast<std::ptrdiff_t>(s * plane_words));
+    }
+  };
+
+  // Phase 2: fan (sample x shard) items over the pool into per-(sample,
+  // row-shard) partial buffers. Column shards of one row shard write
+  // disjoint ranges, so items never race.
+  const std::size_t rr = static_cast<std::size_t>(grid_rows());
+  const std::size_t cc = static_cast<std::size_t>(grid_cols());
+  const std::size_t n_shards = rr * cc;
+  const std::size_t out_stride = static_cast<std::size_t>(n_out_);
+  std::vector<double> partials(xs.size() * rr * out_stride);
+  const auto run_items = [&](std::size_t begin, std::size_t end, int) {
+    MacroWorkspace& ws = tls_workspace();
+    for (std::size_t item = begin; item < end; ++item) {
+      const std::size_t s = item / n_shards;
+      const std::size_t r = (item % n_shards) / cc;
+      const std::size_t c = item % cc;
+      const std::size_t word_off = static_cast<std::size_t>(row_off_[r] / 64);
+      const int c0 = col_off_[c];
+      const CimMacro& sh = shards_[r * cc + c];
+      double* dst = partials.data() + (s * rr + r) * out_stride +
+                    static_cast<std::size_t>(c0);
+      if (ideal) {
+        sh.run_view(enc_all.data() + s * plane_words + word_off, stride,
+                    gate.data() + word_off,
+                    mask == nullptr ? nullptr : mask + c0, /*ideal=*/true,
+                    /*unit_scale=*/true, nullptr, ws, dst);
+      } else {
+        core::Rng item_rng = core::Rng::stream(noise_root, item);
+        sh.run_view(enc_all.data() + s * plane_words + word_off, stride,
+                    gate.data() + word_off,
+                    mask == nullptr ? nullptr : mask + c0, /*ideal=*/false,
+                    /*unit_scale=*/true, &item_rng, ws, dst);
+      }
+    }
+  };
+
+  // Phase 3: reduce row shards in fixed order and apply the logical
+  // scales — deterministic for any partitioning of phases 1/2.
+  const auto reduce_range = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t s = begin; s < end; ++s) {
+      auto& y = ys[s];
+      y.resize(out_stride);
+      for (int j = 0; j < n_out_; ++j) {
+        if (mask != nullptr && !mask[j]) {
+          y[static_cast<std::size_t>(j)] = 0.0;
+          continue;
+        }
+        double acc = 0.0;
+        for (std::size_t r = 0; r < rr; ++r)
+          acc += partials[(s * rr + r) * out_stride +
+                          static_cast<std::size_t>(j)];
+        y[static_cast<std::size_t>(j)] = acc * weight_scale_ * input_scale_;
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(xs.size(), 1, encode_range);
+    pool->parallel_for(xs.size() * n_shards, 1, run_items);
+    pool->parallel_for(xs.size(), 1, reduce_range);
+  } else {
+    encode_range(0, xs.size(), 0);
+    run_items(0, xs.size() * n_shards, 0);
+    reduce_range(0, xs.size(), 0);
+  }
+  return ys;
+}
+
+std::vector<std::vector<double>> ShardedMacro::matvec_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask, core::Rng& rng,
+    core::ThreadPool* pool) const {
+  return run_batch(xs, in_mask, out_mask, /*ideal=*/false, rng(), pool);
+}
+
+std::vector<std::vector<double>> ShardedMacro::matvec_ideal_batch(
+    const std::vector<std::vector<double>>& xs,
+    const std::vector<std::uint8_t>& in_mask,
+    const std::vector<std::uint8_t>& out_mask,
+    core::ThreadPool* pool) const {
+  return run_batch(xs, in_mask, out_mask, /*ideal=*/true, 0, pool);
+}
+
+MacroStats ShardedMacro::stats() const {
+  MacroStats total;
+  for (const CimMacro& s : shards_) total += s.stats();
+  return total;
+}
+
+void ShardedMacro::reset_stats() const {
+  for (const CimMacro& s : shards_) s.reset_stats();
+}
+
+std::unique_ptr<MacroLike> make_macro(const std::vector<double>& weights,
+                                      int n_out, int n_in,
+                                      const CimMacroConfig& config,
+                                      double input_scale) {
+  const bool row_split = config.max_rows > 0 && n_in > config.max_rows;
+  const bool col_split = config.max_cols > 0 && n_out > config.max_cols;
+  if (row_split || col_split)
+    return std::make_unique<ShardedMacro>(weights, n_out, n_in, config,
+                                          input_scale);
+  return std::make_unique<CimMacro>(weights, n_out, n_in, config,
+                                    input_scale);
+}
+
+}  // namespace cimnav::cimsram

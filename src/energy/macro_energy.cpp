@@ -19,6 +19,16 @@ double layer_energy_j(int active_rows, int active_cols, int input_bits,
   return static_cast<double>(input_bits) * per_cycle;
 }
 
+double macro_stats_energy_j(const cimsram::MacroStats& stats, int adc_bits,
+                            const SramCim16nm& tech) {
+  CIMNAV_REQUIRE(adc_bits >= 1, "need at least one adc bit");
+  const double adc_j =
+      tech.adc6_j * std::pow(2.0, static_cast<double>(adc_bits - 6));
+  return static_cast<double>(stats.wordline_pulses) * tech.wordline_j +
+         static_cast<double>(stats.adc_conversions) *
+             (tech.bitline_j + adc_j + tech.shift_add_j);
+}
+
 double layer_latency_s(int input_bits, const SramCim16nm& tech) {
   CIMNAV_REQUIRE(input_bits >= 1, "need at least one input bit");
   return static_cast<double>(input_bits) / tech.clock_hz;

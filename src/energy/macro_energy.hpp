@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cimsram/cim_macro.hpp"
 #include "energy/tech.hpp"
 
 namespace cimnav::energy {
@@ -30,6 +31,16 @@ struct LayerDims {
 /// Energy of one analog evaluation of a layer with the given activity.
 double layer_energy_j(int active_rows, int active_cols, int input_bits,
                       int adc_bits, const SramCim16nm& tech = {});
+
+/// Energy of a *measured* activity snapshot: a cimsram::MacroStats
+/// aggregate (one macro, a shard grid, or a whole CimMlp via
+/// total_stats()) priced with the same per-event costs as the analytic
+/// model. wordline_pulses are word-line events and adc_conversions are
+/// column readouts (bit line + ADC + shift-add), so this is the
+/// functional simulator's ground truth counterpart to layer_energy_j —
+/// including sharding overheads, which the analytic model cannot see.
+double macro_stats_energy_j(const cimsram::MacroStats& stats, int adc_bits,
+                            const SramCim16nm& tech = {});
 
 /// Latency (seconds) of one evaluation: input_bits cycles at the clock.
 double layer_latency_s(int input_bits, const SramCim16nm& tech = {});

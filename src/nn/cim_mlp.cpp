@@ -62,20 +62,21 @@ CimMlp::CimMlp(const Mlp& reference,
     const Matrix& w = reference.weights(l);
     const double scale = act_max[static_cast<std::size_t>(l)] *
                          kScaleHeadroom / static_cast<double>(max_code);
-    macros_.emplace_back(w.data(), w.rows(), w.cols(), macro_config, scale);
+    macros_.push_back(cimsram::make_macro(w.data(), w.rows(), w.cols(),
+                                          macro_config, scale));
     biases_.push_back(reference.biases(l));
   }
 }
 
-const cimsram::CimMacro& CimMlp::macro(int layer) const {
+const cimsram::MacroLike& CimMlp::macro(int layer) const {
   CIMNAV_REQUIRE(layer >= 0 && layer < layer_count(), "layer out of range");
-  return macros_[static_cast<std::size_t>(layer)];
+  return *macros_[static_cast<std::size_t>(layer)];
 }
 
 void CimMlp::encode_layer0(const Vector& x,
                            cimsram::EncodedInput& enc) const {
   CIMNAV_REQUIRE(x.size() ==
-                     static_cast<std::size_t>(macros_.front().n_in()),
+                     static_cast<std::size_t>(macros_.front()->n_in()),
                  "input size mismatch");
   if (dropout_on_input_) {
     // Masked inputs are scaled digitally before the DAC (the CL AND gates
@@ -85,15 +86,15 @@ void CimMlp::encode_layer0(const Vector& x,
     thread_local Vector scaled;
     scaled.resize(x.size());
     for (std::size_t i = 0; i < x.size(); ++i) scaled[i] = x[i] * keep_scale_;
-    macros_.front().encode_input(scaled, enc);
+    macros_.front()->encode_input(scaled, enc);
   } else {
-    macros_.front().encode_input(x, enc);
+    macros_.front()->encode_input(x, enc);
   }
 }
 
-Vector CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
-                               const std::vector<Mask>& masks,
-                               core::Rng& rng) const {
+void CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
+                             const std::vector<Mask>& masks, core::Rng& rng,
+                             Vector& out) const {
   const int n_layers = layer_count();
   const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
   CIMNAV_REQUIRE(masks.size() == static_cast<std::size_t>(expected_sites),
@@ -104,7 +105,7 @@ Vector CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
   const Mask& in0 = dropout_on_input_ ? masks[site++] : empty;
   if (dropout_on_input_)
     CIMNAV_REQUIRE(in0.size() ==
-                       static_cast<std::size_t>(macros_.front().n_in()),
+                       static_cast<std::size_t>(macros_.front()->n_in()),
                    "input mask size mismatch");
 
   // All scratch is thread-local: the MC hot loop runs this body T times
@@ -117,7 +118,7 @@ Vector CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
   for (int l = 0; l < n_layers; ++l) {
     const bool has_hidden_mask = l + 1 < n_layers;
     const Mask& col_mask = has_hidden_mask ? masks[site] : empty;
-    const auto& macro = macros_[static_cast<std::size_t>(l)];
+    const auto& macro = *macros_[static_cast<std::size_t>(l)];
     if (l == 0) {
       cimsram::pack_row_mask(*row_mask, macro.n_in(), gate);
       macro.matvec_encoded(enc0, gate, col_mask, rng, z);
@@ -144,21 +145,32 @@ Vector CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
     }
     std::swap(a, z);
   }
-  return a;
+  out = a;
 }
 
 Vector CimMlp::forward(const Vector& x, const std::vector<Mask>& masks,
                        core::Rng& rng) const {
   thread_local cimsram::EncodedInput enc0;
   encode_layer0(x, enc0);
-  return forward_encoded(enc0, masks, rng);
+  Vector out;
+  forward_encoded(enc0, masks, rng, out);
+  return out;
 }
 
 std::vector<Vector> CimMlp::forward_batch(
     const Vector& x, const std::vector<std::vector<Mask>>& mask_sets,
     std::uint64_t noise_root, core::ThreadPool* pool) const {
-  std::vector<Vector> outs(mask_sets.size());
-  if (mask_sets.empty()) return outs;
+  std::vector<Vector> outs;
+  forward_batch(x, mask_sets, noise_root, pool, outs);
+  return outs;
+}
+
+void CimMlp::forward_batch(const Vector& x,
+                           const std::vector<std::vector<Mask>>& mask_sets,
+                           std::uint64_t noise_root, core::ThreadPool* pool,
+                           std::vector<Vector>& outs) const {
+  outs.resize(mask_sets.size());
+  if (mask_sets.empty()) return;
   // The layer-0 values are iteration-invariant (dropout only flips gates),
   // so quantization + bit-plane expansion amortize across all iterations.
   cimsram::EncodedInput enc0;
@@ -166,7 +178,7 @@ std::vector<Vector> CimMlp::forward_batch(
   const auto body = [&](std::size_t begin, std::size_t end, int) {
     for (std::size_t t = begin; t < end; ++t) {
       core::Rng iter_rng = core::Rng::stream(noise_root, t);
-      outs[t] = forward_encoded(enc0, mask_sets[t], iter_rng);
+      forward_encoded(enc0, mask_sets[t], iter_rng, outs[t]);
     }
   };
   if (pool != nullptr) {
@@ -174,14 +186,13 @@ std::vector<Vector> CimMlp::forward_batch(
   } else {
     body(0, mask_sets.size(), 0);
   }
-  return outs;
 }
 
 Vector CimMlp::forward_deterministic(const Vector& x, core::Rng& rng) const {
   const Mask empty;
   Vector a = x;
   for (int l = 0; l < layer_count(); ++l) {
-    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, empty, empty,
+    Vector z = macros_[static_cast<std::size_t>(l)]->matvec(a, empty, empty,
                                                            rng);
     const Vector& b = biases_[static_cast<std::size_t>(l)];
     for (std::size_t i = 0; i < z.size(); ++i) z[i] += b[i];
@@ -205,7 +216,7 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
   // frozen_enc holds the bit-plane encoding of the frozen values, so both
   // the dense (re)initialization and the sparse deltas replay it against
   // packed row gates without re-quantizing anything.
-  const auto delta_update = [&](const cimsram::CimMacro& macro,
+  const auto delta_update = [&](const cimsram::MacroLike& macro,
                                 const Mask& mask) {
     thread_local std::vector<std::uint64_t> gate;
     thread_local std::vector<std::size_t> added, removed;
@@ -266,9 +277,9 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
       state.frozen_values.resize(x.size());
       for (std::size_t i = 0; i < x.size(); ++i)
         state.frozen_values[i] = x[i] * keep_scale_;
-      macros_[0].encode_input(state.frozen_values, state.frozen_enc);
+      macros_[0]->encode_input(state.frozen_values, state.frozen_enc);
     }
-    delta_update(macros_[0], in_mask);
+    delta_update(*macros_[0], in_mask);
     state.valid = true;
 
     a = state.reuse_acc;
@@ -288,15 +299,15 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
     const Mask& m1 = masks[site++];
     if (!state.valid) {
       const Mask all_rows;
-      state.layer0_preact = macros_[0].matvec(x, all_rows, no_col_gate, rng);
+      state.layer0_preact = macros_[0]->matvec(x, all_rows, no_col_gate, rng);
       state.frozen_values.resize(state.layer0_preact.size());
       for (std::size_t i = 0; i < state.layer0_preact.size(); ++i)
         state.frozen_values[i] =
             std::max(0.0, state.layer0_preact[i] + biases_[0][i]) *
             keep_scale_;
-      macros_[1].encode_input(state.frozen_values, state.frozen_enc);
+      macros_[1]->encode_input(state.frozen_values, state.frozen_enc);
     }
-    delta_update(macros_[1], m1);
+    delta_update(*macros_[1], m1);
     state.valid = true;
 
     a = state.reuse_acc;
@@ -317,7 +328,7 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
   for (int l = dense_from; l < n_layers; ++l) {
     const bool has_hidden_mask = l + 1 < n_layers;
     const Mask& col_mask = has_hidden_mask ? masks[site] : Mask{};
-    Vector z = macros_[static_cast<std::size_t>(l)].matvec(a, row_mask,
+    Vector z = macros_[static_cast<std::size_t>(l)]->matvec(a, row_mask,
                                                            col_mask, rng);
     const Vector& b = biases_[static_cast<std::size_t>(l)];
     if (has_hidden_mask) {
@@ -334,19 +345,12 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
 
 cimsram::MacroStats CimMlp::total_stats() const {
   cimsram::MacroStats total;
-  for (const auto& m : macros_) {
-    const auto& s = m.stats();
-    total.matvec_calls += s.matvec_calls;
-    total.wordline_pulses += s.wordline_pulses;
-    total.adc_conversions += s.adc_conversions;
-    total.analog_cycles += s.analog_cycles;
-    total.nominal_macs += s.nominal_macs;
-  }
+  for (const auto& m : macros_) total += m->stats();
   return total;
 }
 
 void CimMlp::reset_stats() const {
-  for (const auto& m : macros_) m.reset_stats();
+  for (const auto& m : macros_) m->reset_stats();
 }
 
 }  // namespace cimnav::nn

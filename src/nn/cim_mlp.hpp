@@ -1,6 +1,9 @@
 // MLP inference executed on simulated 8T-SRAM CIM macros (paper Fig. 3a).
 //
-// Each weight layer is programmed into one CimMacro; biases, ReLU and the
+// Each weight layer is programmed into one cimsram::MacroLike — a
+// monolithic CimMacro, or a ShardedMacro grid when the layer exceeds the
+// configured physical array bounds (CimMacroConfig::max_rows/max_cols);
+// the network code is identical either way. Biases, ReLU and the
 // inverted-dropout scaling stay digital (as in the paper's architecture,
 // where only the matrix products live in the array). Dropout masks map
 // onto the macro's physical ports: the input-site mask gates word lines
@@ -18,9 +21,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cimsram/cim_macro.hpp"
+#include "cimsram/sharded_macro.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "nn/mlp.hpp"
@@ -31,14 +36,15 @@ namespace cimnav::nn {
 /// CIM-executed snapshot of a trained Mlp.
 class CimMlp {
  public:
-  /// Programs one macro per layer. Activation scales are calibrated by
+  /// Programs one macro per layer (sharded when the layer exceeds the
+  /// config's physical bounds). Activation scales are calibrated by
   /// running the float reference (with representative dropout masks) on
   /// `calibration_inputs`.
   CimMlp(const Mlp& reference, const cimsram::CimMacroConfig& macro_config,
          const std::vector<Vector>& calibration_inputs, core::Rng& rng);
 
   int layer_count() const { return static_cast<int>(macros_.size()); }
-  const cimsram::CimMacro& macro(int layer) const;
+  const cimsram::MacroLike& macro(int layer) const;
 
   /// Masked (MC-Dropout) forward pass through the analog macros.
   Vector forward(const Vector& x, const std::vector<Mask>& masks,
@@ -53,6 +59,14 @@ class CimMlp {
   std::vector<Vector> forward_batch(
       const Vector& x, const std::vector<std::vector<Mask>>& mask_sets,
       std::uint64_t noise_root, core::ThreadPool* pool = nullptr) const;
+
+  /// Allocation-reusing variant: `outs` is resized to the iteration count
+  /// and its elements keep their capacity across calls (the MC hot loop
+  /// calls this once per prediction).
+  void forward_batch(const Vector& x,
+                     const std::vector<std::vector<Mask>>& mask_sets,
+                     std::uint64_t noise_root, core::ThreadPool* pool,
+                     std::vector<Vector>& outs) const;
 
   /// Deterministic forward (no dropout, all neurons active).
   Vector forward_deterministic(const Vector& x, core::Rng& rng) const;
@@ -85,7 +99,7 @@ class CimMlp {
   Vector forward_with_reuse(const Vector& x, const std::vector<Mask>& masks,
                             ReuseState& state, core::Rng& rng) const;
 
-  /// Aggregate macro activity (sum over layers).
+  /// Aggregate macro activity (sum over layers and shards).
   cimsram::MacroStats total_stats() const;
   void reset_stats() const;
 
@@ -94,15 +108,16 @@ class CimMlp {
 
  private:
   /// Full masked forward on a pre-encoded layer-0 input (the engine path
-  /// behind forward and forward_batch).
-  Vector forward_encoded(const cimsram::EncodedInput& enc0,
-                         const std::vector<Mask>& masks,
-                         core::Rng& rng) const;
+  /// behind forward and forward_batch). Writes into `out`, reusing its
+  /// capacity — the MC hot loop must not allocate in steady state.
+  void forward_encoded(const cimsram::EncodedInput& enc0,
+                       const std::vector<Mask>& masks, core::Rng& rng,
+                       Vector& out) const;
 
   /// Encodes the (dropout-scaled) layer-0 input for `x` into `enc`.
   void encode_layer0(const Vector& x, cimsram::EncodedInput& enc) const;
 
-  std::vector<cimsram::CimMacro> macros_;
+  std::vector<std::unique_ptr<cimsram::MacroLike>> macros_;
   std::vector<Vector> biases_;
   double keep_scale_ = 2.0;
   bool dropout_on_input_ = true;

@@ -195,22 +195,19 @@ VoRun VoPipeline::run_cim_mc(const cimsram::CimMacroConfig& macro,
   std::string label = "cim-mc-" + std::to_string(macro.weight_bits) + "b";
   if (options.compute_reuse) label += "+reuse";
   if (options.order_samples) label += "+order";
+  // The per-frame MC iterations fan out over the pipeline's pool (unless
+  // the caller already supplied one); mc_predict_cim keys noise streams on
+  // iteration indices, so pooled and serial runs are bit-identical.
+  bnn::McOptions opt = options;
+  if (opt.pool == nullptr) opt.pool = config_.pool;
   return evaluate(
       label,
-      [cim, options, &masks, analog_rng, workload_out](
+      [cim, opt, &masks, analog_rng, workload_out](
           const nn::Vector& x, double* variance) {
         bnn::McWorkload wl;
-        const auto pred = bnn::mc_predict_cim(*cim, x, options, masks,
+        const auto pred = bnn::mc_predict_cim(*cim, x, opt, masks,
                                               *analog_rng, &wl);
-        if (workload_out != nullptr) {
-          workload_out->macro.matvec_calls += wl.macro.matvec_calls;
-          workload_out->macro.wordline_pulses += wl.macro.wordline_pulses;
-          workload_out->macro.adc_conversions += wl.macro.adc_conversions;
-          workload_out->macro.analog_cycles += wl.macro.analog_cycles;
-          workload_out->macro.nominal_macs += wl.macro.nominal_macs;
-          workload_out->input_mask_flips += wl.input_mask_flips;
-          workload_out->mask_bits_drawn += wl.mask_bits_drawn;
-        }
+        if (workload_out != nullptr) *workload_out += wl;
         if (variance != nullptr) *variance = pred.scalar_variance();
         return pred.mean;
       });

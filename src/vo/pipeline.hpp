@@ -22,6 +22,7 @@
 #include "bnn/mc_dropout.hpp"
 #include "cimsram/cim_macro.hpp"
 #include "core/rng.hpp"
+#include "core/thread_pool.hpp"
 #include "core/vec.hpp"
 #include "nn/cim_mlp.hpp"
 #include "nn/mlp.hpp"
@@ -50,6 +51,12 @@ struct VoPipelineConfig {
   double observation_noise = 0.005;
   nn::TrainOptions train;
   std::uint64_t seed = 7;
+  /// Worker pool for the CIM MC-Dropout evaluations (nullptr = serial),
+  /// mirroring filter::ScenarioConfig::pool: each frame's T iterations run
+  /// through CimMlp::forward_batch and fan out over the pool, so VO runs
+  /// are no longer frame-serial inside. Results are bit-identical at any
+  /// thread count (noise streams are keyed on iteration indices).
+  core::ThreadPool* pool = nullptr;
 
   VoPipelineConfig() {
     train.epochs = 120;

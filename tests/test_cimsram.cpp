@@ -1,12 +1,20 @@
-// Unit tests for the SRAM-embedded RNG and the 8T CIM macro.
+// Unit tests for the SRAM-embedded RNG and the 8T CIM macro: gate packing,
+// the macro itself (parameterized over every registered compute backend),
+// cross-backend equivalence, and the sharded macro grid.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <memory>
+#include <string>
 
+#include "cimsram/backend.hpp"
 #include "cimsram/cim_macro.hpp"
+#include "cimsram/sharded_macro.hpp"
 #include "cimsram/sram_rng.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/thread_pool.hpp"
 
 namespace cimnav::cimsram {
 namespace {
@@ -134,40 +142,50 @@ TEST(Lfsr, ZeroSeedIsRescued) {
   EXPECT_TRUE(any_one);
 }
 
-class CimMacroTest : public ::testing::Test {
+// Shared helpers for the macro tests.
+std::vector<double> random_weights(int n_out, int n_in, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(n_out) *
+                        static_cast<std::size_t>(n_in));
+  for (auto& v : w) v = rng.normal(0.0, 0.3);
+  return w;
+}
+std::vector<double> random_input(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.uniform();
+  return x;
+}
+std::vector<double> reference_matvec(const std::vector<double>& w, int n_out,
+                                     int n_in, const std::vector<double>& x) {
+  std::vector<double> y(static_cast<std::size_t>(n_out), 0.0);
+  for (int o = 0; o < n_out; ++o)
+    for (int i = 0; i < n_in; ++i)
+      y[static_cast<std::size_t>(o)] +=
+          w[static_cast<std::size_t>(o) * n_in + static_cast<std::size_t>(i)] *
+          x[static_cast<std::size_t>(i)];
+  return y;
+}
+
+// The whole macro behavior suite runs once per registered backend.
+class CimMacroTest : public ::testing::TestWithParam<std::string> {
  protected:
-  static std::vector<double> random_weights(int n_out, int n_in,
-                                            std::uint64_t seed) {
-    Rng rng(seed);
-    std::vector<double> w(static_cast<std::size_t>(n_out) *
-                          static_cast<std::size_t>(n_in));
-    for (auto& v : w) v = rng.normal(0.0, 0.3);
-    return w;
-  }
-  static std::vector<double> random_input(int n, std::uint64_t seed) {
-    Rng rng(seed);
-    std::vector<double> x(static_cast<std::size_t>(n));
-    for (auto& v : x) v = rng.uniform();
-    return x;
-  }
-  static std::vector<double> reference_matvec(const std::vector<double>& w,
-                                              int n_out, int n_in,
-                                              const std::vector<double>& x) {
-    std::vector<double> y(static_cast<std::size_t>(n_out), 0.0);
-    for (int o = 0; o < n_out; ++o)
-      for (int i = 0; i < n_in; ++i)
-        y[static_cast<std::size_t>(o)] +=
-            w[static_cast<std::size_t>(o) * n_in + static_cast<std::size_t>(i)] *
-            x[static_cast<std::size_t>(i)];
-    return y;
+  CimMacroConfig base_config() const {
+    CimMacroConfig cfg;
+    cfg.backend = GetParam();
+    return cfg;
   }
 };
 
-TEST_F(CimMacroTest, IdealMatchesFloatWithinQuantError) {
+INSTANTIATE_TEST_SUITE_P(Backends, CimMacroTest,
+                         ::testing::ValuesIn(backend_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(CimMacroTest, IdealMatchesFloatWithinQuantError) {
   const int n_out = 16, n_in = 48;
   const auto w = random_weights(n_out, n_in, 3);
   const auto x = random_input(n_in, 5);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   cfg.input_bits = 8;
   cfg.weight_bits = 8;
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 255.0);
@@ -219,22 +237,22 @@ INSTANTIATE_TEST_SUITE_P(Sweep, MacroPrecisionTest,
                                            BitsCase{8, 0.02},
                                            BitsCase{10, 0.006}));
 
-TEST_F(CimMacroTest, InputMaskZerosContribution) {
+TEST_P(CimMacroTest, InputMaskZerosContribution) {
   const int n_out = 8, n_in = 16;
   const auto w = random_weights(n_out, n_in, 11);
   std::vector<double> x(static_cast<std::size_t>(n_in), 0.5);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
   std::vector<std::uint8_t> none(static_cast<std::size_t>(n_in), 0);
   const auto y = macro.matvec_ideal(x, none, {});
   for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
-TEST_F(CimMacroTest, OutputMaskSkipsColumns) {
+TEST_P(CimMacroTest, OutputMaskSkipsColumns) {
   const int n_out = 8, n_in = 16;
   const auto w = random_weights(n_out, n_in, 13);
   const auto x = random_input(n_in, 17);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
   std::vector<std::uint8_t> mask(static_cast<std::size_t>(n_out), 1);
   mask[3] = 0;
@@ -248,13 +266,13 @@ TEST_F(CimMacroTest, OutputMaskSkipsColumns) {
   }
 }
 
-TEST_F(CimMacroTest, RowSubsetsAddUpExactlyInIdealMode) {
+TEST_P(CimMacroTest, RowSubsetsAddUpExactlyInIdealMode) {
   // The delta rule's foundation: W x|_A + W x|_B == W x when A and B
   // partition the active rows (exact for the noise-free quantized macro).
   const int n_out = 10, n_in = 32;
   const auto w = random_weights(n_out, n_in, 19);
   const auto x = random_input(n_in, 23);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   cfg.analog_noise = false;
   cfg.adc_bits = 12;  // effectively lossless column readout
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
@@ -272,11 +290,11 @@ TEST_F(CimMacroTest, RowSubsetsAddUpExactlyInIdealMode) {
   }
 }
 
-TEST_F(CimMacroTest, AnalogNoiseScalesWithActiveRows) {
+TEST_P(CimMacroTest, AnalogNoiseScalesWithActiveRows) {
   const int n_out = 1, n_in = 64;
   std::vector<double> w(static_cast<std::size_t>(n_in), 0.3);
   std::vector<double> x(static_cast<std::size_t>(n_in), 0.8);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   cfg.adc_bits = 14;  // make quantization negligible vs noise
   cfg.noise_coeff = 0.5;
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
@@ -290,12 +308,12 @@ TEST_F(CimMacroTest, AnalogNoiseScalesWithActiveRows) {
   EXPECT_GT(many.stddev(), few.stddev());
 }
 
-TEST_F(CimMacroTest, CoarseAdcAddsError) {
+TEST_P(CimMacroTest, CoarseAdcAddsError) {
   const int n_out = 6, n_in = 40;
   const auto w = random_weights(n_out, n_in, 37);
   const auto x = random_input(n_in, 41);
   auto rel_err = [&](int adc_bits) {
-    CimMacroConfig cfg;
+    CimMacroConfig cfg = base_config();
     cfg.analog_noise = false;
     cfg.adc_bits = adc_bits;
     const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 63.0);
@@ -314,11 +332,11 @@ TEST_F(CimMacroTest, CoarseAdcAddsError) {
   EXPECT_GT(rel_err(6), rel_err(10) - 1e-12);
 }
 
-TEST_F(CimMacroTest, StatsTrackActivity) {
+TEST_P(CimMacroTest, StatsTrackActivity) {
   const int n_out = 8, n_in = 16;
   const auto w = random_weights(n_out, n_in, 47);
   const auto x = random_input(n_in, 53);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   cfg.input_bits = 4;
   cfg.weight_bits = 4;
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 15.0);
@@ -343,8 +361,8 @@ TEST_F(CimMacroTest, StatsTrackActivity) {
   EXPECT_EQ(macro.stats().adc_conversions, 24u * 7u);
 }
 
-TEST_F(CimMacroTest, RejectsBadArguments) {
-  CimMacroConfig cfg;
+TEST_P(CimMacroTest, RejectsBadArguments) {
+  CimMacroConfig cfg = base_config();
   EXPECT_THROW(CimMacro({1.0}, 1, 2, cfg, 1.0), std::invalid_argument);
   const CimMacro macro({0.5, -0.5}, 1, 2, cfg, 1.0);
   Rng rng(61);
@@ -353,13 +371,13 @@ TEST_F(CimMacroTest, RejectsBadArguments) {
                std::invalid_argument);
 }
 
-TEST_F(CimMacroTest, GatedMatvecValidatesRowGateWidth) {
+TEST_P(CimMacroTest, GatedMatvecValidatesRowGateWidth) {
   // Regression: the engine core used to index a caller-provided packed row
   // gate without checking its width; a short gate read out of bounds.
   const int n_out = 4, n_in = 100;  // 100 rows -> 2 packed gate words
   const auto w = random_weights(n_out, n_in, 71);
   const auto x = random_input(n_in, 73);
-  CimMacroConfig cfg;
+  CimMacroConfig cfg = base_config();
   cfg.input_bits = 4;
   cfg.weight_bits = 4;
   const CimMacro macro(w, n_out, n_in, cfg, 1.0 / 15.0);
@@ -382,6 +400,250 @@ TEST_F(CimMacroTest, GatedMatvecValidatesRowGateWidth) {
   EXPECT_EQ(y.size(), static_cast<std::size_t>(n_out));
   EXPECT_EQ(macro.stats().wordline_pulses,
             macro.stats().analog_cycles * static_cast<std::uint64_t>(n_in));
+}
+
+// ---------------------------------------------------------------------------
+// Gate packing edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(PackRowMask, EmptyMaskActivatesExactlyNRows) {
+  std::vector<std::uint64_t> gate;
+  pack_row_mask({}, 100, gate);  // not a multiple of 64
+  ASSERT_EQ(gate.size(), 2u);
+  int active = 0;
+  for (std::uint64_t g : gate) active += std::popcount(g);
+  EXPECT_EQ(active, 100);
+  // Bits at and above n_rows must stay clear (they would read as phantom
+  // active rows in the engine's popcount).
+  EXPECT_EQ(gate[1] >> (100 - 64), 0u);
+}
+
+TEST(PackRowMask, PartialWordMaskSetsExactBits) {
+  std::vector<std::uint8_t> mask(70, 0);
+  mask[0] = mask[63] = mask[64] = mask[69] = 1;
+  std::vector<std::uint64_t> gate;
+  pack_row_mask(mask, 70, gate);
+  ASSERT_EQ(gate.size(), 2u);
+  EXPECT_EQ(gate[0], (std::uint64_t{1} << 0) | (std::uint64_t{1} << 63));
+  EXPECT_EQ(gate[1], (std::uint64_t{1} << 0) | (std::uint64_t{1} << 5));
+}
+
+TEST(PackRowMask, WrongSizeThrows) {
+  std::vector<std::uint64_t> gate;
+  std::vector<std::uint8_t> mask(8, 1);
+  EXPECT_THROW(pack_row_mask(mask, 9, gate), std::invalid_argument);
+}
+
+TEST(PackRows, EmptyListYieldsAllZeroGate) {
+  std::vector<std::uint64_t> gate;
+  pack_rows({}, 130, gate);
+  ASSERT_EQ(gate.size(), 3u);
+  for (std::uint64_t g : gate) EXPECT_EQ(g, 0u);
+}
+
+TEST(PackRows, DuplicatesAreIdempotentAndBoundsChecked) {
+  std::vector<std::uint64_t> gate;
+  pack_rows({3, 3, 65, 99}, 100, gate);
+  ASSERT_EQ(gate.size(), 2u);
+  EXPECT_EQ(std::popcount(gate[0]) + std::popcount(gate[1]), 3);
+  EXPECT_THROW(pack_rows({100}, 100, gate), std::invalid_argument);
+  EXPECT_THROW(pack_rows({0, 7, 1000}, 100, gate), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry + cross-backend equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, KnownNamesResolveAndUnknownThrows) {
+  EXPECT_EQ(backend("reference").name(), "reference");
+  EXPECT_EQ(backend("bitsliced").name(), "bitsliced");
+  EXPECT_EQ(backend("auto").name(), "bitsliced");
+  EXPECT_THROW(backend("cuda-someday"), std::invalid_argument);
+  const auto names = backend_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[0], "reference");
+}
+
+TEST(BackendEquivalence, IdealPathBitIdenticalAcrossBackends) {
+  // Odd dims: multiple packed words with a ragged tail, masked rows/cols.
+  const int n_out = 37, n_in = 150;
+  const auto w = random_weights(n_out, n_in, 101);
+  std::vector<std::uint8_t> in_mask(static_cast<std::size_t>(n_in), 1),
+      out_mask(static_cast<std::size_t>(n_out), 1);
+  for (int i = 0; i < n_in; i += 7) in_mask[static_cast<std::size_t>(i)] = 0;
+  for (int j = 0; j < n_out; j += 5) out_mask[static_cast<std::size_t>(j)] = 0;
+
+  CimMacroConfig ref_cfg;
+  ref_cfg.backend = "reference";
+  CimMacroConfig bit_cfg;
+  bit_cfg.backend = "bitsliced";
+  const CimMacro ref(w, n_out, n_in, ref_cfg, 1.0 / 63.0);
+  const CimMacro bit(w, n_out, n_in, bit_cfg, 1.0 / 63.0);
+  for (std::uint64_t seed : {5u, 7u, 9u}) {
+    const auto x = random_input(n_in, seed);
+    const auto yr = ref.matvec_ideal(x, in_mask, out_mask);
+    const auto yb = bit.matvec_ideal(x, in_mask, out_mask);
+    ASSERT_EQ(yr.size(), yb.size());
+    for (std::size_t j = 0; j < yr.size(); ++j)
+      EXPECT_EQ(yr[j], yb[j]) << "col " << j << " seed " << seed;
+  }
+}
+
+TEST(BackendEquivalence, NoisyPathDistributionMatched) {
+  // Both backends implement sigma = noise_coeff * sqrt(active_rows) with
+  // exact standard-normal draws; only the stream differs. Compare the
+  // first two moments of a single column's output over many calls.
+  const int n_in = 64;
+  std::vector<double> w(static_cast<std::size_t>(n_in), 0.3);
+  std::vector<double> x(static_cast<std::size_t>(n_in), 0.8);
+  auto run_stats = [&](const char* name, std::uint64_t seed) {
+    CimMacroConfig cfg;
+    cfg.backend = name;
+    cfg.adc_bits = 14;  // quantization negligible vs noise
+    cfg.noise_coeff = 0.5;
+    const CimMacro macro(w, 1, n_in, cfg, 1.0 / 63.0);
+    Rng rng(seed);
+    core::RunningStats s;
+    for (int k = 0; k < 4000; ++k) s.add(macro.matvec(x, {}, {}, rng)[0]);
+    return s;
+  };
+  const auto ref = run_stats("reference", 33);
+  const auto bit = run_stats("bitsliced", 77);
+  // Means agree within a few standard errors; spreads within 10%.
+  const double se = ref.stddev() / std::sqrt(4000.0);
+  EXPECT_NEAR(bit.mean(), ref.mean(), 5.0 * se);
+  EXPECT_NEAR(bit.stddev() / ref.stddev(), 1.0, 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded macro grid.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMacro, IdealBatchBitIdenticalToMonolithicAtAnyThreadCount) {
+  // The acceptance shape: a 128-wide layer as a 2x2 grid of 64x64 arrays.
+  const int n = 128;
+  const auto w = random_weights(n, n, 201);
+  CimMacroConfig mono_cfg;
+  CimMacroConfig shard_cfg;
+  shard_cfg.max_rows = 64;
+  shard_cfg.max_cols = 64;
+  const CimMacro mono(w, n, n, mono_cfg, 1.0 / 63.0);
+  const ShardedMacro grid(w, n, n, shard_cfg, 1.0 / 63.0);
+  EXPECT_EQ(grid.grid_rows(), 2);
+  EXPECT_EQ(grid.grid_cols(), 2);
+
+  std::vector<std::vector<double>> xs;
+  for (std::uint64_t s = 0; s < 6; ++s) xs.push_back(random_input(n, 300 + s));
+  std::vector<std::uint8_t> in_mask(static_cast<std::size_t>(n), 1),
+      out_mask(static_cast<std::size_t>(n), 1);
+  in_mask[0] = in_mask[63] = in_mask[64] = in_mask[127] = 0;
+  out_mask[1] = out_mask[70] = 0;
+
+  const auto want = mono.matvec_ideal_batch(xs, in_mask, out_mask, nullptr);
+  core::ThreadPool p1(1), p2(2), p8(8);
+  for (core::ThreadPool* pool :
+       {static_cast<core::ThreadPool*>(nullptr), &p1, &p2, &p8}) {
+    const auto got = grid.matvec_ideal_batch(xs, in_mask, out_mask, pool);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < want.size(); ++s)
+      for (std::size_t j = 0; j < want[s].size(); ++j)
+        EXPECT_EQ(got[s][j], want[s][j]) << "sample " << s << " col " << j;
+  }
+}
+
+TEST(ShardedMacro, RaggedDimsIdealStillBitIdentical) {
+  // Shard bounds that do not divide the layer: 150 rows -> 64 + 64 + 22,
+  // 70 cols -> 48 + 22.
+  const int n_out = 70, n_in = 150;
+  const auto w = random_weights(n_out, n_in, 207);
+  CimMacroConfig mono_cfg;
+  CimMacroConfig shard_cfg;
+  shard_cfg.max_rows = 64;
+  shard_cfg.max_cols = 48;
+  const CimMacro mono(w, n_out, n_in, mono_cfg, 1.0 / 63.0);
+  const ShardedMacro grid(w, n_out, n_in, shard_cfg, 1.0 / 63.0);
+  EXPECT_EQ(grid.grid_rows(), 3);
+  EXPECT_EQ(grid.grid_cols(), 2);
+  const auto x = random_input(n_in, 211);
+  const auto want = mono.matvec_ideal(x, {}, {});
+  const auto got = grid.matvec_ideal(x, {}, {});
+  for (std::size_t j = 0; j < want.size(); ++j) EXPECT_EQ(got[j], want[j]);
+}
+
+TEST(ShardedMacro, NoisyBatchThreadCountInvariant) {
+  const int n = 128;
+  const auto w = random_weights(n, n, 221);
+  CimMacroConfig cfg;
+  cfg.max_rows = 64;
+  cfg.max_cols = 64;
+  const ShardedMacro grid(w, n, n, cfg, 1.0 / 63.0);
+  std::vector<std::vector<double>> xs;
+  for (std::uint64_t s = 0; s < 5; ++s) xs.push_back(random_input(n, 400 + s));
+  auto run = [&](core::ThreadPool* pool) {
+    Rng rng(99);
+    return grid.matvec_batch(xs, {}, {}, rng, pool);
+  };
+  const auto serial = run(nullptr);
+  core::ThreadPool p2(2), p8(8);
+  const auto two = run(&p2);
+  const auto eight = run(&p8);
+  for (std::size_t s = 0; s < xs.size(); ++s)
+    for (std::size_t j = 0; j < serial[s].size(); ++j) {
+      EXPECT_EQ(serial[s][j], two[s][j]);
+      EXPECT_EQ(serial[s][j], eight[s][j]);
+    }
+}
+
+TEST(ShardedMacro, StatsCountPerShardPhysicalOps) {
+  // A column crossing two row shards pays two ADC conversions per cycle;
+  // word lines split per shard array.
+  const int n = 128;
+  const auto w = random_weights(n, n, 231);
+  CimMacroConfig mono_cfg;
+  mono_cfg.input_bits = 4;
+  mono_cfg.weight_bits = 4;
+  CimMacroConfig shard_cfg = mono_cfg;
+  shard_cfg.max_rows = 64;
+  shard_cfg.max_cols = 64;
+  const CimMacro mono(w, n, n, mono_cfg, 1.0 / 15.0);
+  const ShardedMacro grid(w, n, n, shard_cfg, 1.0 / 15.0);
+  const auto x = random_input(n, 233);
+  Rng r1(7), r2(7);
+  mono.matvec(x, {}, {}, r1);
+  grid.matvec(x, {}, {}, r2);
+  const auto ms = mono.stats();
+  const auto gs = grid.stats();
+  EXPECT_EQ(gs.adc_conversions, 2u * ms.adc_conversions);
+  EXPECT_EQ(gs.wordline_pulses, 2u * ms.wordline_pulses);
+  EXPECT_EQ(gs.nominal_macs, ms.nominal_macs);
+  EXPECT_EQ(gs.matvec_calls, 4u);
+
+  // Aggregation operators: snapshot sums and deltas.
+  const auto sum = ms + gs;
+  EXPECT_EQ(sum.adc_conversions, ms.adc_conversions + gs.adc_conversions);
+  const auto delta = gs - ms;
+  EXPECT_EQ(delta.adc_conversions, ms.adc_conversions);
+}
+
+TEST(ShardedMacro, FactoryAndValidation) {
+  const auto w = random_weights(70, 128, 241);
+  CimMacroConfig cfg;
+  cfg.max_rows = 64;
+  cfg.max_cols = 64;
+  const auto sharded = make_macro(w, 70, 128, cfg, 1.0 / 63.0);
+  EXPECT_NE(dynamic_cast<const ShardedMacro*>(sharded.get()), nullptr);
+
+  CimMacroConfig fits;
+  fits.max_rows = 128;
+  fits.max_cols = 128;
+  const auto mono = make_macro(w, 70, 128, fits, 1.0 / 63.0);
+  EXPECT_NE(dynamic_cast<const CimMacro*>(mono.get()), nullptr);
+
+  CimMacroConfig unaligned;
+  unaligned.max_rows = 100;  // not a multiple of 64
+  unaligned.max_cols = 64;
+  EXPECT_THROW(ShardedMacro(w, 70, 128, unaligned, 1.0 / 63.0),
+               std::invalid_argument);
 }
 
 }  // namespace

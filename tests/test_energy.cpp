@@ -130,6 +130,22 @@ TEST(MacroEnergy, DropoutReducesExpectedEnergy) {
             mc_dropout_energy(dense).energy_j);
 }
 
+TEST(MacroEnergy, StatsEnergyMatchesLayerModelOnEquivalentActivity) {
+  // One analytic layer evaluation (R rows, C cols, b input-bit cycles)
+  // corresponds to a MacroStats snapshot with b*R word-line pulses and
+  // b*C column readouts; the measured-activity pricing must agree.
+  const int rows = 96, cols = 48, bits = 4, adc = 6;
+  cimsram::MacroStats s;
+  s.wordline_pulses = static_cast<std::uint64_t>(bits) * rows;
+  s.adc_conversions = static_cast<std::uint64_t>(bits) * cols;
+  EXPECT_DOUBLE_EQ(macro_stats_energy_j(s, adc),
+                   layer_energy_j(rows, cols, bits, adc));
+  // Aggregated snapshots price linearly.
+  EXPECT_DOUBLE_EQ(macro_stats_energy_j(s + s, adc),
+                   2.0 * macro_stats_energy_j(s, adc));
+  EXPECT_THROW(macro_stats_energy_j(s, 0), std::invalid_argument);
+}
+
 TEST(MacroEnergy, RejectsBadWorkloads) {
   McWorkloadModel w;
   EXPECT_THROW(mc_dropout_energy(w), std::invalid_argument);

@@ -215,6 +215,33 @@ TEST_F(PipelineFixture, McVarianceIsReported) {
   EXPECT_EQ(positive, static_cast<int>(run.frame_variance.size()));
 }
 
+TEST_F(PipelineFixture, PooledMcRunBitIdenticalToSerial) {
+  // Threading the per-frame MC iterations over a pool (the
+  // VoPipelineConfig::pool route) must not change a single prediction:
+  // noise streams are keyed on iteration indices, masks are drawn
+  // serially per frame.
+  cimsram::CimMacroConfig mc;
+  mc.input_bits = 4;
+  mc.weight_bits = 4;
+  auto run_with = [&](core::ThreadPool* pool) {
+    bnn::SoftwareMaskSource masks(Rng{29});
+    bnn::McOptions opt;
+    opt.iterations = 8;
+    opt.dropout_p = pipeline().config().dropout_p;
+    opt.pool = pool;
+    return pipeline().run_cim_mc(mc, opt, masks);
+  };
+  const VoRun serial = run_with(nullptr);
+  core::ThreadPool pool(4);
+  const VoRun pooled = run_with(&pool);
+  ASSERT_EQ(serial.frame_delta_error.size(), pooled.frame_delta_error.size());
+  for (std::size_t i = 0; i < serial.frame_delta_error.size(); ++i) {
+    EXPECT_EQ(serial.frame_delta_error[i], pooled.frame_delta_error[i]);
+    EXPECT_EQ(serial.frame_variance[i], pooled.frame_variance[i]);
+  }
+  EXPECT_EQ(serial.ate_rmse, pooled.ate_rmse);
+}
+
 TEST_F(PipelineFixture, WorkloadAccumulatesAcrossFrames) {
   cimsram::CimMacroConfig mc;
   bnn::SoftwareMaskSource masks(Rng{23});

@@ -1,70 +1,226 @@
-// Drone localization demo (the paper's Sec. II system): an insect-scale
-// drone flies a loop through a procedural indoor scene and localizes with
-// a particle filter whose measurement likelihood runs on the simulated
-// floating-gate inverter array.
+// Drone localization demo (the paper's Sec. II system), driven end to end
+// by the streaming frame pipeline: an insect-scale drone flies a loop
+// through a procedural indoor scene while three stages overlap on one
+// worker pool —
 //
-//   $ ./drone_localization
+//   stage A  renders the *next* window's depth scans and VO features
+//            (scenario scans are deferred: per-step keyed rng streams);
+//   stage B  runs the MC-Dropout visual-odometry regressor on the
+//            simulated 8T-SRAM CIM macros, MC iterations batched across
+//            the in-flight frames (one macro dispatch per layer);
+//   stage C  feeds the particle filter, whose measurement likelihood runs
+//            on the simulated floating-gate inverter array, and tracks
+//            the VO prediction error against its reported uncertainty.
+//
+// The same frames are then re-run through the plain serial per-frame loop
+// to demonstrate the determinism contract (bit-identical results at any
+// thread count / window size) and to compare frames per second.
+//
+//   $ ./example_drone_localization
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/scenario.hpp"
+#include "vo/frame_pipeline.hpp"
+#include "vo/pipeline.hpp"
+#include "vo/trajectory.hpp"
+
+namespace {
+
+using namespace cimnav;
+
+struct StepRow {
+  double pf_error_m = 0.0;
+  double ess_fraction = 0.0;
+  double vo_delta_error_m = 0.0;
+  double vo_sigma = 0.0;
+};
+
+struct RunResult {
+  std::vector<StepRow> rows;
+  double seconds = 0.0;
+};
+
+}  // namespace
 
 int main() {
-  using namespace cimnav;
-  std::printf("cimnav drone localization: particle filter on CIM likelihood\n\n");
+  std::printf(
+      "cimnav drone localization: streaming frame pipeline "
+      "(scan -> MC-dropout VO -> particle filter)\n\n");
 
-  // Measurement updates fan particle blocks over the worker pool; noise
-  // streams are keyed on block indices, so the run is bit-identical at any
-  // thread count.
   core::ThreadPool pool;
 
+  // Scene + filter scenario. Scans are deferred: the pipeline's stage A
+  // renders them one window ahead via per-step keyed rng streams.
   filter::ScenarioConfig cfg;
   cfg.scene.room_size = {2.6, 2.2, 1.8};
-  cfg.trajectory_steps = 15;
+  cfg.trajectory_steps = 40;  // short steps keep VO deltas in-envelope
   cfg.mixture_components = 80;
-  cfg.likelihood_beta = 0.4;
-  cfg.filter.particle_count = 300;
+  cfg.likelihood_beta = 0.25;
+  cfg.filter.particle_count = 500;
   cfg.scan_pixels = 80;
   cfg.cim_columns = 500;
   cfg.pool = &pool;
+  cfg.defer_scans = true;
   const filter::LocalizationScenario scenario(cfg);
 
-  std::printf("scene: %.1f x %.1f x %.1f m, %zu boxes\n",
+  // VO regressor trained on the synthetic landmark task, then snapshotted
+  // onto 6-bit CIM macros.
+  vo::VoPipelineConfig vo_cfg;
+  vo_cfg.landmark_count = 12;
+  vo_cfg.hidden_sizes = {64, 32};
+  vo_cfg.train_samples = 2000;
+  vo_cfg.train.epochs = 60;
+  vo_cfg.test_steps = 40;
+  vo_cfg.pool = &pool;
+  const vo::VoPipeline vo(vo_cfg);
+  cimsram::CimMacroConfig macro;
+  macro.input_bits = 6;
+  macro.weight_bits = 6;
+  macro.adc_bits = 6;
+  const auto cim = vo.make_cim_network(macro);
+
+  const auto& poses = scenario.trajectory().poses;
+  const auto& controls = scenario.trajectory().controls;
+  const int frames = static_cast<int>(controls.size());
+  const auto cim_model = scenario.make_cim_backend();
+
+  std::printf("scene: %.1f x %.1f x %.1f m, %zu boxes; flight: %d frames, "
+              "%d particles\n",
               cfg.scene.room_size.x, cfg.scene.room_size.y,
-              cfg.scene.room_size.z, scenario.scene().boxes().size());
-  std::printf("map: %d-component GMM + hardware-constrained HMGM\n",
-              cfg.mixture_components);
-  std::printf("flight: %d steps, %d particles, depth scans of %d pixels\n\n",
-              cfg.trajectory_steps, cfg.filter.particle_count,
-              cfg.scan_pixels);
+              cfg.scene.room_size.z, scenario.scene().boxes().size(), frames,
+              cfg.filter.particle_count);
+  std::printf("VO regressor: train MSE %.5f, test MSE %.5f, 6-bit CIM "
+              "macros, T=20 MC iterations\n\n",
+              vo.train_mse(), vo.test_mse());
 
-  const auto gmm = scenario.make_gmm_backend();
-  const auto cim = scenario.make_cim_backend();
+  bnn::McOptions mc;
+  mc.iterations = 20;
+  mc.dropout_p = vo_cfg.dropout_p;
 
-  core::Table table({"step", "gmm-digital err [m]", "hmgm-cim err [m]",
-                     "cim ESS frac", "cim belief spread [m]"});
+  // One full flight. window > 1 streams through the FramePipeline;
+  // window == 0 runs the plain serial per-frame loop. Identical seeds, so
+  // the two must produce bit-identical trajectories.
+  const auto fly = [&](int window) {
+    RunResult result;
+    result.rows.resize(static_cast<std::size_t>(frames));
+    std::vector<vision::DepthScan> scans(static_cast<std::size_t>(frames));
+
+    filter::ParticleFilter pf(cfg.filter);
+    core::Rng run_rng(31);
+    const core::Pose& start = poses.front();
+    core::Pose noisy_start{start.position +
+                               core::Vec3{run_rng.normal(0.0, 0.3),
+                                          run_rng.normal(0.0, 0.3),
+                                          run_rng.normal(0.0, 0.15)},
+                           start.yaw + run_rng.normal(0.0, 0.2)};
+    pf.init_gaussian(noisy_start, {0.4, 0.4, 0.2}, 0.25, run_rng);
+
+    // Stage A: pure function of the frame index (keyed rng streams).
+    const auto make_input = [&](int f) {
+      scans[static_cast<std::size_t>(f)] =
+          scenario.render_scan(static_cast<std::size_t>(f));
+      core::Rng feat_rng = core::Rng::stream(55, static_cast<std::uint64_t>(f));
+      return vo.frame_feature(poses[static_cast<std::size_t>(f)],
+                              poses[static_cast<std::size_t>(f) + 1],
+                              feat_rng);
+    };
+    // Stage C: filter predict/update plus the uncertainty bookkeeping,
+    // in strict frame order.
+    const auto consume = [&](int f, const bnn::McPrediction& pred) {
+      const auto fi = static_cast<std::size_t>(f);
+      pf.predict(controls[fi], run_rng);
+      pf.update(scans[fi], *cim_model, run_rng, &pool);
+      const core::Pose truth_delta = vo::relative_delta(poses[fi],
+                                                        poses[fi + 1]);
+      StepRow& row = result.rows[fi];
+      row.pf_error_m = pf.estimate().pose.position_error(poses[fi + 1]);
+      row.ess_fraction =
+          pf.last_update_ess() / static_cast<double>(pf.particles().size());
+      row.vo_delta_error_m = std::sqrt(
+          (pred.mean[0] - truth_delta.position.x) *
+              (pred.mean[0] - truth_delta.position.x) +
+          (pred.mean[1] - truth_delta.position.y) *
+              (pred.mean[1] - truth_delta.position.y) +
+          (pred.mean[2] - truth_delta.position.z) *
+              (pred.mean[2] - truth_delta.position.z));
+      row.vo_sigma = std::sqrt(pred.scalar_variance());
+    };
+
+    bnn::SoftwareMaskSource masks(core::Rng{17});
+    core::Rng analog_rng(101);
+    const auto t0 = std::chrono::steady_clock::now();
+    if (window > 0) {
+      vo::FramePipelineConfig pipe_cfg;
+      pipe_cfg.window = window;
+      pipe_cfg.pool = &pool;
+      pipe_cfg.mc = mc;
+      vo::FramePipeline pipe(*cim, pipe_cfg);
+      pipe.run(frames, make_input, consume, masks, analog_rng);
+    } else {
+      for (int f = 0; f < frames; ++f) {
+        const nn::Vector x = make_input(f);
+        bnn::McOptions opt = mc;
+        opt.pool = &pool;
+        consume(f, bnn::mc_predict_cim(*cim, x, opt, masks, analog_rng));
+      }
+    }
+    result.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  };
+
+  const RunResult streamed = fly(/*window=*/4);
+  const RunResult serial = fly(/*window=*/0);
+
+  core::Table table({"frame", "pf err [m]", "ESS frac", "vo delta err [m]",
+                     "vo sigma", ""});
   table.set_precision(3);
-  const auto run_gmm = scenario.run(*gmm, 31);
-  const auto run_cim = scenario.run(*cim, 31);
-  for (std::size_t s = 0; s < run_gmm.steps.size(); ++s) {
-    table.add_row({static_cast<double>(s + 1),
-                   run_gmm.steps[s].position_error_m,
-                   run_cim.steps[s].position_error_m,
-                   run_cim.steps[s].ess_fraction,
-                   run_cim.steps[s].position_spread_m});
+  double sigma_sum = 0.0;
+  for (const auto& r : streamed.rows) sigma_sum += r.vo_sigma;
+  const double sigma_mean = sigma_sum / static_cast<double>(frames);
+  for (int f = 0; f < frames; f += 4) {
+    const auto& r = streamed.rows[static_cast<std::size_t>(f)];
+    table.add_row({static_cast<double>(f + 1), r.pf_error_m, r.ess_fraction,
+                   r.vo_delta_error_m, r.vo_sigma,
+                   std::string(r.vo_sigma > 1.5 * sigma_mean
+                                   ? "high uncertainty"
+                                   : "")});
   }
   table.print(std::cout);
 
-  std::printf("\nfinal error: digital GMM %.3f m, CIM HMGM %.3f m\n",
-              run_gmm.final_error_m, run_cim.final_error_m);
-  std::printf("The CIM path evaluates every scan pixel against all map "
-              "components in one analog step per pixel (%.0f likelihood "
-              "reads this run).\n",
-              static_cast<double>(
-                  dynamic_cast<const filter::CimHmgmLikelihood*>(cim.get())
-                      ->array()
-                      .evaluation_count()));
+  bool identical = true;
+  for (std::size_t i = 0; i < streamed.rows.size(); ++i) {
+    if (streamed.rows[i].pf_error_m != serial.rows[i].pf_error_m ||
+        streamed.rows[i].vo_delta_error_m != serial.rows[i].vo_delta_error_m ||
+        streamed.rows[i].vo_sigma != serial.rows[i].vo_sigma)
+      identical = false;
+  }
+  std::printf("\nfinal localization error: %.3f m (streamed) / %.3f m "
+              "(serial per-frame)\n",
+              streamed.rows.back().pf_error_m, serial.rows.back().pf_error_m);
+  std::printf("pipelined run bit-identical to the serial loop: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  // NB: the streamed/serial ratio hinges on core count. The pipeline
+  // overlaps scan rendering and the filter update with the VO window's
+  // macro work (the filter's own nested parallel_for runs inline on its
+  // worker), so the gain appears when spare cores exist; on a single
+  // core both paths do the same work and the ratio sits near 1.0.
+  std::printf("frame rate: %.1f frames/s streamed (window 4) vs %.1f "
+              "frames/s serial per-frame -> %.2fx\n",
+              static_cast<double>(frames) / streamed.seconds,
+              static_cast<double>(frames) / serial.seconds,
+              serial.seconds / streamed.seconds);
+  std::printf("high-uncertainty frames (sigma > 1.5x mean) flag the "
+              "occlusion-degraded views the paper's Fig. 3f correlates "
+              "with VO error.\n");
   return 0;
 }

@@ -31,6 +31,7 @@ TRACKED = {
         "mc_predict_speedup_8t_vs_seed": "higher",
         "mc_predict_bitsliced_speedup_vs_reference": "higher",
         "mc_predict_macs_per_pred": "stable",
+        "frame_pipeline_speedup_8t": "higher",
     },
     "BENCH_compute_reuse.json": {
         "wordline_pulses_dense": "lower",

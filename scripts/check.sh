@@ -21,4 +21,8 @@ ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"
 # baselines under bench/baselines/.
 python3 scripts/bench_diff.py
 
-echo "check.sh: build, tests, benches and perf gate all passed"
+# Doc-coverage gate: every bench_fig* binary and every src/ subsystem must
+# be mentioned in README.md / docs/architecture.md.
+python3 scripts/check_docs.py
+
+echo "check.sh: build, tests, benches, perf gate and doc gate all passed"

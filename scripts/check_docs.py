@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Documentation-coverage gate: the README / architecture docs must keep
+up with the code.
+
+Fails when:
+  * any `bench/bench_fig*.cpp` binary is not mentioned in the docs
+    (every figure-reproduction bench must be mapped to its paper figure);
+  * any `src/<subsystem>/` directory is not mentioned in the docs
+    (the layer map must cover every subsystem);
+  * a required doc file is missing.
+
+Usage:
+  scripts/check_docs.py [--repo-root .]
+"""
+
+import argparse
+import glob
+import os
+import sys
+
+DOC_FILES = ["README.md", os.path.join("docs", "architecture.md")]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--repo-root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir))
+    args = ap.parse_args()
+    root = os.path.abspath(args.repo_root)
+
+    failures = []
+    docs_text = ""
+    for rel in DOC_FILES:
+        path = os.path.join(root, rel)
+        if not os.path.exists(path):
+            failures.append(f"required doc file missing: {rel}")
+            continue
+        with open(path, encoding="utf-8") as f:
+            docs_text += f.read()
+
+    fig_benches = sorted(
+        os.path.splitext(os.path.basename(p))[0]
+        for p in glob.glob(os.path.join(root, "bench", "bench_fig*.cpp")))
+    if not fig_benches:
+        failures.append("no bench/bench_fig*.cpp found (wrong --repo-root?)")
+    for name in fig_benches:
+        if name not in docs_text:
+            failures.append(
+                f"figure bench '{name}' is not mentioned in the docs "
+                f"({' / '.join(DOC_FILES)})")
+
+    subsystems = sorted(
+        d for d in os.listdir(os.path.join(root, "src"))
+        if os.path.isdir(os.path.join(root, "src", d)))
+    if not subsystems:
+        failures.append("no src/ subdirectories found (wrong --repo-root?)")
+    for sub in subsystems:
+        if f"src/{sub}" not in docs_text and f"`{sub}`" not in docs_text:
+            failures.append(
+                f"subsystem 'src/{sub}' is not mentioned in the docs "
+                f"({' / '.join(DOC_FILES)})")
+
+    print(f"[check_docs] {len(fig_benches)} figure benches, "
+          f"{len(subsystems)} src subsystems checked against "
+          f"{' + '.join(DOC_FILES)}: {len(failures)} failure(s)")
+    for f in failures:
+        print(f"[check_docs] FAILURE: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,38 @@ class VectorStats {
   nn::Vector m2_;
 };
 
+/// Mask-site widths of `net`: the input site (when input-site dropout is
+/// on), then every hidden layer.
+std::vector<int> mask_site_widths(const nn::CimMlp& net) {
+  std::vector<int> widths;
+  if (net.dropout_on_input()) widths.push_back(net.macro(0).n_in());
+  for (int l = 0; l + 1 < net.layer_count(); ++l)
+    widths.push_back(net.macro(l).n_out());
+  return widths;
+}
+
+/// Draws `iterations` mask sets into `sets` (resized in place, reusing
+/// capacity) and returns the number of bits drawn. Both the per-frame and
+/// the window path go through this, so their MaskSource consumption order
+/// is identical by construction — the bit-identity contract depends on it.
+std::uint64_t draw_mask_sets(const std::vector<int>& widths, int iterations,
+                             double dropout_p, MaskSource& masks,
+                             std::vector<std::vector<nn::Mask>>& sets) {
+  std::uint64_t bits_drawn = 0;
+  sets.resize(static_cast<std::size_t>(iterations));
+  for (auto& set : sets) {
+    set.resize(widths.size());
+    for (std::size_t s = 0; s < widths.size(); ++s) {
+      set[s].resize(static_cast<std::size_t>(widths[s]));
+      for (auto& bit : set[s]) {
+        bit = masks.draw(dropout_p) ? 0 : 1;
+        ++bits_drawn;
+      }
+    }
+  }
+  return bits_drawn;
+}
+
 }  // namespace
 
 double McPrediction::scalar_variance() const {
@@ -113,32 +145,17 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
                             core::Rng& analog_rng, McWorkload* workload) {
   CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
   const cimsram::MacroStats before = net.total_stats();
-
-  // Mask site widths: input site, then every hidden layer.
-  std::vector<int> widths;
-  if (net.dropout_on_input()) widths.push_back(net.macro(0).n_in());
-  for (int l = 0; l + 1 < net.layer_count(); ++l)
-    widths.push_back(net.macro(l).n_out());
+  const std::vector<int> widths = mask_site_widths(net);
 
   // Pre-draw all T mask sets (the ordering optimization needs them all).
   // Buffers are thread_local so the MC hot path stops allocating after
   // the first prediction of each shape.
-  std::uint64_t bits_drawn = 0;
   // NB: pool-worker lambdas below must see the *caller's* instance, so
   // the thread_local is reached through a captured local reference.
   thread_local std::vector<std::vector<nn::Mask>> mask_sets_tls;
   std::vector<std::vector<nn::Mask>>& mask_sets = mask_sets_tls;
-  mask_sets.resize(static_cast<std::size_t>(options.iterations));
-  for (auto& set : mask_sets) {
-    set.resize(widths.size());
-    for (std::size_t s = 0; s < widths.size(); ++s) {
-      set[s].resize(static_cast<std::size_t>(widths[s]));
-      for (auto& bit : set[s]) {
-        bit = masks.draw(options.dropout_p) ? 0 : 1;
-        ++bits_drawn;
-      }
-    }
-  }
+  const std::uint64_t bits_drawn = draw_mask_sets(
+      widths, options.iterations, options.dropout_p, masks, mask_sets);
 
   // The reuse locus is always mask site 0: the input mask when input-site
   // dropout is on, the first hidden mask otherwise. The locus copies are
@@ -213,12 +230,92 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   for (const auto& out : outputs) stats.add(out);
 
   if (workload != nullptr) {
-    workload->macro = net.total_stats() - before;
-    workload->mask_bits_drawn = bits_drawn;
-    workload->input_mask_flips =
+    workload->macro += net.total_stats() - before;
+    workload->mask_bits_drawn += bits_drawn;
+    workload->input_mask_flips +=
         locus_masks.empty() ? 0 : total_hamming(locus_masks, order);
   }
   return stats.finish();
+}
+
+std::vector<McPrediction> mc_predict_cim_window(
+    const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
+    const McOptions& options, MaskSource& masks, core::Rng& analog_rng,
+    McWorkload* workload, std::size_t side_items,
+    const std::function<void(std::size_t)>& side_item) {
+  CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  const auto run_side_inline = [&] {
+    for (std::size_t k = 0; k < side_items; ++k) side_item(k);
+  };
+  if (xs.empty()) {  // drain tick: only side work left in flight
+    run_side_inline();
+    return {};
+  }
+  if (options.compute_reuse || options.order_samples) {
+    // The delta-accumulator chains are frame-local, so the per-frame path
+    // already is the batched execution; side work runs up front (it must
+    // not depend on this window's predictions either way).
+    run_side_inline();
+    std::vector<McPrediction> preds;
+    preds.reserve(xs.size());
+    for (const nn::Vector* x : xs) {
+      McWorkload wl;
+      preds.push_back(mc_predict_cim(net, *x, options, masks, analog_rng,
+                                     workload != nullptr ? &wl : nullptr));
+      if (workload != nullptr) *workload += wl;
+    }
+    return preds;
+  }
+
+  const cimsram::MacroStats before = net.total_stats();
+  const std::vector<int> widths = mask_site_widths(net);
+
+  // Draw every frame's mask sets and noise root in frame order — the
+  // exact MaskSource / analog_rng consumption of serial per-frame calls.
+  std::uint64_t bits_drawn = 0;
+  std::uint64_t locus_flips = 0;
+  thread_local std::vector<std::vector<std::vector<nn::Mask>>> sets_tls;
+  std::vector<std::vector<std::vector<nn::Mask>>>& frame_sets = sets_tls;
+  frame_sets.resize(xs.size());
+  std::vector<nn::CimMlp::FrameBatch> frames(xs.size());
+  for (std::size_t f = 0; f < xs.size(); ++f) {
+    auto& mask_sets = frame_sets[f];
+    bits_drawn += draw_mask_sets(widths, options.iterations,
+                                 options.dropout_p, masks, mask_sets);
+    if (workload != nullptr && !widths.empty()) {
+      for (std::size_t t = 1; t < mask_sets.size(); ++t)
+        locus_flips +=
+            hamming_distance(mask_sets[t - 1][0], mask_sets[t][0]);
+    }
+    frames[f].x = xs[f];
+    frames[f].mask_sets = &mask_sets;
+    frames[f].noise_root = analog_rng();
+  }
+
+  thread_local nn::CimMlp::WindowScratch scratch_tls;
+  thread_local std::vector<std::vector<nn::Vector>> outs_tls;
+  std::vector<std::vector<nn::Vector>>& outs = outs_tls;
+  net.forward_window(frames, options.pool, scratch_tls, outs, side_items,
+                     side_item);
+
+  // Welford accumulation stays serial and in (frame, iteration) order, so
+  // the final moments are bit-exact for any thread count.
+  std::vector<McPrediction> preds;
+  preds.reserve(xs.size());
+  const std::size_t n_out =
+      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out());
+  for (std::size_t f = 0; f < xs.size(); ++f) {
+    VectorStats stats(n_out);
+    for (const auto& out : outs[f]) stats.add(out);
+    preds.push_back(stats.finish());
+  }
+
+  if (workload != nullptr) {
+    workload->macro += net.total_stats() - before;
+    workload->mask_bits_drawn += bits_drawn;
+    workload->input_mask_flips += locus_flips;
+  }
+  return preds;
 }
 
 }  // namespace cimnav::bnn

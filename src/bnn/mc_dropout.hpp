@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bnn/mask_source.hpp"
@@ -25,11 +26,13 @@
 
 namespace cimnav::bnn {
 
-/// Aggregated MC-Dropout prediction.
+/// Aggregated MC-Dropout prediction. Produced by serial Welford
+/// accumulation in iteration order, so it is bit-exact for any thread
+/// count regardless of how the iterations were scheduled.
 struct McPrediction {
-  nn::Vector mean;
+  nn::Vector mean;      ///< per-output mean (the point prediction)
   nn::Vector variance;  ///< per-output sample variance across iterations
-  int samples = 0;
+  int samples = 0;      ///< iterations accumulated
 
   /// Scalar uncertainty: mean of per-output variances.
   double scalar_variance() const;
@@ -37,10 +40,10 @@ struct McPrediction {
 
 /// Execution options for the CIM paths.
 struct McOptions {
-  int iterations = 30;
-  double dropout_p = 0.5;
-  bool compute_reuse = false;
-  bool order_samples = false;
+  int iterations = 30;        ///< MC forward passes per prediction (T)
+  double dropout_p = 0.5;     ///< per-neuron drop probability
+  bool compute_reuse = false; ///< first-layer delta accumulation (Sec. III-C)
+  bool order_samples = false; ///< greedy min-Hamming mask tour (needs reuse)
   /// With compute_reuse, re-evaluate the reuse accumulator densely every
   /// N iterations to bound analog-noise drift (0 = never refresh). The
   /// default trades ~1/8 of the reuse savings for drift-free accuracy.
@@ -75,11 +78,36 @@ McPrediction mc_predict_float(const nn::Mlp& net, const nn::Vector& x,
                               MaskSource& masks);
 
 /// MC-Dropout through the CIM macros. `analog_rng` drives macro noise.
-/// Workload (if non-null) receives the macro-activity delta of this call.
+/// Workload (if non-null) *accumulates* this call's activity delta — the
+/// same contract as mc_predict_cim_window, so one McWorkload can total a
+/// whole trajectory across either entry point.
 McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
                             const McOptions& options, MaskSource& masks,
                             core::Rng& analog_rng,
                             McWorkload* workload = nullptr);
+
+/// Multi-frame MC-Dropout: predicts a whole window of frames in one
+/// cross-frame batched pass (CimMlp::forward_window — one pooled macro
+/// dispatch per layer over every (frame, iteration) item, layer-0
+/// encoding amortized per frame across its iterations).
+///
+/// Determinism: dropout masks and per-frame noise roots are drawn from
+/// `masks`/`analog_rng` in frame order, so the consumption — and every
+/// returned prediction — is bit-identical to calling mc_predict_cim
+/// frame-by-frame, at any thread count and any window size. The
+/// compute-reuse / sample-ordering options fall back to exactly that
+/// per-frame path (their delta chains are frame-local).
+///
+/// `side_items`/`side_item` append side work to the window's widest macro
+/// dispatch (layer 0): side_item(k) runs once per k < side_items,
+/// concurrently with the dense window — the frame pipeline overlaps its
+/// scan-generation and filter-update stages there. Side work must not
+/// depend on this window's predictions.
+std::vector<McPrediction> mc_predict_cim_window(
+    const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
+    const McOptions& options, MaskSource& masks, core::Rng& analog_rng,
+    McWorkload* workload = nullptr, std::size_t side_items = 0,
+    const std::function<void(std::size_t)>& side_item = {});
 
 /// Greedy nearest-neighbour tour over mask sets, keyed by the Hamming
 /// distance of the *input-site* mask (the reuse locus). Returns the

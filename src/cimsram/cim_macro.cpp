@@ -24,6 +24,7 @@ MacroWorkspace& tls_workspace() {
 MacroStats& MacroStats::operator+=(const MacroStats& o) {
   matvec_calls += o.matvec_calls;
   wordline_pulses += o.wordline_pulses;
+  wordline_col_drives += o.wordline_col_drives;
   adc_conversions += o.adc_conversions;
   analog_cycles += o.analog_cycles;
   nominal_macs += o.nominal_macs;
@@ -33,6 +34,7 @@ MacroStats& MacroStats::operator+=(const MacroStats& o) {
 MacroStats& MacroStats::operator-=(const MacroStats& o) {
   matvec_calls -= o.matvec_calls;
   wordline_pulses -= o.wordline_pulses;
+  wordline_col_drives -= o.wordline_col_drives;
   adc_conversions -= o.adc_conversions;
   analog_cycles -= o.analog_cycles;
   nominal_macs -= o.nominal_macs;
@@ -144,6 +146,7 @@ CimMacro::CimMacro(CimMacro&& other) noexcept
       inv_input_scale_(other.inv_input_scale_), bits_(std::move(other.bits_)) {
   stat_calls_.store(other.stat_calls_.load());
   stat_wordline_.store(other.stat_wordline_.load());
+  stat_wl_cols_.store(other.stat_wl_cols_.load());
   stat_adc_.store(other.stat_adc_.load());
   stat_cycles_.store(other.stat_cycles_.load());
   stat_macs_.store(other.stat_macs_.load());
@@ -163,6 +166,7 @@ CimMacro& CimMacro::operator=(CimMacro&& other) noexcept {
     bits_ = std::move(other.bits_);
     stat_calls_.store(other.stat_calls_.load());
     stat_wordline_.store(other.stat_wordline_.load());
+    stat_wl_cols_.store(other.stat_wl_cols_.load());
     stat_adc_.store(other.stat_adc_.load());
     stat_cycles_.store(other.stat_cycles_.load());
     stat_macs_.store(other.stat_macs_.load());
@@ -236,6 +240,11 @@ void CimMacro::account(std::uint64_t calls, std::uint64_t active_rows,
   stat_cycles_.fetch_add(calls * cycles, std::memory_order_relaxed);
   stat_wordline_.fetch_add(calls * active_rows * cycles,
                            std::memory_order_relaxed);
+  // Every pulse drives the full physical array width (masked columns still
+  // load the wire), so the span scales with n_out_, not active_cols.
+  stat_wl_cols_.fetch_add(calls * active_rows * cycles *
+                              static_cast<std::uint64_t>(n_out_),
+                          std::memory_order_relaxed);
   stat_adc_.fetch_add(calls * active_cols * cycles,
                       std::memory_order_relaxed);
   stat_macs_.fetch_add(calls * active_rows * active_cols,
@@ -246,6 +255,7 @@ MacroStats CimMacro::stats() const {
   MacroStats s;
   s.matvec_calls = stat_calls_.load(std::memory_order_relaxed);
   s.wordline_pulses = stat_wordline_.load(std::memory_order_relaxed);
+  s.wordline_col_drives = stat_wl_cols_.load(std::memory_order_relaxed);
   s.adc_conversions = stat_adc_.load(std::memory_order_relaxed);
   s.analog_cycles = stat_cycles_.load(std::memory_order_relaxed);
   s.nominal_macs = stat_macs_.load(std::memory_order_relaxed);
@@ -255,6 +265,7 @@ MacroStats CimMacro::stats() const {
 void CimMacro::reset_stats() const {
   stat_calls_.store(0, std::memory_order_relaxed);
   stat_wordline_.store(0, std::memory_order_relaxed);
+  stat_wl_cols_.store(0, std::memory_order_relaxed);
   stat_adc_.store(0, std::memory_order_relaxed);
   stat_cycles_.store(0, std::memory_order_relaxed);
   stat_macs_.store(0, std::memory_order_relaxed);

@@ -73,6 +73,14 @@ struct CimMacroConfig {
 struct MacroStats {
   std::uint64_t matvec_calls = 0;
   std::uint64_t wordline_pulses = 0;   ///< (active rows) x cycles
+  /// Sum over word-line pulses of the columns each pulse drives (the
+  /// physical array width, not the mask-gated column count): a word line
+  /// spans the whole array, so its drive energy scales with the wire
+  /// length. Narrow shard arrays are cheaper per pulse; see
+  /// energy::macro_stats_energy_j, which prices pulses through this span
+  /// (and falls back to flat per-pulse pricing when the counter is zero,
+  /// e.g. for hand-built snapshots).
+  std::uint64_t wordline_col_drives = 0;
   std::uint64_t adc_conversions = 0;
   std::uint64_t analog_cycles = 0;     ///< input-bit x plane x sign cycles
   std::uint64_t nominal_macs = 0;      ///< active_in x active_out per call
@@ -337,6 +345,7 @@ class CimMacro final : public MacroLike {
 
   mutable std::atomic<std::uint64_t> stat_calls_{0};
   mutable std::atomic<std::uint64_t> stat_wordline_{0};
+  mutable std::atomic<std::uint64_t> stat_wl_cols_{0};
   mutable std::atomic<std::uint64_t> stat_adc_{0};
   mutable std::atomic<std::uint64_t> stat_cycles_{0};
   mutable std::atomic<std::uint64_t> stat_macs_{0};

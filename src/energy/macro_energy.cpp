@@ -24,9 +24,19 @@ double macro_stats_energy_j(const cimsram::MacroStats& stats, int adc_bits,
   CIMNAV_REQUIRE(adc_bits >= 1, "need at least one adc bit");
   const double adc_j =
       tech.adc6_j * std::pow(2.0, static_cast<double>(adc_bits - 6));
-  return static_cast<double>(stats.wordline_pulses) * tech.wordline_j +
-         static_cast<double>(stats.adc_conversions) *
-             (tech.bitline_j + adc_j + tech.shift_add_j);
+  // Word-line drive scales with the wire span (the physical array width
+  // each pulse crosses): wordline_j is calibrated at wordline_ref_cols
+  // columns, and wordline_col_drives accumulates (pulses x driven
+  // columns), so narrow shard arrays are charged proportionally less.
+  // Snapshots without the span counter (hand-built stats) fall back to
+  // flat per-pulse pricing at the reference width.
+  const double wordline_j =
+      stats.wordline_col_drives > 0
+          ? static_cast<double>(stats.wordline_col_drives) *
+                (tech.wordline_j / tech.wordline_ref_cols)
+          : static_cast<double>(stats.wordline_pulses) * tech.wordline_j;
+  return wordline_j + static_cast<double>(stats.adc_conversions) *
+                          (tech.bitline_j + adc_j + tech.shift_add_j);
 }
 
 double layer_latency_s(int input_bits, const SramCim16nm& tech) {

@@ -39,6 +39,11 @@ double layer_energy_j(int active_rows, int active_cols, int input_bits,
 /// column readouts (bit line + ADC + shift-add), so this is the
 /// functional simulator's ground truth counterpart to layer_energy_j —
 /// including sharding overheads, which the analytic model cannot see.
+/// Word-line pulses are priced by wire span: snapshots carrying
+/// MacroStats::wordline_col_drives charge wordline_j scaled by
+/// (driven columns / tech.wordline_ref_cols) per pulse, so narrow shard
+/// arrays are no longer over-charged; span-free snapshots fall back to
+/// the flat reference-width price.
 double macro_stats_energy_j(const cimsram::MacroStats& stats, int adc_bits,
                             const SramCim16nm& tech = {});
 

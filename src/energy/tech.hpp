@@ -51,8 +51,15 @@ struct InverterArray45nm {
 struct SramCim16nm {
   double clock_hz = 1.0e9;
   double vdd_v = 0.85;
-  /// Word-line pulse energy per active row per cycle [J].
+  /// Word-line pulse energy per active row per cycle [J], calibrated for
+  /// an array wordline_ref_cols columns wide.
   double wordline_j = 9.2e-15;
+  /// Array width the word-line constant is calibrated at. A word line is
+  /// a wire across the whole array, so pulse energy scales with the
+  /// driven column count: a 64-column shard pays wordline_j * 64 / 128
+  /// per pulse. Used by macro_stats_energy_j when the activity snapshot
+  /// carries MacroStats::wordline_col_drives.
+  double wordline_ref_cols = 128.0;
   /// Bit-line / column compute-and-sample energy per active column per
   /// cycle [J] (charge redistribution across the weight-bit caps).
   double bitline_j = 142.0e-15;

@@ -77,6 +77,8 @@ LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
   core::Rng rng(config.seed + 2);
   trajectory_ = make_loop_trajectory(scene_, config.trajectory_steps, rng);
 
+  if (config_.defer_scans) return;  // scans render on demand (render_scan)
+
   const auto intr = vision::CameraIntrinsics::kinect_like(64, 48);
   vision::DepthRenderOptions opt;
   opt.pixel_stride = 2;
@@ -92,6 +94,23 @@ LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
     scans_.push_back(vision::subsample_scan(
         scan, static_cast<std::size_t>(config.scan_pixels), rng));
   }
+}
+
+vision::DepthScan LocalizationScenario::render_scan(std::size_t step) const {
+  CIMNAV_REQUIRE(step < trajectory_.controls.size(), "step out of range");
+  core::Rng rng = core::Rng::stream(config_.seed + 4, step);
+  const auto intr = vision::CameraIntrinsics::kinect_like(64, 48);
+  vision::DepthRenderOptions opt;
+  opt.pixel_stride = 2;
+  opt.noise_sigma_m = config_.scan_noise_m;
+  opt.mount_pitch_rad = config_.camera_pitch_rad;
+  const auto raycast = [this](const core::Vec3& o, const core::Vec3& d) {
+    return scene_.raycast(o, d);
+  };
+  const auto scan = vision::render_depth_scan(
+      intr, trajectory_.poses[step + 1], raycast, opt, &rng);
+  return vision::subsample_scan(
+      scan, static_cast<std::size_t>(config_.scan_pixels), rng);
 }
 
 std::unique_ptr<MeasurementModel> LocalizationScenario::make_gmm_backend()
@@ -144,7 +163,12 @@ BackendRun LocalizationScenario::run(const MeasurementModel& model,
   std::vector<double> tail_errors;
   for (std::size_t i = 0; i < trajectory_.controls.size(); ++i) {
     pf.predict(trajectory_.controls[i], rng);
-    pf.update(scans_[i], model, rng, config_.pool);
+    // Eager mode keeps the zero-copy path; defer_scans renders on demand.
+    if (config_.defer_scans) {
+      pf.update(render_scan(i), model, rng, config_.pool);
+    } else {
+      pf.update(scans_[i], model, rng, config_.pool);
+    }
     const PoseEstimate est = pf.estimate();
     const core::Pose& truth = trajectory_.poses[i + 1];
 

@@ -39,6 +39,15 @@ struct ScenarioConfig {
   /// Worker pool for the measurement updates (nullptr = serial); results
   /// are bit-identical at any thread count.
   core::ThreadPool* pool = nullptr;
+  /// Defer depth-scan rendering: the constructor skips the eager scan
+  /// pass and scans are rendered on demand by render_scan(step) with
+  /// per-step keyed rng streams — a pure function of the step index, so a
+  /// streaming pipeline's stage A can render them from any worker, one
+  /// window ahead (see vo::FramePipeline and examples/drone_localization).
+  /// Deferred and eager scans draw their sensor noise differently (keyed
+  /// streams vs one shared sequential stream), so runs are reproducible
+  /// within a mode but not comparable across modes.
+  bool defer_scans = false;
 };
 
 /// A synthesized flight: ground-truth poses plus body-frame controls.
@@ -86,7 +95,15 @@ class LocalizationScenario {
   const Trajectory& trajectory() const { return trajectory_; }
   const map::FittedMaps& maps() const { return maps_; }
   const ScenarioConfig& config() const { return config_; }
+  /// Eagerly pre-rendered scans (empty when config().defer_scans).
   const std::vector<vision::DepthScan>& scans() const { return scans_; }
+
+  /// Renders the depth scan observed after control `step` (at pose
+  /// step+1). Pure function of the step index: sensor noise comes from a
+  /// stream keyed on (seed, step), so calls are thread-safe and
+  /// order-independent — the contract a streaming pipeline's stage A
+  /// needs to render scans one window ahead. Works in either mode.
+  vision::DepthScan render_scan(std::size_t step) const;
 
  private:
   ScenarioConfig config_;

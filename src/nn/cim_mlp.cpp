@@ -92,6 +92,23 @@ void CimMlp::encode_layer0(const Vector& x,
   }
 }
 
+void CimMlp::finish_layer(Vector& z, const Vector& bias,
+                          const Mask& col_mask, bool hidden) const {
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    if (!col_mask.empty() && !col_mask[i]) {
+      z[i] = 0.0;
+      continue;
+    }
+    z[i] += bias[i];
+  }
+  if (hidden) {
+    for (std::size_t i = 0; i < z.size(); ++i) {
+      z[i] = std::max(0.0, z[i]);
+      z[i] = col_mask[i] ? z[i] * keep_scale_ : 0.0;
+    }
+  }
+}
+
 void CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
                              const std::vector<Mask>& masks, core::Rng& rng,
                              Vector& out) const {
@@ -127,19 +144,9 @@ void CimMlp::forward_encoded(const cimsram::EncodedInput& enc0,
       cimsram::pack_row_mask(*row_mask, macro.n_in(), gate);
       macro.matvec_encoded(enc_hidden, gate, col_mask, rng, z);
     }
-    const Vector& b = biases_[static_cast<std::size_t>(l)];
-    for (std::size_t i = 0; i < z.size(); ++i) {
-      if (!col_mask.empty() && !col_mask[i]) {
-        z[i] = 0.0;
-        continue;
-      }
-      z[i] += b[i];
-    }
+    finish_layer(z, biases_[static_cast<std::size_t>(l)], col_mask,
+                 has_hidden_mask);
     if (has_hidden_mask) {
-      for (std::size_t i = 0; i < z.size(); ++i) {
-        z[i] = std::max(0.0, z[i]);
-        z[i] = col_mask[i] ? z[i] * keep_scale_ : 0.0;
-      }
       row_mask = &col_mask;
       ++site;
     }
@@ -185,6 +192,93 @@ void CimMlp::forward_batch(const Vector& x,
     pool->parallel_for(mask_sets.size(), 1, body);
   } else {
     body(0, mask_sets.size(), 0);
+  }
+}
+
+void CimMlp::forward_window(const std::vector<FrameBatch>& frames,
+                            core::ThreadPool* pool, WindowScratch& scratch,
+                            std::vector<std::vector<Vector>>& outs,
+                            std::size_t side_items,
+                            const std::function<void(std::size_t)>& side_item)
+    const {
+  const std::size_t n_frames = frames.size();
+  const int n_layers = layer_count();
+  const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
+  const int mask_base = dropout_on_input_ ? 1 : 0;
+
+  // Flatten the window into (frame, iteration) work items; each item owns
+  // a persistent rng stream it carries across the per-layer dispatches,
+  // consumed in the exact order forward_encoded would consume it.
+  outs.resize(n_frames);
+  scratch.enc0.resize(n_frames);
+  scratch.rngs.clear();
+  scratch.frame_of.clear();
+  scratch.iter_of.clear();
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    const FrameBatch& fr = frames[f];
+    CIMNAV_REQUIRE(fr.x != nullptr && fr.mask_sets != nullptr,
+                   "frame batch entries must be populated");
+    for (const auto& set : *fr.mask_sets)
+      CIMNAV_REQUIRE(set.size() == static_cast<std::size_t>(expected_sites),
+                     "mask count mismatch");
+    encode_layer0(*fr.x, scratch.enc0[f]);
+    outs[f].resize(fr.mask_sets->size());
+    for (std::size_t t = 0; t < fr.mask_sets->size(); ++t) {
+      scratch.rngs.push_back(core::Rng::stream(fr.noise_root, t));
+      scratch.frame_of.push_back(static_cast<std::uint32_t>(f));
+      scratch.iter_of.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+  const std::size_t n_items = scratch.rngs.size();
+  scratch.acts.resize(n_items);
+
+  const Mask empty;
+  for (int l = 0; l < n_layers; ++l) {
+    const auto& macro = *macros_[static_cast<std::size_t>(l)];
+    const Vector& bias = biases_[static_cast<std::size_t>(l)];
+    const bool has_hidden_mask = l + 1 < n_layers;
+    const bool is_last = l + 1 == n_layers;
+    const auto body = [&](std::size_t begin, std::size_t end, int) {
+      thread_local std::vector<std::uint64_t> gate;
+      thread_local cimsram::EncodedInput enc_hidden;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i >= n_items) {
+          side_item(i - n_items);
+          continue;
+        }
+        const std::size_t f = scratch.frame_of[i];
+        const std::size_t t = scratch.iter_of[i];
+        const std::vector<Mask>& set = (*frames[f].mask_sets)[t];
+        const Mask& row_mask =
+            l == 0 ? (dropout_on_input_ ? set[0] : empty)
+                   : set[static_cast<std::size_t>(mask_base + l - 1)];
+        const Mask& col_mask =
+            has_hidden_mask ? set[static_cast<std::size_t>(mask_base + l)]
+                            : empty;
+        core::Rng& rng = scratch.rngs[i];
+        Vector& z = is_last ? outs[f][t] : scratch.acts[i];
+        if (l == 0) {
+          if (dropout_on_input_)
+            CIMNAV_REQUIRE(row_mask.size() ==
+                               static_cast<std::size_t>(macro.n_in()),
+                           "input mask size mismatch");
+          cimsram::pack_row_mask(row_mask, macro.n_in(), gate);
+          macro.matvec_encoded(scratch.enc0[f], gate, col_mask, rng, z);
+        } else {
+          macro.encode_input(scratch.acts[i], enc_hidden);
+          cimsram::pack_row_mask(row_mask, macro.n_in(), gate);
+          macro.matvec_encoded(enc_hidden, gate, col_mask, rng, z);
+        }
+        finish_layer(z, bias, col_mask, has_hidden_mask);
+      }
+    };
+    const std::size_t total = n_items + (l == 0 ? side_items : 0);
+    if (total == 0) continue;
+    if (pool != nullptr) {
+      pool->parallel_for(total, 1, body);
+    } else {
+      body(0, total, 0);
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -43,7 +44,9 @@ class CimMlp {
   CimMlp(const Mlp& reference, const cimsram::CimMacroConfig& macro_config,
          const std::vector<Vector>& calibration_inputs, core::Rng& rng);
 
+  /// Number of weight layers (= programmed macros).
   int layer_count() const { return static_cast<int>(macros_.size()); }
+  /// The macro executing `layer` (monolithic or sharded; throws on range).
   const cimsram::MacroLike& macro(int layer) const;
 
   /// Masked (MC-Dropout) forward pass through the analog macros.
@@ -67,6 +70,51 @@ class CimMlp {
                      const std::vector<std::vector<Mask>>& mask_sets,
                      std::uint64_t noise_root, core::ThreadPool* pool,
                      std::vector<Vector>& outs) const;
+
+  /// One frame of a multi-frame MC-Dropout window (forward_window): the
+  /// frame's shared input, its per-iteration mask sets, and the root of
+  /// its analog-noise streams (iteration t draws from
+  /// core::Rng::stream(noise_root, t), exactly like forward_batch).
+  struct FrameBatch {
+    const Vector* x = nullptr;
+    const std::vector<std::vector<Mask>>* mask_sets = nullptr;
+    std::uint64_t noise_root = 0;
+  };
+
+  /// Reusable buffers for forward_window (inputs encodings, per-item rng
+  /// streams and activations). Buffers keep their capacity across calls;
+  /// one instance must not be shared by concurrent callers.
+  struct WindowScratch {
+    std::vector<cimsram::EncodedInput> enc0;
+    std::vector<core::Rng> rngs;
+    std::vector<std::uint32_t> frame_of;  ///< item -> frame index
+    std::vector<std::uint32_t> iter_of;   ///< item -> iteration in frame
+    std::vector<Vector> acts;
+  };
+
+  /// Multi-frame batched masked forward — the cross-frame batching entry
+  /// point behind the streaming frame pipeline. All (frame, iteration)
+  /// work items advance through the network layer-synchronously: one
+  /// batched macro dispatch per layer fans every item of the in-flight
+  /// window over `pool`, and each frame's layer-0 input is quantized and
+  /// bit-plane-expanded exactly once for all of its iterations.
+  ///
+  /// Determinism: each item owns a persistent noise stream keyed
+  /// (noise_root, iteration) that it carries across layers, so results
+  /// are bit-identical to per-frame forward_batch calls — and hence to
+  /// the serial path — at any thread count and any window size.
+  ///
+  /// `outs[f][t]` receives frame f's iteration-t output (capacity reused).
+  /// `side_items`/`side_item` optionally append side work to the layer-0
+  /// dispatch (the widest one): side_item(k) runs once for each
+  /// k < side_items, concurrently with the macro work — the frame
+  /// pipeline overlaps its input-generation and consume stages there.
+  void forward_window(const std::vector<FrameBatch>& frames,
+                      core::ThreadPool* pool, WindowScratch& scratch,
+                      std::vector<std::vector<Vector>>& outs,
+                      std::size_t side_items = 0,
+                      const std::function<void(std::size_t)>& side_item =
+                          {}) const;
 
   /// Deterministic forward (no dropout, all neurons active).
   Vector forward_deterministic(const Vector& x, core::Rng& rng) const;
@@ -103,7 +151,9 @@ class CimMlp {
   cimsram::MacroStats total_stats() const;
   void reset_stats() const;
 
+  /// Inverted-dropout scale 1/(1-p) applied to surviving neurons.
   double dropout_keep_scale() const { return keep_scale_; }
+  /// Whether mask site 0 gates the input rows (else hidden sites only).
   bool dropout_on_input() const { return dropout_on_input_; }
 
  private:
@@ -116,6 +166,14 @@ class CimMlp {
 
   /// Encodes the (dropout-scaled) layer-0 input for `x` into `enc`.
   void encode_layer0(const Vector& x, cimsram::EncodedInput& enc) const;
+
+  /// Digital epilogue of one layer, shared by forward_encoded and
+  /// forward_window: bias on live columns (masked columns forced to 0),
+  /// then ReLU + inverted-dropout scale when `hidden`. The bit-identity
+  /// contract between the per-frame and window paths rests on both
+  /// running exactly this code.
+  void finish_layer(Vector& z, const Vector& bias, const Mask& col_mask,
+                    bool hidden) const;
 
   std::vector<std::unique_ptr<cimsram::MacroLike>> macros_;
   std::vector<Vector> biases_;

@@ -1,0 +1,85 @@
+#include "vo/frame_pipeline.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace cimnav::vo {
+
+FramePipeline::FramePipeline(const nn::CimMlp& net,
+                             const FramePipelineConfig& config)
+    : net_(&net), config_(config) {
+  CIMNAV_REQUIRE(config_.window >= 1, "window must hold at least one frame");
+}
+
+void FramePipeline::run(int frame_count, const InputFn& make_input,
+                        const ConsumeFn& consume, bnn::MaskSource& masks,
+                        core::Rng& analog_rng, bnn::McWorkload* workload) {
+  CIMNAV_REQUIRE(frame_count >= 0, "frame count must be >= 0");
+  CIMNAV_REQUIRE(make_input != nullptr && consume != nullptr,
+                 "pipeline stages must be populated");
+  if (frame_count == 0) return;
+  const int w = config_.window;
+
+  bnn::McOptions opt = config_.mc;
+  opt.pool = config_.pool;
+
+  // Prologue: stage A alone fills the first window (nothing to overlap
+  // with yet). Frames are independent, so they fan over the pool.
+  std::vector<nn::Vector>* cur = &slots_[0];
+  std::vector<nn::Vector>* next = &slots_[1];
+  const int first = std::min(w, frame_count);
+  cur->resize(static_cast<std::size_t>(first));
+  {
+    const auto fill = [&](std::size_t begin, std::size_t end, int) {
+      for (std::size_t i = begin; i < end; ++i)
+        (*cur)[i] = make_input(static_cast<int>(i));
+    };
+    if (config_.pool != nullptr) {
+      config_.pool->parallel_for(static_cast<std::size_t>(first), 1, fill);
+    } else {
+      fill(0, static_cast<std::size_t>(first), 0);
+    }
+  }
+
+  pending_.clear();
+  int pending_base = 0;
+  for (int w0 = 0; w0 < frame_count; w0 += w) {
+    const int w1 = std::min(w0 + w, frame_count);
+    const int next0 = w1, next1 = std::min(w1 + w, frame_count);
+    next->resize(static_cast<std::size_t>(next1 - next0));
+
+    // Side work for stage B's layer-0 dispatch: one stage-A item per
+    // frame of the next window, plus one stage-C item that drains the
+    // previous window's predictions in frame order.
+    const std::size_t a_items = static_cast<std::size_t>(next1 - next0);
+    const bool has_c = !pending_.empty();
+    const int c_base = pending_base;
+    const auto side = [&](std::size_t k) {
+      if (k < a_items) {
+        (*next)[k] = make_input(next0 + static_cast<int>(k));
+      } else {
+        for (std::size_t j = 0; j < pending_.size(); ++j)
+          consume(c_base + static_cast<int>(j), pending_[j]);
+      }
+    };
+
+    xs_.clear();
+    for (int f = w0; f < w1; ++f)
+      xs_.push_back(&(*cur)[static_cast<std::size_t>(f - w0)]);
+    pending_ = bnn::mc_predict_cim_window(*net_, xs_, opt, masks, analog_rng,
+                                          workload,
+                                          a_items + (has_c ? 1 : 0), side);
+    pending_base = w0;
+    std::swap(cur, next);
+  }
+
+  // Epilogue: drain the last window (the scenario may end mid-window; the
+  // consumer still sees every frame, in order).
+  for (std::size_t j = 0; j < pending_.size(); ++j)
+    consume(pending_base + static_cast<int>(j), pending_[j]);
+  pending_.clear();
+}
+
+}  // namespace cimnav::vo

@@ -1,0 +1,108 @@
+// Streaming three-stage frame pipeline (the paper's frame-rate autonomy
+// loop, Sec. II/III-D): depth sensing, MC-Dropout visual odometry and the
+// particle-filter measurement update run continuously instead of one
+// frame at a time.
+//
+// The pipeline keeps a window of W frames in flight and overlaps, on one
+// core::ThreadPool:
+//
+//   stage A   input generation (scan rendering / feature encoding) for
+//             the *next* window, written into the idle half of a double
+//             buffer;
+//   stage B   the MC-Dropout VO pass for the *current* window, batched
+//             across frames through one macro dispatch per layer
+//             (CimMlp::forward_window);
+//   stage C   the consumer (particle-filter measurement update,
+//             trajectory integration, ...) for the *previous* window,
+//             called in strict frame order.
+//
+// A and C ride as side items inside stage B's widest macro dispatch
+// (layer 0), so no stage waits for a dedicated slot of its own: while the
+// pool chews through the window's (frame x iteration) matvecs, one worker
+// renders the next window's inputs and another drains the previous
+// window's predictions into the filter.
+//
+// Determinism contract (same discipline as the rest of the engine):
+// dropout masks and analog-noise roots are consumed in frame order, every
+// (frame, iteration) noise stream is keyed on its indices, and stage C
+// runs in frame order — so a pipelined run is bit-identical to the serial
+// per-frame loop (make_input -> mc_predict_cim -> consume) at any thread
+// count and any window size. make_input must be a pure function of the
+// frame index (key internal rng streams on it); it may run on any worker,
+// concurrently with other frames' inputs. consume may use the pool itself
+// (nested dispatches degrade to inline serial loops).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bnn/mask_source.hpp"
+#include "bnn/mc_dropout.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "nn/cim_mlp.hpp"
+#include "nn/tensor.hpp"
+
+namespace cimnav::vo {
+
+/// Static configuration of a FramePipeline.
+struct FramePipelineConfig {
+  /// Frames in flight per stage-B batch (>= 1); 1 degenerates to a
+  /// frame-at-a-time loop with one window of input prefetch.
+  int window = 4;
+  /// Worker pool shared by all three stages (nullptr = serial execution,
+  /// still in pipeline order — useful for differential testing).
+  core::ThreadPool* pool = nullptr;
+  /// Stage-B MC-Dropout options. `mc.pool` is ignored: the pipeline's
+  /// pool drives every stage.
+  bnn::McOptions mc;
+};
+
+/// Streaming frame pipeline over a CIM-executed MC-Dropout network.
+class FramePipeline {
+ public:
+  /// Stage A: builds frame `f`'s network input. Must be a pure function
+  /// of `f` (it runs on pool workers, one window ahead of stage B).
+  using InputFn = std::function<nn::Vector(int)>;
+  /// Stage C: receives frame `f`'s MC prediction; called in frame order.
+  /// Runs on a pool worker concurrently with stage B's macro work, so any
+  /// parallel_for the consumer issues itself (e.g. a pooled
+  /// ParticleFilter::update) nests and degrades to an inline serial loop:
+  /// the pipeline trades the consumer's *internal* parallelism for
+  /// cross-stage overlap. That is a win when B dominates and there are
+  /// cores to overlap on; a consumer that dwarfs the window's MC work is
+  /// better served by the plain serial loop.
+  using ConsumeFn = std::function<void(int, const bnn::McPrediction&)>;
+
+  /// The pipeline borrows `net` (and the config's pool); both must
+  /// outlive it.
+  FramePipeline(const nn::CimMlp& net, const FramePipelineConfig& config);
+
+  const FramePipelineConfig& config() const { return config_; }
+
+  /// Streams frames [0, frame_count) through the three stages and blocks
+  /// until the last prediction has been consumed (the epilogue drains
+  /// in-flight windows, so ending mid-window — frame_count not a multiple
+  /// of the window, or smaller than it — is safe). Every frame's input is
+  /// generated exactly once and every prediction is consumed exactly
+  /// once, in frame order. `workload` (optional) accumulates the macro
+  /// activity of the whole run. Reentrant per pipeline object: buffers
+  /// are members, so one FramePipeline must not run from two threads.
+  void run(int frame_count, const InputFn& make_input,
+           const ConsumeFn& consume, bnn::MaskSource& masks,
+           core::Rng& analog_rng, bnn::McWorkload* workload = nullptr);
+
+ private:
+  const nn::CimMlp* net_;
+  FramePipelineConfig config_;
+  /// Double-buffered input slots: stage B reads one half while stage A
+  /// fills the other; the halves swap every window. Slot vectors keep
+  /// their capacity across windows and runs (>= 3 in-flight frames reuse
+  /// the same storage).
+  std::vector<nn::Vector> slots_[2];
+  std::vector<const nn::Vector*> xs_;         ///< stage-B view of a window
+  std::vector<bnn::McPrediction> pending_;    ///< window awaiting stage C
+};
+
+}  // namespace cimnav::vo

@@ -4,6 +4,7 @@
 
 #include "core/error.hpp"
 #include "core/stats.hpp"
+#include "vo/frame_pipeline.hpp"
 
 namespace cimnav::vo {
 namespace {
@@ -211,6 +212,53 @@ VoRun VoPipeline::run_cim_mc(const cimsram::CimMacroConfig& macro,
         if (variance != nullptr) *variance = pred.scalar_variance();
         return pred.mean;
       });
+}
+
+nn::Vector VoPipeline::frame_feature(const core::Pose& a,
+                                     const core::Pose& b,
+                                     core::Rng& rng) const {
+  return make_feature(observations_.observe(a, rng),
+                      observations_.observe(b, rng));
+}
+
+VoRun VoPipeline::run_cim_mc_streamed(const cimsram::CimMacroConfig& macro,
+                                      const bnn::McOptions& options,
+                                      bnn::MaskSource& masks,
+                                      bnn::McWorkload* workload_out) const {
+  std::shared_ptr<nn::CimMlp> cim = make_cim_network(macro);
+  core::Rng analog_rng(config_.seed + 321);
+  std::string label = "cim-mc-" + std::to_string(macro.weight_bits) + "b";
+  if (options.compute_reuse) label += "+reuse";
+  if (options.order_samples) label += "+order";
+  label += "+stream";
+
+  FramePipelineConfig pipe_cfg;
+  pipe_cfg.window = config_.frame_window;
+  pipe_cfg.pool = options.pool != nullptr ? options.pool : config_.pool;
+  pipe_cfg.mc = options;
+  FramePipeline pipe(*cim, pipe_cfg);
+
+  // Stage A serves the precomputed test features; stage C collects the
+  // predictions in frame order. The trajectory bookkeeping then replays
+  // them through the same evaluate() path as every other condition, so
+  // streamed VoRuns are field-for-field comparable (and, dense-path,
+  // bit-identical) to run_cim_mc.
+  std::vector<bnn::McPrediction> preds(test_inputs_.size());
+  pipe.run(
+      static_cast<int>(test_inputs_.size()),
+      [this](int f) { return test_inputs_[static_cast<std::size_t>(f)]; },
+      [&preds](int f, const bnn::McPrediction& p) {
+        preds[static_cast<std::size_t>(f)] = p;
+      },
+      masks, analog_rng, workload_out);
+
+  std::size_t cursor = 0;
+  return evaluate(label, [&preds, &cursor](const nn::Vector&,
+                                           double* variance) {
+    const bnn::McPrediction& p = preds[cursor++];
+    if (variance != nullptr) *variance = p.scalar_variance();
+    return p.mean;
+  });
 }
 
 }  // namespace cimnav::vo

@@ -57,6 +57,13 @@ struct VoPipelineConfig {
   /// are no longer frame-serial inside. Results are bit-identical at any
   /// thread count (noise streams are keyed on iteration indices).
   core::ThreadPool* pool = nullptr;
+  /// In-flight frame window for run_cim_mc_streamed (the stage-B batch of
+  /// the vo::FramePipeline): MC iterations of up to this many frames are
+  /// batched through one macro dispatch per layer while the next window's
+  /// inputs are prepared and the previous window's predictions are
+  /// consumed. 1 degenerates to frame-at-a-time. Any value yields results
+  /// bit-identical to run_cim_mc (dense path).
+  int frame_window = 4;
 
   VoPipelineConfig() {
     train.epochs = 120;
@@ -66,7 +73,7 @@ struct VoPipelineConfig {
 
 /// One evaluated inference condition.
 struct VoRun {
-  std::string label;
+  std::string label;                     ///< e.g. "cim-mc-6b+stream"
   std::vector<core::Pose> estimated;     ///< integrated trajectory
   std::vector<double> frame_delta_error; ///< per-frame delta L2 error [m]
   std::vector<double> frame_variance;    ///< MC predictive variance (or 0)
@@ -75,16 +82,26 @@ struct VoRun {
   double mean_delta_error = 0.0;
 };
 
+/// Owns the synthetic VO task end to end: builds the landmark field,
+/// trains the dropout regressor, and evaluates every inference condition
+/// on the shared held-out trajectory. Construction is deterministic given
+/// config().seed; all run_* evaluators are const and reusable.
 class VoPipeline {
  public:
+  /// Builds landmarks, synthesizes train/test data, trains the network.
   explicit VoPipeline(const VoPipelineConfig& config);
 
   const VoPipelineConfig& config() const { return config_; }
+  /// The trained float reference network (weights shared by every
+  /// quantized/CIM snapshot).
   const nn::Mlp& network() const { return *net_; }
+  /// Ground-truth poses of the held-out evaluation trajectory.
   const std::vector<core::Pose>& test_trajectory() const {
     return test_poses_;
   }
+  /// Final-epoch training MSE of the pose-delta regressor.
   double train_mse() const { return train_mse_; }
+  /// Held-out MSE on the test trajectory's frame pairs.
   double test_mse() const { return test_mse_; }
 
   /// Full-precision deterministic reference.
@@ -100,10 +117,24 @@ class VoPipeline {
   VoRun run_cim_deterministic(const cimsram::CimMacroConfig& macro) const;
 
   /// CIM-executed MC-Dropout; `workload_out` (optional) accumulates macro
-  /// activity across the whole trajectory.
+  /// activity across the whole trajectory. Frames evaluate one at a time
+  /// (iterations fan over config().pool); see run_cim_mc_streamed for the
+  /// cross-frame streaming path.
   VoRun run_cim_mc(const cimsram::CimMacroConfig& macro,
                    const bnn::McOptions& options, bnn::MaskSource& masks,
                    bnn::McWorkload* workload_out = nullptr) const;
+
+  /// CIM-executed MC-Dropout through the streaming vo::FramePipeline:
+  /// config().frame_window frames stay in flight, their MC iterations
+  /// batched across frames through one macro dispatch per layer.
+  /// Guarantee: with dense options (no compute_reuse/order_samples
+  /// fallback), every per-frame prediction — and hence the whole VoRun —
+  /// is bit-identical to run_cim_mc at any thread count and window size;
+  /// only the label gains a "+stream" suffix.
+  VoRun run_cim_mc_streamed(const cimsram::CimMacroConfig& macro,
+                            const bnn::McOptions& options,
+                            bnn::MaskSource& masks,
+                            bnn::McWorkload* workload_out = nullptr) const;
 
   /// Builds a CIM snapshot of the trained network (shared by benches).
   std::unique_ptr<nn::CimMlp> make_cim_network(
@@ -114,6 +145,18 @@ class VoPipeline {
   const std::vector<nn::Vector>& test_targets() const {
     return test_targets_;
   }
+
+  /// The synthetic landmark field the regressor was trained against.
+  const ObservationModel& observations() const { return observations_; }
+
+  /// Builds the regressor input for one frame transition a -> b:
+  /// observation of `a` concatenated with the centered difference to the
+  /// observation of `b` (the exact feature layout used in training).
+  /// `rng` drives the observation noise; key it on the frame index when
+  /// generating frames from a pipeline stage (purity contract of
+  /// FramePipeline::InputFn).
+  nn::Vector frame_feature(const core::Pose& a, const core::Pose& b,
+                           core::Rng& rng) const;
 
  private:
   VoRun evaluate(const std::string& label,

@@ -1,84 +1,64 @@
-// Drone localization demo (the paper's Sec. II system), driven end to end
-// by the streaming frame pipeline: an insect-scale drone flies a loop
-// through a procedural indoor scene while three stages overlap on one
-// worker pool —
+// Drone localization demo (the paper's Sec. II system) with the full
+// closed autonomy loop: an insect-scale drone flies a named scenario
+// while the streaming frame pipeline overlaps scan rendering (stage A),
+// the MC-Dropout visual-odometry pass on the simulated 8T-SRAM CIM
+// macros (stage B), and the particle-filter step (stage C) on one worker
+// pool. Two modes run over identical frames:
 //
-//   stage A  renders the *next* window's depth scans and VO features
-//            (scenario scans are deferred: per-step keyed rng streams);
-//   stage B  runs the MC-Dropout visual-odometry regressor on the
-//            simulated 8T-SRAM CIM macros, MC iterations batched across
-//            the in-flight frames (one macro dispatch per layer);
-//   stage C  feeds the particle filter, whose measurement likelihood runs
-//            on the simulated floating-gate inverter array, and tracks
-//            the VO prediction error against its reported uncertainty.
+//   open loop    ground-truth controls drive ParticleFilter::predict
+//                (the reproduction's pre-closed-loop behavior: VO
+//                uncertainty is reported but not acted on);
+//   closed loop  the VO posterior drives it — mean as the odometry
+//                increment, per-axis predictive stddev inflating the
+//                process noise — making the uncertainty actionable.
 //
-// The same frames are then re-run through the plain serial per-frame loop
-// to demonstrate the determinism contract (bit-identical results at any
-// thread count / window size) and to compare frames per second.
+// The closed-loop run is then repeated serially (window 1, no pool) to
+// demonstrate the determinism contract: bit-identical results at any
+// thread count and window size.
 //
-//   $ ./example_drone_localization
-#include <chrono>
-#include <cmath>
+//   $ ./example_drone_localization [scenario]     # default: indoor_loop
+//
+// Scenario names come from the filter:: registry (indoor_loop,
+// corridor_dropout, loop_closure_square, warehouse_symmetry).
 #include <cstdio>
 #include <iostream>
-#include <vector>
+#include <string>
 
-#include "bnn/mask_source.hpp"
-#include "bnn/mc_dropout.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/scenario.hpp"
-#include "vo/frame_pipeline.hpp"
+#include "vo/closed_loop.hpp"
 #include "vo/pipeline.hpp"
-#include "vo/trajectory.hpp"
 
-namespace {
+int main(int argc, char** argv) {
+  using namespace cimnav;
 
-using namespace cimnav;
+  const std::string scenario_name = argc > 1 ? argv[1] : "indoor_loop";
+  filter::ScenarioConfig cfg;
+  try {
+    cfg = filter::make_scenario_config(scenario_name);
+  } catch (const std::invalid_argument& e) {
+    std::printf("%s\n\nregistered scenarios:\n", e.what());
+    for (const auto& name : filter::scenario_names())
+      std::printf("  %-22s %s\n", name.c_str(),
+                  filter::scenario_description(name).c_str());
+    return 1;
+  }
 
-struct StepRow {
-  double pf_error_m = 0.0;
-  double ess_fraction = 0.0;
-  double vo_delta_error_m = 0.0;
-  double vo_sigma = 0.0;
-};
-
-struct RunResult {
-  std::vector<StepRow> rows;
-  double seconds = 0.0;
-};
-
-}  // namespace
-
-int main() {
   std::printf(
-      "cimnav drone localization: streaming frame pipeline "
-      "(scan -> MC-dropout VO -> particle filter)\n\n");
+      "cimnav drone localization: closed-loop uncertainty-aware odometry\n"
+      "scenario '%s' (%s)\n\n",
+      scenario_name.c_str(),
+      filter::scenario_description(scenario_name).c_str());
 
   core::ThreadPool pool;
-
-  // Scene + filter scenario. Scans are deferred: the pipeline's stage A
-  // renders them one window ahead via per-step keyed rng streams.
-  filter::ScenarioConfig cfg;
-  cfg.scene.room_size = {2.6, 2.2, 1.8};
-  cfg.trajectory_steps = 40;  // short steps keep VO deltas in-envelope
-  cfg.mixture_components = 80;
-  cfg.likelihood_beta = 0.25;
-  cfg.filter.particle_count = 500;
-  cfg.scan_pixels = 80;
-  cfg.cim_columns = 500;
   cfg.pool = &pool;
-  cfg.defer_scans = true;
   const filter::LocalizationScenario scenario(cfg);
 
-  // VO regressor trained on the synthetic landmark task, then snapshotted
-  // onto 6-bit CIM macros.
+  // VO regressor trained on the synthetic landmark task, snapshotted onto
+  // 6-bit CIM macros; one network serves every scenario.
   vo::VoPipelineConfig vo_cfg;
-  vo_cfg.landmark_count = 12;
-  vo_cfg.hidden_sizes = {64, 32};
-  vo_cfg.train_samples = 2000;
-  vo_cfg.train.epochs = 60;
-  vo_cfg.test_steps = 40;
+  vo_cfg.test_steps = 40;  // default capacity/training, shorter test path
   vo_cfg.pool = &pool;
   const vo::VoPipeline vo(vo_cfg);
   cimsram::CimMacroConfig macro;
@@ -86,12 +66,10 @@ int main() {
   macro.weight_bits = 6;
   macro.adc_bits = 6;
   const auto cim = vo.make_cim_network(macro);
-
-  const auto& poses = scenario.trajectory().poses;
-  const auto& controls = scenario.trajectory().controls;
-  const int frames = static_cast<int>(controls.size());
   const auto cim_model = scenario.make_cim_backend();
 
+  const int frames =
+      static_cast<int>(scenario.trajectory().controls.size());
   std::printf("scene: %.1f x %.1f x %.1f m, %zu boxes; flight: %d frames, "
               "%d particles\n",
               cfg.scene.room_size.x, cfg.scene.room_size.y,
@@ -101,126 +79,61 @@ int main() {
               "macros, T=20 MC iterations\n\n",
               vo.train_mse(), vo.test_mse());
 
-  bnn::McOptions mc;
-  mc.iterations = 20;
-  mc.dropout_p = vo_cfg.dropout_p;
+  vo::ClosedLoopConfig loop_cfg;
+  loop_cfg.window = 4;
+  loop_cfg.pool = &pool;
+  loop_cfg.mc.iterations = 20;
+  loop_cfg.mc.dropout_p = vo_cfg.dropout_p;
+  loop_cfg.inflation.gain = 1.0;
 
-  // One full flight. window > 1 streams through the FramePipeline;
-  // window == 0 runs the plain serial per-frame loop. Identical seeds, so
-  // the two must produce bit-identical trajectories.
-  const auto fly = [&](int window) {
-    RunResult result;
-    result.rows.resize(static_cast<std::size_t>(frames));
-    std::vector<vision::DepthScan> scans(static_cast<std::size_t>(frames));
+  loop_cfg.mode = vo::OdometryMode::kOpenLoop;
+  const auto open_run =
+      vo::run_odometry_loop(scenario, vo, *cim, *cim_model, loop_cfg);
+  loop_cfg.mode = vo::OdometryMode::kClosedLoop;
+  const auto closed_run =
+      vo::run_odometry_loop(scenario, vo, *cim, *cim_model, loop_cfg);
 
-    filter::ParticleFilter pf(cfg.filter);
-    core::Rng run_rng(31);
-    const core::Pose& start = poses.front();
-    core::Pose noisy_start{start.position +
-                               core::Vec3{run_rng.normal(0.0, 0.3),
-                                          run_rng.normal(0.0, 0.3),
-                                          run_rng.normal(0.0, 0.15)},
-                           start.yaw + run_rng.normal(0.0, 0.2)};
-    pf.init_gaussian(noisy_start, {0.4, 0.4, 0.2}, 0.25, run_rng);
-
-    // Stage A: pure function of the frame index (keyed rng streams).
-    const auto make_input = [&](int f) {
-      scans[static_cast<std::size_t>(f)] =
-          scenario.render_scan(static_cast<std::size_t>(f));
-      core::Rng feat_rng = core::Rng::stream(55, static_cast<std::uint64_t>(f));
-      return vo.frame_feature(poses[static_cast<std::size_t>(f)],
-                              poses[static_cast<std::size_t>(f) + 1],
-                              feat_rng);
-    };
-    // Stage C: filter predict/update plus the uncertainty bookkeeping,
-    // in strict frame order.
-    const auto consume = [&](int f, const bnn::McPrediction& pred) {
-      const auto fi = static_cast<std::size_t>(f);
-      pf.predict(controls[fi], run_rng);
-      pf.update(scans[fi], *cim_model, run_rng, &pool);
-      const core::Pose truth_delta = vo::relative_delta(poses[fi],
-                                                        poses[fi + 1]);
-      StepRow& row = result.rows[fi];
-      row.pf_error_m = pf.estimate().pose.position_error(poses[fi + 1]);
-      row.ess_fraction =
-          pf.last_update_ess() / static_cast<double>(pf.particles().size());
-      row.vo_delta_error_m = std::sqrt(
-          (pred.mean[0] - truth_delta.position.x) *
-              (pred.mean[0] - truth_delta.position.x) +
-          (pred.mean[1] - truth_delta.position.y) *
-              (pred.mean[1] - truth_delta.position.y) +
-          (pred.mean[2] - truth_delta.position.z) *
-              (pred.mean[2] - truth_delta.position.z));
-      row.vo_sigma = std::sqrt(pred.scalar_variance());
-    };
-
-    bnn::SoftwareMaskSource masks(core::Rng{17});
-    core::Rng analog_rng(101);
-    const auto t0 = std::chrono::steady_clock::now();
-    if (window > 0) {
-      vo::FramePipelineConfig pipe_cfg;
-      pipe_cfg.window = window;
-      pipe_cfg.pool = &pool;
-      pipe_cfg.mc = mc;
-      vo::FramePipeline pipe(*cim, pipe_cfg);
-      pipe.run(frames, make_input, consume, masks, analog_rng);
-    } else {
-      for (int f = 0; f < frames; ++f) {
-        const nn::Vector x = make_input(f);
-        bnn::McOptions opt = mc;
-        opt.pool = &pool;
-        consume(f, bnn::mc_predict_cim(*cim, x, opt, masks, analog_rng));
-      }
-    }
-    result.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    return result;
-  };
-
-  const RunResult streamed = fly(/*window=*/4);
-  const RunResult serial = fly(/*window=*/0);
-
-  core::Table table({"frame", "pf err [m]", "ESS frac", "vo delta err [m]",
-                     "vo sigma", ""});
+  core::Table table({"frame", "pf err [m]", "spread [m]", "ESS frac",
+                     "vo delta err [m]", "vo sigma", ""});
   table.set_precision(3);
-  double sigma_sum = 0.0;
-  for (const auto& r : streamed.rows) sigma_sum += r.vo_sigma;
-  const double sigma_mean = sigma_sum / static_cast<double>(frames);
+  const double sigma_mean = closed_run.mean_vo_sigma;
   for (int f = 0; f < frames; f += 4) {
-    const auto& r = streamed.rows[static_cast<std::size_t>(f)];
-    table.add_row({static_cast<double>(f + 1), r.pf_error_m, r.ess_fraction,
-                   r.vo_delta_error_m, r.vo_sigma,
+    const auto& r = closed_run.steps[static_cast<std::size_t>(f)];
+    table.add_row({static_cast<double>(r.step), r.position_error_m,
+                   r.position_spread_m, r.ess_fraction, r.vo_delta_error_m,
+                   r.vo_sigma,
                    std::string(r.vo_sigma > 1.5 * sigma_mean
                                    ? "high uncertainty"
                                    : "")});
   }
+  std::printf("closed-loop flight (VO posterior drives the filter):\n");
   table.print(std::cout);
 
-  bool identical = true;
-  for (std::size_t i = 0; i < streamed.rows.size(); ++i) {
-    if (streamed.rows[i].pf_error_m != serial.rows[i].pf_error_m ||
-        streamed.rows[i].vo_delta_error_m != serial.rows[i].vo_delta_error_m ||
-        streamed.rows[i].vo_sigma != serial.rows[i].vo_sigma)
-      identical = false;
+  std::printf("\n%-12s  rmse %.3f m  final %.3f m  mean spread %.3f m\n",
+              open_run.mode_label.c_str(), open_run.rmse_m,
+              open_run.final_error_m, open_run.mean_spread_m);
+  std::printf("%-12s  rmse %.3f m  final %.3f m  mean spread %.3f m\n",
+              closed_run.mode_label.c_str(), closed_run.rmse_m,
+              closed_run.final_error_m, closed_run.mean_spread_m);
+  std::printf("closed-loop spread widens where the VO reports uncertainty "
+              "(mean vo sigma %.4f, mean vo delta err %.3f m).\n",
+              closed_run.mean_vo_sigma, closed_run.mean_vo_delta_error_m);
+
+  // Determinism contract: the streamed closed-loop run must be
+  // bit-identical to the serial per-frame loop.
+  vo::ClosedLoopConfig serial_cfg = loop_cfg;
+  serial_cfg.window = 1;
+  serial_cfg.pool = nullptr;
+  const auto serial_run =
+      vo::run_odometry_loop(scenario, vo, *cim, *cim_model, serial_cfg);
+  bool identical = serial_run.steps.size() == closed_run.steps.size();
+  for (std::size_t i = 0; identical && i < closed_run.steps.size(); ++i) {
+    identical = closed_run.steps[i].position_error_m ==
+                    serial_run.steps[i].position_error_m &&
+                closed_run.steps[i].vo_sigma == serial_run.steps[i].vo_sigma;
   }
-  std::printf("\nfinal localization error: %.3f m (streamed) / %.3f m "
-              "(serial per-frame)\n",
-              streamed.rows.back().pf_error_m, serial.rows.back().pf_error_m);
-  std::printf("pipelined run bit-identical to the serial loop: %s\n",
+  std::printf("\nstreamed closed loop bit-identical to the serial "
+              "per-frame loop: %s\n",
               identical ? "yes" : "NO (bug!)");
-  // NB: the streamed/serial ratio hinges on core count. The pipeline
-  // overlaps scan rendering and the filter update with the VO window's
-  // macro work (the filter's own nested parallel_for runs inline on its
-  // worker), so the gain appears when spare cores exist; on a single
-  // core both paths do the same work and the ratio sits near 1.0.
-  std::printf("frame rate: %.1f frames/s streamed (window 4) vs %.1f "
-              "frames/s serial per-frame -> %.2fx\n",
-              static_cast<double>(frames) / streamed.seconds,
-              static_cast<double>(frames) / serial.seconds,
-              serial.seconds / streamed.seconds);
-  std::printf("high-uncertainty frames (sigma > 1.5x mean) flag the "
-              "occlusion-degraded views the paper's Fig. 3f correlates "
-              "with VO error.\n");
-  return 0;
+  return identical ? 0 : 2;
 }

@@ -8,6 +8,10 @@ they are comparable across machines of different absolute speed. Raw
 ns/op results are reported but never gated — they are meaningless across
 heterogeneous CI hosts.
 
+The closed-loop suite metrics (BENCH_closed_loop.json) are trajectory
+statistics averaged over scenarios and seeds — deterministic given the
+binary, stable within the threshold across toolchains.
+
 Usage:
   scripts/bench_diff.py [--baseline-dir bench/baselines] [--current-dir .]
                         [--threshold 0.20]
@@ -38,6 +42,18 @@ TRACKED = {
         "wordline_pulses_reuse": "lower",
         "wordline_pulses_reuse_order": "lower",
         "reuse_saving": "higher",
+    },
+    "BENCH_closed_loop.json": {
+        # The determinism probe must stay exactly 1 (any drift fails).
+        "closed_loop_bit_identity": "stable",
+        # Suite coverage: dropping a registered scenario is a regression.
+        "scenario_count": "stable",
+        # Closed-loop tracking relative to the ground-truth-fed baseline,
+        # averaged over scenarios and run seeds (chaotic per seed; the
+        # mean is the stable quantity).
+        "closed_over_open_rmse_mean": "stable",
+        # Variance inflation must keep visibly widening the belief.
+        "closed_spread_inflation_mean": "higher",
     },
 }
 

@@ -7,6 +7,9 @@ Fails when:
     (every figure-reproduction bench must be mapped to its paper figure);
   * any `src/<subsystem>/` directory is not mentioned in the docs
     (the layer map must cover every subsystem);
+  * any scenario registered under src/filter/ (add_scenario("name", ...)
+    or register_scenario("name", ...)) is not mentioned in the docs
+    (the scenario suite must stay documented);
   * a required doc file is missing.
 
 Usage:
@@ -16,9 +19,26 @@ Usage:
 import argparse
 import glob
 import os
+import re
 import sys
 
-DOC_FILES = ["README.md", os.path.join("docs", "architecture.md")]
+DOC_FILES = [
+    "README.md",
+    os.path.join("docs", "architecture.md"),
+    os.path.join("docs", "closed_loop.md"),
+]
+
+SCENARIO_RE = re.compile(
+    r'(?:add_scenario|register_scenario)\(\s*"([A-Za-z0-9_]+)"')
+
+
+def registered_scenarios(root):
+    names = []
+    for path in sorted(glob.glob(os.path.join(root, "src", "filter",
+                                              "*.cpp"))):
+        with open(path, encoding="utf-8") as f:
+            names.extend(SCENARIO_RE.findall(f.read()))
+    return sorted(set(names))
 
 
 def main():
@@ -60,8 +80,20 @@ def main():
                 f"subsystem 'src/{sub}' is not mentioned in the docs "
                 f"({' / '.join(DOC_FILES)})")
 
+    scenarios = registered_scenarios(root)
+    if not scenarios:
+        failures.append(
+            "no registered scenarios found under src/filter/ "
+            "(wrong --repo-root, or the registry moved?)")
+    for name in scenarios:
+        if name not in docs_text:
+            failures.append(
+                f"registered scenario '{name}' is not mentioned in the "
+                f"docs ({' / '.join(DOC_FILES)})")
+
     print(f"[check_docs] {len(fig_benches)} figure benches, "
-          f"{len(subsystems)} src subsystems checked against "
+          f"{len(subsystems)} src subsystems, "
+          f"{len(scenarios)} registered scenarios checked against "
           f"{' + '.join(DOC_FILES)}: {len(failures)} failure(s)")
     for f in failures:
         print(f"[check_docs] FAILURE: {f}", file=sys.stderr)

@@ -1,6 +1,7 @@
 #include "bnn/mc_dropout.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/error.hpp"
@@ -79,6 +80,11 @@ double McPrediction::scalar_variance() const {
   double s = 0.0;
   for (double v : variance) s += v;
   return s / static_cast<double>(variance.size());
+}
+
+double McPrediction::component_stddev(std::size_t i) const {
+  CIMNAV_REQUIRE(i < variance.size(), "component index out of range");
+  return std::sqrt(std::max(variance[i], 0.0));
 }
 
 McPrediction mc_predict_float(const nn::Mlp& net, const nn::Vector& x,

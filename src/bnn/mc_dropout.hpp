@@ -36,6 +36,11 @@ struct McPrediction {
 
   /// Scalar uncertainty: mean of per-output variances.
   double scalar_variance() const;
+
+  /// Per-output predictive standard deviation sqrt(variance[i]) — the
+  /// per-axis uncertainty the closed-loop odometry adapter feeds into
+  /// filter::inflate_motion_noise.
+  double component_stddev(std::size_t i) const;
 };
 
 /// Execution options for the CIM paths.

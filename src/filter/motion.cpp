@@ -1,6 +1,36 @@
 #include "filter/motion.hpp"
 
+#include <cmath>
+
 namespace cimnav::filter {
+namespace {
+
+double inflate_axis(double base, double reported, double gain, double cap) {
+  const double g = gain * reported;
+  const double sigma = std::sqrt(base * base + g * g);
+  // The base noise is a hard floor even when it exceeds the cap: the cap
+  // bounds the *inflation*, never tightens the configured process noise.
+  return cap > 0.0 ? std::min(sigma, std::max(cap, base)) : sigma;
+}
+
+}  // namespace
+
+MotionNoise inflate_motion_noise(const MotionNoise& base,
+                                 const core::Vec3& reported_sigma_pos,
+                                 double reported_sigma_yaw,
+                                 const NoiseInflation& inflation) {
+  MotionNoise out;
+  out.sigma_position = {
+      inflate_axis(base.sigma_position.x, reported_sigma_pos.x,
+                   inflation.gain, inflation.sigma_pos_max),
+      inflate_axis(base.sigma_position.y, reported_sigma_pos.y,
+                   inflation.gain, inflation.sigma_pos_max),
+      inflate_axis(base.sigma_position.z, reported_sigma_pos.z,
+                   inflation.gain, inflation.sigma_pos_max)};
+  out.sigma_yaw = inflate_axis(base.sigma_yaw, reported_sigma_yaw,
+                               inflation.gain, inflation.sigma_yaw_max);
+  return out;
+}
 
 core::Pose apply_motion(const core::Pose& pose, const Control& control) {
   return pose.compose(core::Pose{control.delta_position, control.delta_yaw});

@@ -22,6 +22,27 @@ struct MotionNoise {
   double sigma_yaw = 0.01;                      ///< [rad] per step
 };
 
+/// How a per-step odometry uncertainty report (the MC-Dropout VO
+/// predictive stddev in the closed-loop mode) inflates the process noise.
+/// The inflated sigma is sqrt(sigma_base^2 + (gain * sigma_vo)^2) per
+/// axis — the base noise acts as a hard floor, the reported uncertainty
+/// adds in quadrature — capped at max(cap, sigma_base) so a pathological
+/// VO frame cannot blow the particle cloud across the whole map while
+/// the cap never tightens the configured base noise.
+struct NoiseInflation {
+  double gain = 1.0;          ///< scale on the reported stddev
+  double sigma_pos_max = 0.5; ///< per-axis cap [m] (<= 0 disables the cap)
+  double sigma_yaw_max = 0.5; ///< cap [rad] (<= 0 disables the cap)
+};
+
+/// Inflates `base` by a reported per-axis position stddev and yaw stddev.
+/// Monotone: each output sigma is non-decreasing in the corresponding
+/// reported stddev (strictly increasing below the cap).
+MotionNoise inflate_motion_noise(const MotionNoise& base,
+                                 const core::Vec3& reported_sigma_pos,
+                                 double reported_sigma_yaw,
+                                 const NoiseInflation& inflation);
+
 /// Samples the motion model: returns pose composed with a noisy control.
 core::Pose sample_motion(const core::Pose& pose, const Control& control,
                          const MotionNoise& noise, core::Rng& rng);

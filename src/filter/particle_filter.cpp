@@ -45,9 +45,14 @@ void ParticleFilter::init_gaussian(const core::Pose& center,
 }
 
 void ParticleFilter::predict(const Control& control, core::Rng& rng) {
+  predict(control, config_.motion_noise, rng);
+}
+
+void ParticleFilter::predict(const Control& control, const MotionNoise& noise,
+                             core::Rng& rng) {
   CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
   for (auto& p : particles_)
-    p.pose = sample_motion(p.pose, control, config_.motion_noise, rng);
+    p.pose = sample_motion(p.pose, control, noise, rng);
 }
 
 void ParticleFilter::update(const vision::DepthScan& scan,

@@ -53,8 +53,16 @@ class ParticleFilter {
   void init_gaussian(const core::Pose& center, const core::Vec3& sigma_pos,
                      double sigma_yaw, core::Rng& rng);
 
-  /// Prediction step: samples the motion model per particle (Eq. 1a).
+  /// Prediction step: samples the motion model per particle (Eq. 1a)
+  /// with the configured static motion noise.
   void predict(const Control& control, core::Rng& rng);
+
+  /// Prediction step with explicit per-step noise — the closed-loop
+  /// odometry hook: the caller passes the VO increment as `control` and a
+  /// VO-variance-inflated `MotionNoise` (see inflate_motion_noise), so the
+  /// cloud widens exactly when the odometry source reports uncertainty.
+  void predict(const Control& control, const MotionNoise& noise,
+               core::Rng& rng);
 
   /// Correction step: re-weights particles by measurement likelihood
   /// (Eq. 1b), then resamples if the ESS fraction falls below threshold.

@@ -14,6 +14,16 @@ map::Scene build_scene(const ScenarioConfig& cfg, core::Rng& rng) {
   return map::Scene::generate(cfg.scene, rng);
 }
 
+/// Body-frame controls replaying poses[i] -> poses[i+1] exactly.
+void fill_controls(Trajectory& traj) {
+  traj.controls.clear();
+  traj.controls.reserve(traj.poses.size() - 1);
+  for (std::size_t i = 0; i + 1 < traj.poses.size(); ++i) {
+    const core::Pose rel = traj.poses[i].relative_to(traj.poses[i + 1]);
+    traj.controls.push_back(Control{rel.position, rel.yaw});
+  }
+}
+
 }  // namespace
 
 Trajectory make_loop_trajectory(const map::Scene& scene, int steps,
@@ -42,13 +52,165 @@ Trajectory make_loop_trajectory(const map::Scene& scene, int steps,
     const double yaw = std::atan2(ry * std::cos(a), -rx * std::sin(a));
     traj.poses.emplace_back(pos, yaw);
   }
-  traj.controls.reserve(static_cast<std::size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    const core::Pose rel = traj.poses[static_cast<std::size_t>(i)].relative_to(
-        traj.poses[static_cast<std::size_t>(i) + 1]);
-    traj.controls.push_back(Control{rel.position, rel.yaw});
-  }
+  fill_controls(traj);
   return traj;
+}
+
+Trajectory make_panning_loop_trajectory(const map::Scene& scene, int steps,
+                                        core::Rng& rng) {
+  CIMNAV_REQUIRE(steps >= 1, "trajectory needs at least one step");
+  const core::Vec3 lo = scene.interior_min(), hi = scene.interior_max();
+  const core::Vec3 center = (lo + hi) * 0.5;
+  // Same ellipse as make_loop_trajectory, but the heading pans
+  // sinusoidally around +x instead of tracking the tangent: every pose
+  // stays inside the VO regressor's training distribution (|yaw| <= ~1
+  // rad, per-step |dyaw| <= pan_amp * 2*pi/steps), which is what lets
+  // the closed loop use the VO posterior as odometry. One full pan cycle
+  // per revolution, so the loop closes.
+  const double rx = 0.30 * (hi.x - lo.x);
+  const double ry = 0.30 * (hi.y - lo.y);
+  const double z0 = core::lerp(lo.z, hi.z, 0.62);
+  const double zamp = 0.08 * (hi.z - lo.z);
+  const double phase0 = rng.uniform(0.0, 2.0 * kPi);
+  const double pan_phase = rng.uniform(0.0, 2.0 * kPi);
+  const double pan_amp = 0.5;  // inside the VO training distribution
+
+  Trajectory traj;
+  traj.poses.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    const double a = phase0 + 2.0 * kPi * t;
+    const core::Vec3 pos{center.x + rx * std::cos(a),
+                         center.y + ry * std::sin(a),
+                         z0 + zamp * std::sin(2.0 * a)};
+    const double yaw = pan_amp * std::sin(2.0 * kPi * t + pan_phase);
+    traj.poses.emplace_back(pos, yaw);
+  }
+  fill_controls(traj);
+  return traj;
+}
+
+Trajectory make_corridor_trajectory(const map::Scene& scene, int steps,
+                                    core::Rng& rng) {
+  CIMNAV_REQUIRE(steps >= 1, "trajectory needs at least one step");
+  const core::Vec3 lo = scene.interior_min(), hi = scene.interior_max();
+  // One-way sweep down the long (x) axis: a straight flight with one
+  // gentle lateral sway cycle and a slow vertical bob; the heading stays
+  // tangent (near +x), so mild enough for the VO delta envelope.
+  const double x0 = core::lerp(lo.x, hi.x, 0.12);
+  const double x1 = core::lerp(lo.x, hi.x, 0.88);
+  const double cy = 0.5 * (lo.y + hi.y);
+  const double sway = 0.08 * (hi.y - lo.y);
+  const double z0 = core::lerp(lo.z, hi.z, 0.60);
+  const double zamp = 0.05 * (hi.z - lo.z);
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const double omega = 2.0 * kPi;  // one sway cycle over the sweep
+
+  Trajectory traj;
+  traj.poses.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    const core::Vec3 pos{core::lerp(x0, x1, t),
+                         cy + sway * std::sin(omega * t + phase),
+                         z0 + zamp * std::sin(2.0 * kPi * t)};
+    // Tangent heading from the analytic derivative.
+    const double yaw = std::atan2(sway * omega * std::cos(omega * t + phase),
+                                  x1 - x0);
+    traj.poses.emplace_back(pos, yaw);
+  }
+  fill_controls(traj);
+  return traj;
+}
+
+Trajectory make_square_trajectory(const map::Scene& scene, int steps,
+                                  core::Rng& rng) {
+  CIMNAV_REQUIRE(steps >= 1, "trajectory needs at least one step");
+  const core::Vec3 lo = scene.interior_min(), hi = scene.interior_max();
+  const core::Vec3 center = (lo + hi) * 0.5;
+  // Rounded square: straight edges joined by quarter-circle corners,
+  // traversed at constant speed (uniform |delta| per step) while the
+  // heading pans sinusoidally through one cycle — so the final pose
+  // coincides with the first (loop closure) and every yaw stays inside
+  // the VO training distribution.
+  const double rx = 0.32 * (hi.x - lo.x);
+  const double ry = 0.32 * (hi.y - lo.y);
+  const double rc = 0.35 * std::min(rx, ry);  // corner radius
+  const double ax = rx - rc, ay = ry - rc;    // straight half-lengths
+  // CCW starting at the right edge's lower end, 8 segments.
+  const double seg_len[8] = {2.0 * ay,      kPi / 2.0 * rc, 2.0 * ax,
+                             kPi / 2.0 * rc, 2.0 * ay,      kPi / 2.0 * rc,
+                             2.0 * ax,      kPi / 2.0 * rc};
+  double length = 0.0;
+  for (double s : seg_len) length += s;
+
+  const auto perimeter_point = [&](double s) {
+    int seg = 0;
+    while (seg < 7 && s > seg_len[seg]) s -= seg_len[seg++];
+    const double cx = center.x, cy = center.y;
+    switch (seg) {
+      case 0: return core::Vec3{cx + rx, cy - ay + s, 0.0};
+      case 1: {
+        const double a = s / rc;
+        return core::Vec3{cx + ax + rc * std::cos(a),
+                          cy + ay + rc * std::sin(a), 0.0};
+      }
+      case 2: return core::Vec3{cx + ax - s, cy + ry, 0.0};
+      case 3: {
+        const double a = kPi / 2.0 + s / rc;
+        return core::Vec3{cx - ax + rc * std::cos(a),
+                          cy + ay + rc * std::sin(a), 0.0};
+      }
+      case 4: return core::Vec3{cx - rx, cy + ay - s, 0.0};
+      case 5: {
+        const double a = kPi + s / rc;
+        return core::Vec3{cx - ax + rc * std::cos(a),
+                          cy - ay + rc * std::sin(a), 0.0};
+      }
+      case 6: return core::Vec3{cx - ax + s, cy - ry, 0.0};
+      default: {
+        const double a = 1.5 * kPi + s / rc;
+        return core::Vec3{cx + ax + rc * std::cos(a),
+                          cy - ay + rc * std::sin(a), 0.0};
+      }
+    }
+  };
+
+  const double s0 = rng.uniform(0.0, length);
+  const double pan_phase = rng.uniform(0.0, 2.0 * kPi);
+  const double pan_amp = 0.5;  // heading pans inside the VO distribution
+  // Slightly above the ellipse's band: the square's corners pass closer
+  // to furniture, so stay clear of the tallest clutter stacks.
+  const double z0 = core::lerp(lo.z, hi.z, 0.68);
+  const double zamp = 0.05 * (hi.z - lo.z);
+
+  Trajectory traj;
+  traj.poses.reserve(static_cast<std::size_t>(steps) + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(steps);
+    // i == steps wraps to exactly s0/z0/yaw(0): the loop closes.
+    const double s = std::fmod(s0 + t * length, length);
+    core::Vec3 pos = perimeter_point(s);
+    pos.z = z0 + zamp * std::sin(4.0 * kPi * t);
+    traj.poses.emplace_back(
+        pos, pan_amp * std::sin(2.0 * kPi * t + pan_phase));
+  }
+  fill_controls(traj);
+  return traj;
+}
+
+Trajectory make_trajectory(TrajectoryKind kind, const map::Scene& scene,
+                           int steps, core::Rng& rng) {
+  switch (kind) {
+    case TrajectoryKind::kEllipsePan:
+      return make_panning_loop_trajectory(scene, steps, rng);
+    case TrajectoryKind::kCorridorSweep:
+      return make_corridor_trajectory(scene, steps, rng);
+    case TrajectoryKind::kRoundedSquare:
+      return make_square_trajectory(scene, steps, rng);
+    case TrajectoryKind::kEllipse:
+      break;
+  }
+  return make_loop_trajectory(scene, steps, rng);
 }
 
 LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
@@ -75,7 +237,8 @@ LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
         return map::fit_maps(cloud, config.mixture_components, rng, hmgm_opt);
       }()) {
   core::Rng rng(config.seed + 2);
-  trajectory_ = make_loop_trajectory(scene_, config.trajectory_steps, rng);
+  trajectory_ = make_trajectory(config_.trajectory, scene_,
+                                config.trajectory_steps, rng);
 
   if (config_.defer_scans) return;  // scans render on demand (render_scan)
 

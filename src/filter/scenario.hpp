@@ -4,8 +4,10 @@
 // backend, reporting position/yaw error per measurement step.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -18,11 +20,34 @@
 
 namespace cimnav::filter {
 
+/// Which synthetic flight the scenario pairs with its scene. Each kind
+/// keeps per-step deltas small enough for the VO regressor's training
+/// envelope, so the same trajectories serve open- and closed-loop runs.
+enum class TrajectoryKind {
+  /// Smooth ellipse in the interior, heading tangent (the original
+  /// hardcoded pairing). The tangent heading sweeps the full circle —
+  /// outside the VO regressor's training distribution — so this kind
+  /// suits ground-truth-control (open-loop-only) studies like the
+  /// Fig. 2(e-h) bench.
+  kEllipse,
+  /// The same ellipse, but the drone strafes: heading pans sinusoidally
+  /// (+-0.5 rad) instead of following the tangent, staying inside the VO
+  /// training distribution. The closed-loop scenarios use this.
+  kEllipsePan,
+  /// One-way sweep along the long (x) axis with gentle lateral sway —
+  /// the corridor flight that crosses the feature-dropout mid-span.
+  kCorridorSweep,
+  /// Rounded square traversed at constant speed with a panning heading;
+  /// the final pose coincides with the start pose (loop closure).
+  kRoundedSquare,
+};
+
 /// Scenario parameters (defaults sized to run in seconds).
 struct ScenarioConfig {
   ScenarioConfig() { scene.room_size = {4.0, 3.2, 2.5}; }
 
   map::SceneConfig scene;
+  TrajectoryKind trajectory = TrajectoryKind::kEllipse;
   int map_cloud_points = 5000;       ///< cloud size for mixture fitting
   double map_cloud_noise_m = 0.01;
   int mixture_components = 80;       ///< per map model
@@ -117,5 +142,55 @@ class LocalizationScenario {
 /// Synthesizes a smooth loop trajectory inside the scene interior.
 Trajectory make_loop_trajectory(const map::Scene& scene, int steps,
                                 core::Rng& rng);
+
+/// The ellipse of make_loop_trajectory flown as a strafe: heading pans
+/// +-0.5 rad around the room's +x axis instead of following the tangent
+/// (TrajectoryKind::kEllipsePan).
+Trajectory make_panning_loop_trajectory(const map::Scene& scene, int steps,
+                                        core::Rng& rng);
+
+/// One-way sweep along the x axis with sinusoidal lateral sway and a
+/// mildly oscillating tangent heading (TrajectoryKind::kCorridorSweep).
+Trajectory make_corridor_trajectory(const map::Scene& scene, int steps,
+                                    core::Rng& rng);
+
+/// Constant-speed rounded square (straight edges + quarter-circle
+/// corners) with a panning heading; the last pose equals the first
+/// (TrajectoryKind::kRoundedSquare).
+Trajectory make_square_trajectory(const map::Scene& scene, int steps,
+                                  core::Rng& rng);
+
+/// Builds the trajectory a ScenarioConfig asks for (dispatch on
+/// config.trajectory — used by the LocalizationScenario constructor).
+Trajectory make_trajectory(TrajectoryKind kind, const map::Scene& scene,
+                           int steps, core::Rng& rng);
+
+// ---------------------------------------------------------------------
+// Named-scenario registry, mirroring cimsram's backend registry: each
+// entry pairs a scene layout, a trajectory kind and filter sizing under a
+// stable string name, so examples and benches select whole workloads by
+// string. Built-ins (registered on first use):
+//   "indoor_loop"         cluttered room + panning ellipse
+//   "corridor_dropout"    bare-mid-span corridor + one-way sweep
+//   "loop_closure_square" cluttered room + constant-speed rounded square
+//   "warehouse_symmetry"  mirrored-rack warehouse + panning ellipse
+// Factories return pool-free configs (callers inject their ThreadPool).
+
+/// Builds a ready-to-run config; throws std::invalid_argument for
+/// unknown names.
+ScenarioConfig make_scenario_config(std::string_view name);
+
+/// Registered names in registration order (built-ins first).
+std::vector<std::string> scenario_names();
+
+/// One-line description of a registered scenario (throws on unknown).
+/// By value: a reference into the registry would dangle across a later
+/// register_scenario call.
+std::string scenario_description(std::string_view name);
+
+/// Extension hook: registers (or, returning false, replaces) a named
+/// scenario. The factory must be pure — same config every call.
+bool register_scenario(std::string name, std::string description,
+                       std::function<ScenarioConfig()> factory);
 
 }  // namespace cimnav::filter

@@ -1,0 +1,185 @@
+// Named-scenario registry (declared in scenario.hpp): string-selectable
+// end-to-end localization workloads, mirroring cimsram's backend registry.
+// Each built-in pairs a scene layout with a trajectory kind and filter
+// sizing tuned so a full open- or closed-loop run finishes in seconds and
+// per-step deltas stay inside the VO regressor's training envelope
+// (|delta_pos| <~ 0.15 m, |delta_yaw| <~ 0.16 rad per step).
+#include "filter/scenario.hpp"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace cimnav::filter {
+namespace {
+
+struct Entry {
+  std::string name;
+  std::string description;
+  std::function<ScenarioConfig()> factory;
+};
+
+ScenarioConfig base_config() {
+  ScenarioConfig cfg;
+  cfg.scene.room_size = {2.6, 2.2, 1.8};
+  cfg.map_cloud_points = 3000;
+  cfg.mixture_components = 60;
+  cfg.scan_pixels = 80;
+  cfg.likelihood_beta = 0.25;
+  cfg.filter.particle_count = 500;
+  cfg.cim_columns = 500;
+  // The closed-loop stack streams through vo::FramePipeline, whose stage
+  // A renders scans one window ahead: every named scenario defers scans.
+  cfg.defer_scans = true;
+  return cfg;
+}
+
+ScenarioConfig indoor_loop() {
+  ScenarioConfig cfg = base_config();
+  cfg.trajectory = TrajectoryKind::kEllipsePan;
+  cfg.trajectory_steps = 44;
+  cfg.seed = 42;
+  return cfg;
+}
+
+ScenarioConfig corridor_dropout() {
+  ScenarioConfig cfg = base_config();
+  cfg.scene.room_size = {3.4, 1.2, 1.8};
+  cfg.scene.layout = map::SceneLayout::kCorridor;
+  cfg.scene.furniture_count = 4;
+  cfg.scene.clutter_count = 8;
+  cfg.trajectory = TrajectoryKind::kCorridorSweep;
+  cfg.trajectory_steps = 36;
+  cfg.seed = 171;
+  return cfg;
+}
+
+ScenarioConfig loop_closure_square() {
+  ScenarioConfig cfg = base_config();
+  cfg.scene.room_size = {3.0, 2.6, 1.8};
+  cfg.trajectory = TrajectoryKind::kRoundedSquare;
+  cfg.trajectory_steps = 56;
+  cfg.seed = 272;
+  return cfg;
+}
+
+ScenarioConfig warehouse_symmetry() {
+  ScenarioConfig cfg = base_config();
+  cfg.scene.room_size = {3.2, 2.8, 1.8};
+  cfg.scene.layout = map::SceneLayout::kWarehouse;
+  cfg.scene.furniture_count = 6;  // three mirrored rack pairs
+  cfg.scene.clutter_count = 8;    // four mirrored clutter pairs
+  cfg.trajectory = TrajectoryKind::kEllipsePan;
+  cfg.trajectory_steps = 48;
+  cfg.seed = 373;
+  return cfg;
+}
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Entry> entries;
+
+  // Built-in registrations. scripts/check_docs.py greps add_scenario /
+  // register_scenario calls with a string-literal first argument under
+  // src/filter/ and requires every such name to appear in the docs.
+  Registry() {
+    add_scenario("indoor_loop",
+                 "cluttered room, panning ellipse (the classic "
+                 "tabletop-scene flight)",
+                 indoor_loop);
+    add_scenario("corridor_dropout",
+                 "bare-mid-span corridor, one-way sweep through the "
+                 "feature-dropout zone",
+                 corridor_dropout);
+    add_scenario("loop_closure_square",
+                 "constant-speed rounded square returning exactly to "
+                 "its start pose",
+                 loop_closure_square);
+    add_scenario("warehouse_symmetry",
+                 "mirrored rack pairs: likelihood field ambiguous "
+                 "under 180-degree rotation",
+                 warehouse_symmetry);
+  }
+
+  void add_scenario(std::string name, std::string description,
+                    std::function<ScenarioConfig()> factory) {
+    entries.push_back(
+        {std::move(name), std::move(description), std::move(factory)});
+  }
+
+  Entry* find(std::string_view name) {
+    for (auto& e : entries)
+      if (e.name == name) return &e;
+    return nullptr;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+ScenarioConfig make_scenario_config(std::string_view name) {
+  Registry& r = registry();
+  // Copy the factory out of the critical section before invoking it: a
+  // registered factory may itself call back into the registry (e.g. a
+  // derived scenario starting from make_scenario_config of a built-in),
+  // which must not deadlock on the non-recursive mutex.
+  std::function<ScenarioConfig()> factory;
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const Entry* e = r.find(name);
+    if (e == nullptr)
+      throw std::invalid_argument("unknown scenario '" + std::string(name) +
+                                  "'; registered: " + [&] {
+                                    std::string all;
+                                    for (const auto& x : r.entries)
+                                      all +=
+                                          (all.empty() ? "" : ", ") + x.name;
+                                    return all;
+                                  }());
+    factory = e->factory;
+  }
+  return factory();
+}
+
+std::vector<std::string> scenario_names() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.entries.size());
+  for (const auto& e : r.entries) names.push_back(e.name);
+  return names;
+}
+
+std::string scenario_description(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  const Entry* e = r.find(name);
+  if (e == nullptr)
+    throw std::invalid_argument("unknown scenario '" + std::string(name) +
+                                "'");
+  return e->description;
+}
+
+bool register_scenario(std::string name, std::string description,
+                       std::function<ScenarioConfig()> factory) {
+  CIMNAV_REQUIRE(!name.empty(), "scenario name must be non-empty");
+  CIMNAV_REQUIRE(factory != nullptr, "scenario factory must be callable");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (Entry* e = r.find(name)) {
+    e->description = std::move(description);
+    e->factory = std::move(factory);
+    return false;
+  }
+  r.entries.push_back(
+      {std::move(name), std::move(description), std::move(factory)});
+  return true;
+}
+
+}  // namespace cimnav::filter

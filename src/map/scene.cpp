@@ -91,37 +91,84 @@ Scene Scene::generate(const SceneConfig& config, core::Rng& rng) {
     boxes.push_back({{r.x / 2, r.y / 2, r.z + w / 2}, {r.x / 2, r.y / 2, w / 2}});
 
   // Furniture: boxes standing on the floor, sized relative to the room so
-  // that the upper half of the space stays flyable.
-  for (int i = 0; i < config.furniture_count; ++i) {
-    const double hx = rng.uniform(0.05, 0.12) * r.x;
-    const double hy = rng.uniform(0.05, 0.12) * r.y;
-    const double hz = rng.uniform(0.10, 0.22) * r.z;
-    const double margin = 0.05 * std::min(r.x, r.y);
-    const double cx = rng.uniform(hx + margin, r.x - hx - margin);
-    const double cy = rng.uniform(hy + margin, r.y - hy - margin);
-    boxes.push_back({{cx, cy, hz}, {hx, hy, hz}});
+  // that the upper half of the space stays flyable. Placement follows the
+  // layout policy; `furniture_added` may differ from the configured count
+  // (warehouse racks come in mirrored pairs).
+  const double margin = 0.05 * std::min(r.x, r.y);
+  const std::size_t first_furniture = boxes.size();
+  const bool mirrored = config.layout == SceneLayout::kWarehouse;
+  switch (config.layout) {
+    case SceneLayout::kRoom:
+      for (int i = 0; i < config.furniture_count; ++i) {
+        const double hx = rng.uniform(0.05, 0.12) * r.x;
+        const double hy = rng.uniform(0.05, 0.12) * r.y;
+        const double hz = rng.uniform(0.10, 0.22) * r.z;
+        const double cx = rng.uniform(hx + margin, r.x - hx - margin);
+        const double cy = rng.uniform(hy + margin, r.y - hy - margin);
+        boxes.push_back({{cx, cy, hz}, {hx, hy, hz}});
+      }
+      break;
+    case SceneLayout::kCorridor: {
+      // Furniture only inside the two x end caps; the mid-span stays bare
+      // so scans there see nothing but the parallel walls.
+      const double cap =
+          core::clamp(config.corridor_cap_fraction, 0.05, 0.45) * r.x;
+      for (int i = 0; i < config.furniture_count; ++i) {
+        const double hx = rng.uniform(0.03, 0.07) * r.x;
+        const double hy = rng.uniform(0.08, 0.18) * r.y;
+        const double hz = rng.uniform(0.10, 0.22) * r.z;
+        const double lo_x = hx + margin;
+        const double hi_x = std::max(lo_x, cap - hx);
+        double cx = rng.uniform(lo_x, hi_x);
+        if (i % 2 == 1) cx = r.x - cx;  // alternate the two ends
+        const double cy = rng.uniform(hy + margin, r.y - hy - margin);
+        boxes.push_back({{cx, cy, hz}, {hx, hy, hz}});
+      }
+      break;
+    }
+    case SceneLayout::kWarehouse:
+      // Racks in mirrored pairs: each box placed in the x < r.x/2 half is
+      // duplicated through a 180-degree rotation about the room center,
+      // which keeps the scene exactly point-symmetric.
+      for (int i = 0; i < config.furniture_count / 2; ++i) {
+        const double hx = rng.uniform(0.05, 0.10) * r.x;
+        const double hy = rng.uniform(0.12, 0.22) * r.y;
+        const double hz = rng.uniform(0.10, 0.18) * r.z;
+        const double lo_x = hx + margin;
+        const double hi_x = std::max(lo_x, r.x / 2 - hx);
+        const double cx = rng.uniform(lo_x, hi_x);
+        const double cy = rng.uniform(hy + margin, r.y - hy - margin);
+        boxes.push_back({{cx, cy, hz}, {hx, hy, hz}});
+        boxes.push_back({{r.x - cx, r.y - cy, hz}, {hx, hy, hz}});
+      }
+      break;
   }
+  const int furniture_added =
+      static_cast<int>(boxes.size() - first_furniture);
 
   // Clutter: tabletop-style objects standing on furniture tops (the
   // RGB-D-Scenes character — small boxes on tables), falling back to the
   // floor when there is no furniture. This is what gives depth scans
-  // their lateral structure.
-  const std::size_t first_furniture = boxes.size() -
-                                      static_cast<std::size_t>(config.furniture_count);
-  for (int i = 0; i < config.clutter_count; ++i) {
+  // their lateral structure. In the warehouse layout clutter is mirrored
+  // with its rack so the point symmetry survives.
+  const int clutter_draws =
+      mirrored ? config.clutter_count / 2 : config.clutter_count;
+  for (int i = 0; i < clutter_draws; ++i) {
     const double h = rng.uniform(0.02, 0.06) * std::min(r.x, r.y);
-    if (config.furniture_count > 0) {
+    if (furniture_added > 0) {
       const auto fi = first_furniture + static_cast<std::size_t>(rng.uniform_int(
-                          0, config.furniture_count - 1));
+                          0, furniture_added - 1));
       const Box& f = boxes[fi];
       const double cx = f.center.x + rng.uniform(-0.7, 0.7) * f.half_extents.x;
       const double cy = f.center.y + rng.uniform(-0.7, 0.7) * f.half_extents.y;
       const double cz = f.max().z + h;
       boxes.push_back({{cx, cy, cz}, {h, h, h}});
+      if (mirrored) boxes.push_back({{r.x - cx, r.y - cy, cz}, {h, h, h}});
     } else {
       const double cx = rng.uniform(0.2 * r.x, 0.8 * r.x);
       const double cy = rng.uniform(0.2 * r.y, 0.8 * r.y);
       boxes.push_back({{cx, cy, h}, {h, h, h}});
+      if (mirrored) boxes.push_back({{r.x - cx, r.y - cy, h}, {h, h, h}});
     }
   }
 

@@ -37,6 +37,25 @@ struct Box {
                                   double t_min = 1e-6) const;
 };
 
+/// Furniture/clutter placement policy of the procedural generator. The
+/// layouts deliberately stress different failure modes of scan-based
+/// localization (the scenario suite built on top pairs each with a
+/// matching trajectory; see filter::make_scenario_config):
+enum class SceneLayout {
+  /// Furniture anywhere on the floor, clutter on top (the default
+  /// RGB-D-Scenes-style room).
+  kRoom,
+  /// Furniture confined to the two end caps of the long axis: the
+  /// mid-span is bare parallel walls, so scans there carry almost no
+  /// along-axis structure (feature dropout).
+  kCorridor,
+  /// Rack boxes placed in mirrored pairs through the room center, clutter
+  /// mirrored with them: the scene is invariant under a 180-degree
+  /// rotation, so the likelihood field is exactly bimodal (ambiguous
+  /// symmetry).
+  kWarehouse,
+};
+
 /// Configuration of the procedural room.
 struct SceneConfig {
   core::Vec3 room_size{6.0, 5.0, 3.0};  ///< interior extents [m]
@@ -44,6 +63,10 @@ struct SceneConfig {
   int clutter_count = 10;               ///< small boxes on furniture/floor
   double wall_thickness = 0.05;
   bool include_ceiling = false;
+  SceneLayout layout = SceneLayout::kRoom;
+  /// kCorridor only: fraction of the x extent each furnished end cap
+  /// occupies (the middle 1 - 2*fraction stays bare).
+  double corridor_cap_fraction = 0.22;
 };
 
 /// An indoor scene: boxes + helpers to sample clouds and cast rays.

@@ -1,0 +1,120 @@
+// Closed-loop uncertainty-aware odometry (the paper's full autonomy
+// loop): the MC-Dropout VO posterior *drives* the particle filter instead
+// of being reported next to it.
+//
+// Per frame f, streamed through vo::FramePipeline:
+//
+//   stage A   render the depth scan and VO feature for frame f (pure
+//             functions of f: keyed rng streams);
+//   stage B   MC-Dropout VO on the CIM macros, iterations batched across
+//             the in-flight window;
+//   stage C   consume frame f's posterior IN FRAME ORDER, before the
+//             measurement update:
+//               closed loop:  control    = posterior mean (dx,dy,dz,dyaw)
+//                             pred noise = base process noise inflated by
+//                                          the per-axis predictive stddev
+//                                          (filter::inflate_motion_noise)
+//               open loop:    control    = ground-truth odometry
+//                             pred noise = base process noise
+//             then ParticleFilter::update against the scenario's
+//             measurement model.
+//
+// Because the posterior is consumed only in stage C (never fed back into
+// stages A/B — scans and features depend on the scripted trajectory, not
+// on the filter state), the closed-loop mode inherits the pipeline's
+// determinism contract unchanged: runs are bit-identical at any thread
+// count and any window size to the serial per-frame loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/mc_dropout.hpp"
+#include "core/thread_pool.hpp"
+#include "filter/measurement.hpp"
+#include "filter/motion.hpp"
+#include "filter/scenario.hpp"
+#include "nn/cim_mlp.hpp"
+#include "vo/pipeline.hpp"
+
+namespace cimnav::vo {
+
+/// How the prediction step is driven.
+enum class OdometryMode {
+  kOpenLoop,    ///< ground-truth controls + static process noise
+  kClosedLoop,  ///< VO posterior mean + variance-inflated process noise
+};
+
+/// Posterior -> control adapter: the VO output layout is
+/// (dx, dy, dz, dyaw) in the body frame, so the posterior mean IS the
+/// odometry increment.
+filter::Control posterior_control(const bnn::McPrediction& pred);
+
+/// Posterior -> process-noise adapter: per-axis predictive stddevs
+/// inflate the base noise (see filter::inflate_motion_noise).
+filter::MotionNoise posterior_noise(const bnn::McPrediction& pred,
+                                    const filter::MotionNoise& base,
+                                    const filter::NoiseInflation& inflation);
+
+/// Configuration of one odometry run over a LocalizationScenario.
+struct ClosedLoopConfig {
+  OdometryMode mode = OdometryMode::kClosedLoop;
+  /// Stage-B frame window (>= 1; 1 degenerates to frame-at-a-time).
+  int window = 4;
+  /// Worker pool shared by all pipeline stages and the filter update
+  /// (nullptr = serial; results are bit-identical either way).
+  core::ThreadPool* pool = nullptr;
+  /// MC-Dropout options for the VO pass (mc.pool is ignored — the
+  /// pipeline's pool drives every stage).
+  bnn::McOptions mc;
+  /// Closed-loop noise inflation (ignored open-loop).
+  filter::NoiseInflation inflation;
+  /// Tracking-init displacement scale. Kept tight (takeoff from an
+  /// approximately known pose): a wide init cloud collapses the first
+  /// update's ESS to a handful of particles and the filter locks onto a
+  /// wrong likelihood mode before the odometry can stabilize it.
+  double init_sigma_m = 0.15;
+  double init_sigma_yaw = 0.1;
+  std::uint64_t run_seed = 31;      ///< filter init / motion / update draws
+  std::uint64_t feature_seed = 55;  ///< stage-A VO feature noise streams
+  std::uint64_t mask_seed = 17;     ///< dropout mask source
+  std::uint64_t analog_seed = 101;  ///< macro analog-noise roots
+};
+
+/// Per-frame record of a run.
+struct ClosedLoopStep {
+  int step = 0;                    ///< 1-based, matches StepRecord::step
+  double position_error_m = 0.0;   ///< filter estimate vs ground truth
+  double yaw_error_rad = 0.0;
+  double ess_fraction = 0.0;       ///< pre-resample ESS / N
+  double position_spread_m = 0.0;  ///< mean axis stddev of the cloud
+  double vo_delta_error_m = 0.0;   ///< VO mean vs true body-frame delta
+  double vo_sigma = 0.0;           ///< sqrt(scalar predictive variance)
+};
+
+/// One full flight through the scenario in one mode.
+struct ClosedLoopRun {
+  std::string mode_label;          ///< "open-loop" / "closed-loop"
+  std::vector<ClosedLoopStep> steps;
+  double rmse_m = 0.0;             ///< RMS position error over all steps
+  double final_error_m = 0.0;
+  double mean_spread_m = 0.0;      ///< mean particle-cloud spread
+  double mean_vo_sigma = 0.0;      ///< mean reported VO uncertainty
+  double mean_vo_delta_error_m = 0.0;
+};
+
+/// Streams the scenario's whole trajectory through the three-stage
+/// pipeline and returns the per-step tracking record. `scenario` supplies
+/// scene, trajectory and scans (render_scan — any defer mode works);
+/// `vo`/`net` supply the frame features and the CIM-executed regressor;
+/// `model` is the measurement backend (typically
+/// scenario.make_cim_backend()). Deterministic given the config seeds:
+/// bit-identical at any pool size and window (tested at pools 1/2/8,
+/// windows 1/4).
+ClosedLoopRun run_odometry_loop(const filter::LocalizationScenario& scenario,
+                                const VoPipeline& vo, const nn::CimMlp& net,
+                                const filter::MeasurementModel& model,
+                                const ClosedLoopConfig& config);
+
+}  // namespace cimnav::vo

@@ -66,6 +66,11 @@ class FramePipeline {
   /// of `f` (it runs on pool workers, one window ahead of stage B).
   using InputFn = std::function<nn::Vector(int)>;
   /// Stage C: receives frame `f`'s MC prediction; called in frame order.
+  /// The consumer may *act* on the posterior — the closed-loop odometry
+  /// runner (vo/closed_loop.hpp) turns it into the particle filter's
+  /// control and noise before the measurement update. That stays within
+  /// the determinism contract because stage C never feeds state back into
+  /// stages A/B: inputs remain pure functions of the frame index.
   /// Runs on a pool worker concurrently with stage B's macro work, so any
   /// parallel_for the consumer issues itself (e.g. a pooled
   /// ParticleFilter::update) nests and degrades to an inline serial loop:

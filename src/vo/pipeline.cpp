@@ -64,7 +64,8 @@ VoPipeline::VoPipeline(const VoPipelineConfig& config)
       const core::Pose pose{{rng.uniform(box.box_min.x, box.box_max.x),
                              rng.uniform(box.box_min.y, box.box_max.y),
                              rng.uniform(box.box_min.z, box.box_max.z)},
-                            rng.uniform(-1.0, 1.0)};
+                            rng.uniform(-config_.train_yaw_range,
+                                        config_.train_yaw_range)};
       const double dm = config_.train_delta_pos_max;
       const core::Pose delta{{rng.uniform(-dm, dm), rng.uniform(-dm, dm),
                               rng.uniform(-dm, dm)},

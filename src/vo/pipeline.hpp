@@ -47,6 +47,12 @@ struct VoPipelineConfig {
   int train_samples = 4000;
   double train_delta_pos_max = 0.15;  ///< |delta| envelope per axis [m]
   double train_delta_yaw_max = 0.12;  ///< [rad]
+  /// |yaw| envelope of training poses [rad]. The historical default (1.0)
+  /// matches the Lissajous test trajectories; closed-loop scenario flights
+  /// whose heading sweeps the full circle (tangent ellipse, rotating
+  /// square) must train with the full range (pi), or over half of each
+  /// flight is out of the training distribution.
+  double train_yaw_range = 1.0;
   int test_steps = 120;
   double observation_noise = 0.005;
   nn::TrainOptions train;

@@ -1,0 +1,199 @@
+// Tests for the closed-loop odometry runner: the posterior -> control /
+// noise adapters, the open/closed switch, and the determinism contract
+// (pooled 1/2/8 + window-size bit-identity for a full closed-loop
+// scenario run through the streaming frame pipeline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "filter/scenario.hpp"
+#include "vo/closed_loop.hpp"
+#include "vo/pipeline.hpp"
+
+namespace cimnav {
+namespace {
+
+using core::Rng;
+using core::ThreadPool;
+
+TEST(PosteriorAdapters, MeanBecomesControlAndStddevInflatesNoise) {
+  bnn::McPrediction pred;
+  pred.mean = {0.04, -0.02, 0.01, 0.05};
+  pred.variance = {0.0004, 0.0009, 0.0001, 0.0016};
+  pred.samples = 10;
+
+  const filter::Control c = vo::posterior_control(pred);
+  EXPECT_DOUBLE_EQ(c.delta_position.x, 0.04);
+  EXPECT_DOUBLE_EQ(c.delta_position.y, -0.02);
+  EXPECT_DOUBLE_EQ(c.delta_position.z, 0.01);
+  EXPECT_DOUBLE_EQ(c.delta_yaw, 0.05);
+
+  filter::MotionNoise base;
+  base.sigma_position = {0.03, 0.03, 0.02};
+  base.sigma_yaw = 0.01;
+  filter::NoiseInflation inflation;
+  inflation.gain = 1.0;
+  const filter::MotionNoise n = vo::posterior_noise(pred, base, inflation);
+  // Quadrature of the base noise with the per-axis predictive stddev.
+  EXPECT_NEAR(n.sigma_position.x, std::sqrt(0.03 * 0.03 + 0.02 * 0.02),
+              1e-12);
+  EXPECT_NEAR(n.sigma_position.y, std::sqrt(0.03 * 0.03 + 0.03 * 0.03),
+              1e-12);
+  EXPECT_NEAR(n.sigma_yaw, std::sqrt(0.01 * 0.01 + 0.04 * 0.04), 1e-12);
+
+  bnn::McPrediction bad;
+  bad.mean = {0.1, 0.2};
+  bad.variance = {0.1, 0.2};
+  EXPECT_THROW(vo::posterior_control(bad), std::invalid_argument);
+  EXPECT_THROW(vo::posterior_noise(bad, base, inflation),
+               std::invalid_argument);
+}
+
+TEST(McPredictionAccessors, ComponentStddev) {
+  bnn::McPrediction pred;
+  pred.mean = {0, 0, 0, 0};
+  pred.variance = {0.04, 0.01, 0.09, 0.16};
+  EXPECT_DOUBLE_EQ(pred.component_stddev(0), 0.2);
+  EXPECT_DOUBLE_EQ(pred.component_stddev(3), 0.4);
+  EXPECT_THROW(pred.component_stddev(4), std::invalid_argument);
+}
+
+/// Shared scenario + VO stack, shrunk until a full run takes well under a
+/// second; built once for the whole suite.
+class ClosedLoopTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    filter::ScenarioConfig cfg =
+        filter::make_scenario_config("corridor_dropout");
+    cfg.trajectory_steps = 8;
+    cfg.map_cloud_points = 1200;
+    cfg.mixture_components = 20;
+    cfg.scan_pixels = 40;
+    cfg.filter.particle_count = 100;
+    cfg.cim_columns = 120;
+    scenario_ = new filter::LocalizationScenario(cfg);
+    model_ = scenario_->make_cim_backend().release();
+
+    vo::VoPipelineConfig vo_cfg;
+    vo_cfg.landmark_count = 8;
+    vo_cfg.hidden_sizes = {24, 12};
+    vo_cfg.train_samples = 600;
+    vo_cfg.train.epochs = 25;
+    vo_cfg.test_steps = 8;
+    vo_ = new vo::VoPipeline(vo_cfg);
+    cimsram::CimMacroConfig macro;
+    macro.input_bits = 6;
+    macro.weight_bits = 6;
+    macro.adc_bits = 6;
+    net_ = vo_->make_cim_network(macro).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete vo_;
+    delete model_;
+    delete scenario_;
+    net_ = nullptr;
+    vo_ = nullptr;
+    model_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static vo::ClosedLoopConfig small_config() {
+    vo::ClosedLoopConfig cfg;
+    cfg.mc.iterations = 5;
+    cfg.mc.dropout_p = 0.2;
+    return cfg;
+  }
+
+  static void expect_same_runs(const vo::ClosedLoopRun& a,
+                               const vo::ClosedLoopRun& b) {
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].position_error_m, b.steps[i].position_error_m);
+      EXPECT_EQ(a.steps[i].position_spread_m, b.steps[i].position_spread_m);
+      EXPECT_EQ(a.steps[i].ess_fraction, b.steps[i].ess_fraction);
+      EXPECT_EQ(a.steps[i].vo_delta_error_m, b.steps[i].vo_delta_error_m);
+      EXPECT_EQ(a.steps[i].vo_sigma, b.steps[i].vo_sigma);
+    }
+    EXPECT_EQ(a.rmse_m, b.rmse_m);
+    EXPECT_EQ(a.mean_spread_m, b.mean_spread_m);
+  }
+
+  static filter::LocalizationScenario* scenario_;
+  static filter::MeasurementModel* model_;
+  static vo::VoPipeline* vo_;
+  static nn::CimMlp* net_;
+};
+
+filter::LocalizationScenario* ClosedLoopTest::scenario_ = nullptr;
+filter::MeasurementModel* ClosedLoopTest::model_ = nullptr;
+vo::VoPipeline* ClosedLoopTest::vo_ = nullptr;
+nn::CimMlp* ClosedLoopTest::net_ = nullptr;
+
+TEST_F(ClosedLoopTest, BitIdenticalAcrossThreadPoolsAndWindows) {
+  // The hard guarantee: a closed-loop scenario run through the streamed
+  // pipeline is bit-identical to the serial per-frame loop at pools
+  // 1/2/8 and any window size.
+  vo::ClosedLoopConfig cfg = small_config();
+  cfg.window = 1;
+  cfg.pool = nullptr;
+  const auto ref = vo::run_odometry_loop(*scenario_, *vo_, *net_, *model_,
+                                         cfg);
+  ASSERT_EQ(ref.steps.size(), 8u);
+
+  ThreadPool p1(1), p2(2), p8(8);
+  for (ThreadPool* pool : {&p1, &p2, &p8}) {
+    for (int window : {1, 3, 16}) {
+      cfg.pool = pool;
+      cfg.window = window;
+      const auto run = vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                             *model_, cfg);
+      expect_same_runs(ref, run);
+    }
+  }
+}
+
+TEST_F(ClosedLoopTest, OpenAndClosedLoopDiverge) {
+  vo::ClosedLoopConfig cfg = small_config();
+  cfg.mode = vo::OdometryMode::kOpenLoop;
+  const auto open_run = vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                              *model_, cfg);
+  cfg.mode = vo::OdometryMode::kClosedLoop;
+  const auto closed_run = vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                                *model_, cfg);
+  EXPECT_EQ(open_run.mode_label, "open-loop");
+  EXPECT_EQ(closed_run.mode_label, "closed-loop");
+  // Different controls and noise must produce a different flight; the VO
+  // pass itself is identical (same seeds), so the reported uncertainty
+  // matches frame for frame.
+  EXPECT_NE(open_run.steps.front().position_error_m,
+            closed_run.steps.front().position_error_m);
+  for (std::size_t i = 0; i < open_run.steps.size(); ++i)
+    EXPECT_EQ(open_run.steps[i].vo_sigma, closed_run.steps[i].vo_sigma);
+  // Sanity bounds only: this fixture is shrunk far below tracking
+  // quality (100 particles, 20 mixture components, T=5) — the realistic
+  // accuracy comparison lives in bench_fig4_closed_loop. Both modes must
+  // at least stay inside the room scale (~3.6 m diagonal).
+  EXPECT_LT(open_run.final_error_m, 1.2);
+  EXPECT_LT(closed_run.final_error_m, 3.0);
+}
+
+TEST_F(ClosedLoopTest, InflationGainWidensReportedSpread) {
+  // gain 0 disables inflation (closed loop with base noise); a large
+  // gain must widen the mean particle-cloud spread.
+  vo::ClosedLoopConfig cfg = small_config();
+  cfg.inflation.gain = 0.0;
+  const auto tight = vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                           *model_, cfg);
+  cfg.inflation.gain = 3.0;
+  const auto wide = vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                          *model_, cfg);
+  EXPECT_GT(wide.mean_spread_m, tight.mean_spread_m);
+}
+
+}  // namespace
+}  // namespace cimnav

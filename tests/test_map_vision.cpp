@@ -81,6 +81,55 @@ TEST(Scene, FurnitureKeepsUpperHalfFlyable) {
     EXPECT_LT(s.boxes()[i].max().z, 0.5 * cfg.room_size.z);
 }
 
+TEST(Scene, CorridorLayoutKeepsMidSpanBare) {
+  map::SceneConfig cfg;
+  cfg.room_size = {3.4, 1.2, 1.8};
+  cfg.layout = map::SceneLayout::kCorridor;
+  cfg.furniture_count = 4;
+  cfg.clutter_count = 8;
+  cfg.corridor_cap_fraction = 0.22;
+  Rng rng(17);
+  const map::Scene s = map::Scene::generate(cfg, rng);
+  // Everything beyond floor+walls (clutter rides on furniture, so it
+  // inherits the cap confinement) stays clear of the central band: the
+  // feature-dropout zone sees nothing but the parallel walls.
+  for (std::size_t i = 5; i < s.boxes().size(); ++i) {
+    const map::Box& b = s.boxes()[i];
+    EXPECT_TRUE(b.max().x < 0.35 * cfg.room_size.x ||
+                b.min().x > 0.65 * cfg.room_size.x)
+        << "box " << i << " intrudes into the bare mid-span";
+  }
+}
+
+TEST(Scene, WarehouseLayoutIsPointSymmetric) {
+  map::SceneConfig cfg;
+  cfg.room_size = {3.2, 2.8, 1.8};
+  cfg.layout = map::SceneLayout::kWarehouse;
+  cfg.furniture_count = 6;
+  cfg.clutter_count = 8;
+  Rng rng(19);
+  const map::Scene s = map::Scene::generate(cfg, rng);
+  // Furniture comes in pairs (6 -> 6) and clutter in pairs (8 -> 8).
+  EXPECT_EQ(static_cast<int>(s.boxes().size()), 5 + 6 + 8);
+  // Every non-wall box has a 180-degree-rotated counterpart: the scene is
+  // invariant under (x, y) -> (r.x - x, r.y - y).
+  for (std::size_t i = 5; i < s.boxes().size(); ++i) {
+    const map::Box& b = s.boxes()[i];
+    const Vec3 mirrored{cfg.room_size.x - b.center.x,
+                        cfg.room_size.y - b.center.y, b.center.z};
+    bool found = false;
+    for (std::size_t j = 5; j < s.boxes().size(); ++j) {
+      const map::Box& o = s.boxes()[j];
+      if ((o.center - mirrored).norm() < 1e-9 &&
+          (o.half_extents - b.half_extents).norm() < 1e-9) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "box " << i << " has no mirrored twin";
+  }
+}
+
 TEST(Scene, PointCloudLiesNearSurfaces) {
   map::SceneConfig cfg;
   Rng rng(13);

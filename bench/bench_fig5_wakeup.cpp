@@ -1,0 +1,212 @@
+// Uncertainty-gated wake-up across the scenario suite (the paper's
+// headline claim measured end to end: the MC-Dropout posterior decides
+// how much compute the robot spends).
+//
+// For every registered localization scenario, the same closed-loop
+// flight runs once per registered update policy (autonomy registry:
+// "always", "sigma_gate", "decimate", plus any out-of-tree
+// registrations), and the per-run energy ledger compares what each
+// policy actually spent:
+//
+//   lik_savings   1 - (policy's measured CIM likelihood energy /
+//                      the always policy's) — evaluation-counter deltas
+//                      priced per read, not a model assumption;
+//   rmse ratio    policy RMSE / always RMSE over the same frames/seeds
+//                      (the accuracy cost of the saved energy).
+//
+// Also probes the refactor's hard guarantee: the "always" policy run
+// through the policy layer is bit-identical at pools 1/2/8 and windows
+// 1/3/16 — i.e. the pluggable stage C reproduces the pre-policy closed
+// loop exactly. Emits BENCH_wakeup.json (summary metrics tracked by
+// scripts/bench_diff.py against bench/baselines/).
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autonomy/update_policy.hpp"
+#include "bench_json.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+#include "filter/scenario.hpp"
+#include "vo/closed_loop.hpp"
+#include "vo/pipeline.hpp"
+
+namespace {
+
+using namespace cimnav;
+
+bool same_steps(const vo::ClosedLoopRun& a, const vo::ClosedLoopRun& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].position_error_m != b.steps[i].position_error_m ||
+        a.steps[i].position_spread_m != b.steps[i].position_spread_m ||
+        a.steps[i].vo_sigma != b.steps[i].vo_sigma ||
+        a.steps[i].likelihood_evals != b.steps[i].likelihood_evals ||
+        a.steps[i].update_energy_j != b.steps[i].update_energy_j)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 5 (this repo): uncertainty-gated wake-up — energy "
+              "vs accuracy per scenario x policy ===\n\n");
+
+  core::ThreadPool pool;
+  bench::Suite suite("wakeup");
+
+  vo::VoPipelineConfig vo_cfg;
+  vo_cfg.test_steps = 40;
+  vo_cfg.pool = &pool;
+  const vo::VoPipeline vo(vo_cfg);
+  cimsram::CimMacroConfig macro;
+  macro.input_bits = 6;
+  macro.weight_bits = 6;
+  macro.adc_bits = 6;
+  const auto cim = vo.make_cim_network(macro);
+
+  const std::vector<std::uint64_t> run_seeds{31, 131};
+  const auto scenarios = filter::scenario_names();
+  const auto policies = autonomy::policy_names();
+
+  core::Table table({"scenario", "policy", "rmse [m]", "rmse/always",
+                     "lik evals", "lik savings", "full/dec/skip"});
+  table.set_precision(3);
+
+  struct Cell {
+    double rmse = 0.0;
+    double lik_energy_j = 0.0;
+    double vo_energy_j = 0.0;
+    double evals = 0.0;
+    int full = 0, decimated = 0, skipped = 0;
+  };
+
+  // Mean RMSE ratio / savings per policy over scenarios; the acceptance
+  // criterion (>= 25% savings at <= 1.10x RMSE somewhere) is evaluated
+  // over individual cells.
+  std::map<std::string, double> savings_sum, ratio_sum;
+  bool criterion_met = false;
+  std::unique_ptr<filter::LocalizationScenario> probe_scenario;
+  std::unique_ptr<filter::MeasurementModel> probe_model;
+
+  for (const auto& sc : scenarios) {
+    filter::ScenarioConfig cfg = filter::make_scenario_config(sc);
+    cfg.pool = &pool;
+    auto scenario_ptr = std::make_unique<filter::LocalizationScenario>(cfg);
+    const filter::LocalizationScenario& scenario = *scenario_ptr;
+    auto model = scenario.make_cim_backend();
+
+    std::map<std::string, Cell> cells;
+    for (const auto& po : policies) {
+      Cell& cell = cells[po];
+      for (auto seed : run_seeds) {
+        vo::ClosedLoopConfig loop_cfg;
+        loop_cfg.mode = vo::OdometryMode::kClosedLoop;
+        loop_cfg.window = 4;
+        loop_cfg.pool = &pool;
+        loop_cfg.mc.iterations = 16;
+        loop_cfg.mc.dropout_p = vo_cfg.dropout_p;
+        loop_cfg.policy = po;
+        loop_cfg.run_seed = seed;
+        const auto run =
+            vo::run_odometry_loop(scenario, vo, *cim, *model, loop_cfg);
+        const double w = 1.0 / static_cast<double>(run_seeds.size());
+        cell.rmse += w * run.rmse_m;
+        cell.lik_energy_j += w * run.update_energy_j;
+        cell.vo_energy_j += w * run.vo_energy_j;
+        cell.evals += w * static_cast<double>(run.likelihood_evals);
+        cell.full += run.full_updates;
+        cell.decimated += run.decimated_updates;
+        cell.skipped += run.skipped_updates;
+      }
+    }
+
+    const Cell& base = cells.at("always");
+    for (const auto& po : policies) {
+      const Cell& cell = cells.at(po);
+      const double savings =
+          base.lik_energy_j > 0.0
+              ? 1.0 - cell.lik_energy_j / base.lik_energy_j
+              : 0.0;
+      const double ratio = base.rmse > 0.0 ? cell.rmse / base.rmse : 1.0;
+      char actions[48];
+      std::snprintf(actions, sizeof actions, "%d/%d/%d", cell.full,
+                    cell.decimated, cell.skipped);
+      table.add_row({sc, po, cell.rmse, ratio, cell.evals, savings,
+                     std::string(actions)});
+      suite.add_summary("rmse_" + sc + "_" + po, cell.rmse);
+      suite.add_summary("lik_evals_" + sc + "_" + po, cell.evals);
+      if (po != "always") {
+        suite.add_summary("lik_savings_" + sc + "_" + po, savings);
+        suite.add_summary("rmse_vs_always_" + sc + "_" + po, ratio);
+        savings_sum[po] += savings;
+        ratio_sum[po] += ratio;
+        if (savings >= 0.25 && ratio <= 1.10) criterion_met = true;
+      }
+    }
+    // The VO pass is policy-independent; record it once per scenario (in
+    // microjoules — the raw joules underflow the JSON's 6 decimals).
+    suite.add_summary("vo_energy_uj_" + sc, base.vo_energy_j * 1e6);
+    suite.add_summary("lik_energy_uj_" + sc + "_always",
+                      base.lik_energy_j * 1e6);
+
+    if (sc == "corridor_dropout") {
+      probe_scenario = std::move(scenario_ptr);
+      probe_model = std::move(model);
+    }
+  }
+  table.print(std::cout);
+
+  // Determinism probe: the "always" policy at pools 1/2/8 x windows
+  // 1/3/16 must be bit-identical to the serial window-1 loop — the
+  // pluggable stage C inherits the pipeline contract unchanged (and,
+  // with fig4's metrics stable against its committed baseline, stays
+  // bit-identical to the pre-policy closed loop).
+  bool identical = probe_scenario != nullptr;  // no probe -> fail the gate
+  if (probe_scenario != nullptr) {
+    vo::ClosedLoopConfig loop_cfg;
+    loop_cfg.mode = vo::OdometryMode::kClosedLoop;
+    loop_cfg.mc.iterations = 8;
+    loop_cfg.mc.dropout_p = vo_cfg.dropout_p;
+    loop_cfg.policy = "always";
+    loop_cfg.window = 1;
+    loop_cfg.pool = nullptr;
+    const auto ref = vo::run_odometry_loop(*probe_scenario, vo, *cim,
+                                           *probe_model, loop_cfg);
+    core::ThreadPool p1(1), p2(2), p8(8);
+    for (core::ThreadPool* p : {&p1, &p2, &p8}) {
+      for (int window : {1, 3, 16}) {
+        loop_cfg.pool = p;
+        loop_cfg.window = window;
+        identical = identical &&
+                    same_steps(ref, vo::run_odometry_loop(*probe_scenario, vo,
+                                                          *cim, *probe_model,
+                                                          loop_cfg));
+      }
+    }
+  }
+  std::printf("\nalways policy bit-identical at pools 1/2/8, windows "
+              "1/3/16: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  std::printf("criterion (>= 25%% likelihood-energy savings at <= 1.10x "
+              "RMSE on some scenario): %s\n",
+              criterion_met ? "met" : "NOT MET");
+
+  const double n_sc = static_cast<double>(scenarios.size());
+  suite.add_summary("scenario_count", n_sc);
+  suite.add_summary("policy_count", static_cast<double>(policies.size()));
+  for (const auto& po : policies) {
+    if (po == "always") continue;
+    suite.add_summary(po + "_mean_lik_savings", savings_sum[po] / n_sc);
+    suite.add_summary(po + "_rmse_vs_always_mean", ratio_sum[po] / n_sc);
+  }
+  suite.add_summary("savings_criterion_met", criterion_met ? 1.0 : 0.0);
+  suite.add_summary("wakeup_always_bit_identity", identical ? 1.0 : 0.0);
+  suite.write_json();
+  return identical && criterion_met ? 0 : 2;
+}

@@ -12,18 +12,28 @@
 //                increment, per-axis predictive stddev inflating the
 //                process noise — making the uncertainty actionable.
 //
+// Stage C's measurement step is driven by a wake-up policy
+// (autonomy::UpdatePolicy): "always" runs the full CIM likelihood
+// update every frame, "sigma_gate" skips quiet frames, "decimate" runs
+// them on a particle subset. The per-frame energy ledger prices what
+// the policy actually spent; with a gated policy the demo also runs the
+// "always" baseline and reports the measured savings.
+//
 // The closed-loop run is then repeated serially (window 1, no pool) to
 // demonstrate the determinism contract: bit-identical results at any
 // thread count and window size.
 //
-//   $ ./example_drone_localization [scenario]     # default: indoor_loop
+//   $ ./example_drone_localization [scenario] [--policy NAME]
 //
 // Scenario names come from the filter:: registry (indoor_loop,
-// corridor_dropout, loop_closure_square, warehouse_symmetry).
+// corridor_dropout, loop_closure_square, warehouse_symmetry,
+// kidnapped_drone), policy names from the autonomy:: registry.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "autonomy/update_policy.hpp"
 #include "core/table.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/scenario.hpp"
@@ -33,7 +43,19 @@
 int main(int argc, char** argv) {
   using namespace cimnav;
 
-  const std::string scenario_name = argc > 1 ? argv[1] : "indoor_loop";
+  std::string scenario_name = "indoor_loop";
+  std::string policy_name = "always";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--policy" && i + 1 < argc) {
+      policy_name = argv[++i];
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy_name = arg.substr(std::strlen("--policy="));
+    } else {
+      scenario_name = arg;
+    }
+  }
+
   filter::ScenarioConfig cfg;
   try {
     cfg = filter::make_scenario_config(scenario_name);
@@ -44,12 +66,23 @@ int main(int argc, char** argv) {
                   filter::scenario_description(name).c_str());
     return 1;
   }
+  try {
+    (void)autonomy::make_update_policy(policy_name);
+  } catch (const std::invalid_argument& e) {
+    std::printf("%s\n\nregistered policies:\n", e.what());
+    for (const auto& name : autonomy::policy_names())
+      std::printf("  %-12s %s\n", name.c_str(),
+                  autonomy::policy_description(name).c_str());
+    return 1;
+  }
 
   std::printf(
       "cimnav drone localization: closed-loop uncertainty-aware odometry\n"
-      "scenario '%s' (%s)\n\n",
+      "scenario '%s' (%s)\npolicy   '%s' (%s)\n\n",
       scenario_name.c_str(),
-      filter::scenario_description(scenario_name).c_str());
+      filter::scenario_description(scenario_name).c_str(),
+      policy_name.c_str(),
+      autonomy::policy_description(policy_name).c_str());
 
   core::ThreadPool pool;
   cfg.pool = &pool;
@@ -71,10 +104,11 @@ int main(int argc, char** argv) {
   const int frames =
       static_cast<int>(scenario.trajectory().controls.size());
   std::printf("scene: %.1f x %.1f x %.1f m, %zu boxes; flight: %d frames, "
-              "%d particles\n",
+              "%d particles%s\n",
               cfg.scene.room_size.x, cfg.scene.room_size.y,
               cfg.scene.room_size.z, scenario.scene().boxes().size(), frames,
-              cfg.filter.particle_count);
+              cfg.filter.particle_count,
+              cfg.global_init ? " (global init: kidnapped drone)" : "");
   std::printf("VO regressor: train MSE %.5f, test MSE %.5f, 6-bit CIM "
               "macros, T=20 MC iterations\n\n",
               vo.train_mse(), vo.test_mse());
@@ -85,6 +119,7 @@ int main(int argc, char** argv) {
   loop_cfg.mc.iterations = 20;
   loop_cfg.mc.dropout_p = vo_cfg.dropout_p;
   loop_cfg.inflation.gain = 1.0;
+  loop_cfg.policy = policy_name;
 
   loop_cfg.mode = vo::OdometryMode::kOpenLoop;
   const auto open_run =
@@ -94,19 +129,21 @@ int main(int argc, char** argv) {
       vo::run_odometry_loop(scenario, vo, *cim, *cim_model, loop_cfg);
 
   core::Table table({"frame", "pf err [m]", "spread [m]", "ESS frac",
-                     "vo delta err [m]", "vo sigma", ""});
+                     "vo sigma", "action", "E [uJ]", ""});
   table.set_precision(3);
   const double sigma_mean = closed_run.mean_vo_sigma;
   for (int f = 0; f < frames; f += 4) {
     const auto& r = closed_run.steps[static_cast<std::size_t>(f)];
     table.add_row({static_cast<double>(r.step), r.position_error_m,
-                   r.position_spread_m, r.ess_fraction, r.vo_delta_error_m,
-                   r.vo_sigma,
+                   r.position_spread_m, r.ess_fraction, r.vo_sigma,
+                   std::string(autonomy::update_action_label(r.update_action)),
+                   r.energy_j * 1e6,
                    std::string(r.vo_sigma > 1.5 * sigma_mean
                                    ? "high uncertainty"
                                    : "")});
   }
-  std::printf("closed-loop flight (VO posterior drives the filter):\n");
+  std::printf("closed-loop flight (VO posterior drives the filter; the "
+              "policy drives the array):\n");
   table.print(std::cout);
 
   std::printf("\n%-12s  rmse %.3f m  final %.3f m  mean spread %.3f m\n",
@@ -115,12 +152,33 @@ int main(int argc, char** argv) {
   std::printf("%-12s  rmse %.3f m  final %.3f m  mean spread %.3f m\n",
               closed_run.mode_label.c_str(), closed_run.rmse_m,
               closed_run.final_error_m, closed_run.mean_spread_m);
-  std::printf("closed-loop spread widens where the VO reports uncertainty "
-              "(mean vo sigma %.4f, mean vo delta err %.3f m).\n",
-              closed_run.mean_vo_sigma, closed_run.mean_vo_delta_error_m);
+  std::printf("energy ledger: VO %.2f uJ + likelihood %.2f uJ = %.2f uJ "
+              "(%llu likelihood evals; %d full / %d decimated / %d "
+              "skipped)\n",
+              closed_run.vo_energy_j * 1e6, closed_run.update_energy_j * 1e6,
+              closed_run.total_energy_j * 1e6,
+              static_cast<unsigned long long>(closed_run.likelihood_evals),
+              closed_run.full_updates, closed_run.decimated_updates,
+              closed_run.skipped_updates);
+
+  if (policy_name != "always") {
+    vo::ClosedLoopConfig base_cfg = loop_cfg;
+    base_cfg.policy = "always";
+    const auto base_run =
+        vo::run_odometry_loop(scenario, vo, *cim, *cim_model, base_cfg);
+    std::printf("vs always: likelihood energy %.2f -> %.2f uJ (%.0f%% "
+                "saved, measured), rmse %.3f -> %.3f m (%.2fx)\n",
+                base_run.update_energy_j * 1e6,
+                closed_run.update_energy_j * 1e6,
+                100.0 * (1.0 - closed_run.update_energy_j /
+                                   base_run.update_energy_j),
+                base_run.rmse_m, closed_run.rmse_m,
+                closed_run.rmse_m / base_run.rmse_m);
+  }
 
   // Determinism contract: the streamed closed-loop run must be
-  // bit-identical to the serial per-frame loop.
+  // bit-identical to the serial per-frame loop (policy decisions
+  // included — they are pure functions of the frame-ordered signals).
   vo::ClosedLoopConfig serial_cfg = loop_cfg;
   serial_cfg.window = 1;
   serial_cfg.pool = nullptr;
@@ -128,9 +186,14 @@ int main(int argc, char** argv) {
       vo::run_odometry_loop(scenario, vo, *cim, *cim_model, serial_cfg);
   bool identical = serial_run.steps.size() == closed_run.steps.size();
   for (std::size_t i = 0; identical && i < closed_run.steps.size(); ++i) {
-    identical = closed_run.steps[i].position_error_m ==
-                    serial_run.steps[i].position_error_m &&
-                closed_run.steps[i].vo_sigma == serial_run.steps[i].vo_sigma;
+    identical =
+        closed_run.steps[i].position_error_m ==
+            serial_run.steps[i].position_error_m &&
+        closed_run.steps[i].vo_sigma == serial_run.steps[i].vo_sigma &&
+        closed_run.steps[i].update_action ==
+            serial_run.steps[i].update_action &&
+        closed_run.steps[i].likelihood_evals ==
+            serial_run.steps[i].likelihood_evals;
   }
   std::printf("\nstreamed closed loop bit-identical to the serial "
               "per-frame loop: %s\n",

@@ -55,6 +55,24 @@ TRACKED = {
         # Variance inflation must keep visibly widening the belief.
         "closed_spread_inflation_mean": "higher",
     },
+    "BENCH_wakeup.json": {
+        # "always" through the policy layer must stay bit-identical to
+        # the serial pre-policy loop at every pool size / window.
+        "wakeup_always_bit_identity": "stable",
+        # Suite coverage: scenarios x policies swept.
+        "scenario_count": "stable",
+        "policy_count": "stable",
+        # Measured CIM likelihood-energy savings of the gated policies
+        # (evaluation-counter deltas priced per read), averaged over
+        # scenarios — dropping these is losing the point of the PR.
+        "sigma_gate_mean_lik_savings": "higher",
+        "decimate_mean_lik_savings": "higher",
+        # The accuracy cost of the savings must stay bounded.
+        "sigma_gate_rmse_vs_always_mean": "stable",
+        "decimate_rmse_vs_always_mean": "stable",
+        # >= 25% savings at <= 1.10x RMSE on at least one scenario.
+        "savings_criterion_met": "stable",
+    },
 }
 
 

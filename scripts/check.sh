@@ -3,8 +3,8 @@
 # benches. Extra arguments are forwarded to the CMake configure step, e.g.
 #   scripts/check.sh -DCIMNAV_NATIVE_OPT=OFF
 # Bench results land in BENCH_micro.json / BENCH_compute_reuse.json /
-# BENCH_closed_loop.json at the repository root so the perf trajectory can
-# be compared across PRs.
+# BENCH_closed_loop.json / BENCH_wakeup.json at the repository root so the
+# perf trajectory can be compared across PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,6 +17,7 @@ ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"
 ./build/bench_micro
 ./build/bench_compute_reuse
 ./build/bench_fig4_closed_loop
+./build/bench_fig5_wakeup
 
 # Perf-trajectory gate: tracked summary metrics (within-run speedup ratios
 # and deterministic workload counts) must stay within 20% of the committed

@@ -10,6 +10,9 @@ Fails when:
   * any scenario registered under src/filter/ (add_scenario("name", ...)
     or register_scenario("name", ...)) is not mentioned in the docs
     (the scenario suite must stay documented);
+  * any update policy registered under src/autonomy/ (add_policy or
+    register_policy with a string-literal name) is not mentioned in the
+    docs (the wake-up policy suite must stay documented);
   * a required doc file is missing.
 
 Usage:
@@ -31,14 +34,25 @@ DOC_FILES = [
 SCENARIO_RE = re.compile(
     r'(?:add_scenario|register_scenario)\(\s*"([A-Za-z0-9_]+)"')
 
+POLICY_RE = re.compile(
+    r'(?:add_policy|register_policy)\(\s*"([A-Za-z0-9_]+)"')
 
-def registered_scenarios(root):
+
+def registered_names(root, subdir, pattern):
     names = []
-    for path in sorted(glob.glob(os.path.join(root, "src", "filter",
+    for path in sorted(glob.glob(os.path.join(root, "src", subdir,
                                               "*.cpp"))):
         with open(path, encoding="utf-8") as f:
-            names.extend(SCENARIO_RE.findall(f.read()))
+            names.extend(pattern.findall(f.read()))
     return sorted(set(names))
+
+
+def registered_scenarios(root):
+    return registered_names(root, "filter", SCENARIO_RE)
+
+
+def registered_policies(root):
+    return registered_names(root, "autonomy", POLICY_RE)
 
 
 def main():
@@ -91,9 +105,21 @@ def main():
                 f"registered scenario '{name}' is not mentioned in the "
                 f"docs ({' / '.join(DOC_FILES)})")
 
+    policies = registered_policies(root)
+    if not policies:
+        failures.append(
+            "no registered update policies found under src/autonomy/ "
+            "(wrong --repo-root, or the registry moved?)")
+    for name in policies:
+        if name not in docs_text:
+            failures.append(
+                f"registered update policy '{name}' is not mentioned in "
+                f"the docs ({' / '.join(DOC_FILES)})")
+
     print(f"[check_docs] {len(fig_benches)} figure benches, "
           f"{len(subsystems)} src subsystems, "
-          f"{len(scenarios)} registered scenarios checked against "
+          f"{len(scenarios)} registered scenarios, "
+          f"{len(policies)} registered policies checked against "
           f"{' + '.join(DOC_FILES)}: {len(failures)} failure(s)")
     for f in failures:
         print(f"[check_docs] FAILURE: {f}", file=sys.stderr)

@@ -244,15 +244,43 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   return stats.finish();
 }
 
+namespace {
+
+/// Even, counter-conserving attribution of one window's measured macro
+/// delta across its frames: counter values split as v/n with the
+/// remainder spread over the first v%n frames, so the per-frame parts
+/// sum back to the window total exactly.
+void split_stats_evenly(const cimsram::MacroStats& total, std::size_t n,
+                        std::vector<McWorkload>& out) {
+  const auto share = [n](std::uint64_t v, std::size_t f) {
+    return v / n + (f < v % n ? 1 : 0);
+  };
+  for (std::size_t f = 0; f < n; ++f) {
+    cimsram::MacroStats& s = out[f].macro;
+    s.matvec_calls += share(total.matvec_calls, f);
+    s.wordline_pulses += share(total.wordline_pulses, f);
+    s.wordline_col_drives += share(total.wordline_col_drives, f);
+    s.adc_conversions += share(total.adc_conversions, f);
+    s.analog_cycles += share(total.analog_cycles, f);
+    s.nominal_macs += share(total.nominal_macs, f);
+  }
+}
+
+}  // namespace
+
 std::vector<McPrediction> mc_predict_cim_window(
     const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
     const McOptions& options, MaskSource& masks, core::Rng& analog_rng,
     McWorkload* workload, std::size_t side_items,
-    const std::function<void(std::size_t)>& side_item) {
+    const std::function<void(std::size_t)>& side_item,
+    std::vector<McWorkload>* frame_workloads) {
   CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
   const auto run_side_inline = [&] {
     for (std::size_t k = 0; k < side_items; ++k) side_item(k);
   };
+  if (frame_workloads != nullptr) {
+    frame_workloads->assign(xs.size(), McWorkload{});
+  }
   if (xs.empty()) {  // drain tick: only side work left in flight
     run_side_inline();
     return {};
@@ -264,11 +292,13 @@ std::vector<McPrediction> mc_predict_cim_window(
     run_side_inline();
     std::vector<McPrediction> preds;
     preds.reserve(xs.size());
-    for (const nn::Vector* x : xs) {
+    const bool track = workload != nullptr || frame_workloads != nullptr;
+    for (std::size_t f = 0; f < xs.size(); ++f) {
       McWorkload wl;
-      preds.push_back(mc_predict_cim(net, *x, options, masks, analog_rng,
-                                     workload != nullptr ? &wl : nullptr));
+      preds.push_back(mc_predict_cim(net, *xs[f], options, masks, analog_rng,
+                                     track ? &wl : nullptr));
       if (workload != nullptr) *workload += wl;
+      if (frame_workloads != nullptr) (*frame_workloads)[f] = wl;
     }
     return preds;
   }
@@ -280,18 +310,26 @@ std::vector<McPrediction> mc_predict_cim_window(
   // exact MaskSource / analog_rng consumption of serial per-frame calls.
   std::uint64_t bits_drawn = 0;
   std::uint64_t locus_flips = 0;
+  const bool track = workload != nullptr || frame_workloads != nullptr;
   thread_local std::vector<std::vector<std::vector<nn::Mask>>> sets_tls;
   std::vector<std::vector<std::vector<nn::Mask>>>& frame_sets = sets_tls;
   frame_sets.resize(xs.size());
   std::vector<nn::CimMlp::FrameBatch> frames(xs.size());
   for (std::size_t f = 0; f < xs.size(); ++f) {
     auto& mask_sets = frame_sets[f];
-    bits_drawn += draw_mask_sets(widths, options.iterations,
-                                 options.dropout_p, masks, mask_sets);
-    if (workload != nullptr && !widths.empty()) {
+    const std::uint64_t frame_bits = draw_mask_sets(
+        widths, options.iterations, options.dropout_p, masks, mask_sets);
+    bits_drawn += frame_bits;
+    std::uint64_t frame_flips = 0;
+    if (track && !widths.empty()) {
       for (std::size_t t = 1; t < mask_sets.size(); ++t)
-        locus_flips +=
+        frame_flips +=
             hamming_distance(mask_sets[t - 1][0], mask_sets[t][0]);
+      locus_flips += frame_flips;
+    }
+    if (frame_workloads != nullptr) {
+      (*frame_workloads)[f].mask_bits_drawn = frame_bits;
+      (*frame_workloads)[f].input_mask_flips = frame_flips;
     }
     frames[f].x = xs[f];
     frames[f].mask_sets = &mask_sets;
@@ -316,10 +354,15 @@ std::vector<McPrediction> mc_predict_cim_window(
     preds.push_back(stats.finish());
   }
 
-  if (workload != nullptr) {
-    workload->macro += net.total_stats() - before;
-    workload->mask_bits_drawn += bits_drawn;
-    workload->input_mask_flips += locus_flips;
+  if (track) {
+    const cimsram::MacroStats window_delta = net.total_stats() - before;
+    if (workload != nullptr) {
+      workload->macro += window_delta;
+      workload->mask_bits_drawn += bits_drawn;
+      workload->input_mask_flips += locus_flips;
+    }
+    if (frame_workloads != nullptr)
+      split_stats_evenly(window_delta, xs.size(), *frame_workloads);
   }
   return preds;
 }

@@ -108,11 +108,21 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
 /// concurrently with the dense window — the frame pipeline overlaps its
 /// scan-generation and filter-update stages there. Side work must not
 /// depend on this window's predictions.
+///
+/// `frame_workloads` (optional) receives one McWorkload per frame of the
+/// window (resized to xs.size()) — the per-frame MacroStats deltas the
+/// closed loop's energy ledger prices. Mask bits and locus flips are
+/// exact per frame. Macro activity is exact per frame on the per-frame
+/// (compute-reuse) path; on the dense window path the window's measured
+/// delta is attributed evenly across its frames (counter-conserving —
+/// iteration counts are identical per frame, so the per-frame truth
+/// differs only by the binomial spread of the drawn masks).
 std::vector<McPrediction> mc_predict_cim_window(
     const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
     const McOptions& options, MaskSource& masks, core::Rng& analog_rng,
     McWorkload* workload = nullptr, std::size_t side_items = 0,
-    const std::function<void(std::size_t)>& side_item = {});
+    const std::function<void(std::size_t)>& side_item = {},
+    std::vector<McWorkload>* frame_workloads = nullptr);
 
 /// Greedy nearest-neighbour tour over mask sets, keyed by the Hamming
 /// distance of the *input-site* mask (the reuse locus). Returns the

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <mutex>
+#include <stdexcept>
 
 #include "core/error.hpp"
 
@@ -587,8 +588,13 @@ const ComputeBackend& backend(std::string_view name) {
   std::lock_guard<std::mutex> lock(registry_mutex());
   for (const ComputeBackend* b : registry())
     if (b->name() == name) return *b;
-  CIMNAV_REQUIRE(false, "unknown CIM backend '" + std::string(name) + "'");
-  __builtin_unreachable();
+  // Same error shape as the scenario / policy registries: a clear
+  // message listing every registered name.
+  std::string known;
+  for (const ComputeBackend* b : registry())
+    known += (known.empty() ? "" : ", ") + std::string(b->name());
+  throw std::invalid_argument("unknown CIM backend '" + std::string(name) +
+                              "'; registered: " + known);
 }
 
 std::vector<std::string> backend_names() {

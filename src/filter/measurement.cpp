@@ -2,34 +2,51 @@
 
 #include "core/error.hpp"
 #include "core/stats.hpp"
+#include "energy/likelihood_energy.hpp"
 
 namespace cimnav::filter {
 
 GmmLikelihood::GmmLikelihood(prob::Gmm gmm, double beta)
     : gmm_(std::move(gmm)), beta_(beta) {
   CIMNAV_REQUIRE(beta > 0.0, "beta must be positive");
+  eval_energy_j_ = energy::digital_gmm_likelihood_energy(
+                       static_cast<int>(gmm_.components().size()))
+                       .total_j;
 }
 
 double GmmLikelihood::log_likelihood(const core::Pose& pose,
                                      const vision::DepthScan& scan,
                                      core::Rng& /*rng*/) const {
   double ll = 0.0;
-  for (const auto& p : vision::scan_to_world(scan, pose))
+  std::uint64_t points = 0;
+  for (const auto& p : vision::scan_to_world(scan, pose)) {
     ll += gmm_.log_pdf(p);
+    ++points;
+  }
+  evaluations_.fetch_add(points, std::memory_order_relaxed);
   return beta_ * ll;
 }
 
 HmgmLikelihood::HmgmLikelihood(prob::Hmgm hmgm, double beta)
     : hmgm_(std::move(hmgm)), beta_(beta) {
   CIMNAV_REQUIRE(beta > 0.0, "beta must be positive");
+  // Priced like the digital GMM datapath: per point and component, the
+  // Mahalanobis MACs, one kernel LUT lookup and one accumulate.
+  eval_energy_j_ = energy::digital_gmm_likelihood_energy(
+                       static_cast<int>(hmgm_.components().size()))
+                       .total_j;
 }
 
 double HmgmLikelihood::log_likelihood(const core::Pose& pose,
                                       const vision::DepthScan& scan,
                                       core::Rng& /*rng*/) const {
   double ll = 0.0;
-  for (const auto& p : vision::scan_to_world(scan, pose))
+  std::uint64_t points = 0;
+  for (const auto& p : vision::scan_to_world(scan, pose)) {
     ll += hmgm_.log_pdf(p);
+    ++points;
+  }
+  evaluations_.fetch_add(points, std::memory_order_relaxed);
   return beta_ * ll;
 }
 
@@ -63,6 +80,13 @@ CimHmgmLikelihood::CimHmgmLikelihood(
   const core::LinearFit fit = core::linear_fit(reading, reference);
   // Guard against degenerate calibration (e.g. flat field): keep unity.
   if (fit.slope > 0.05 && fit.slope < 100.0) gain_ = fit.slope;
+
+  // One elementary evaluation = one read of the whole programmed array
+  // (all columns conduct, three DACs drive, one log-ADC converts).
+  eval_energy_j_ = energy::cim_likelihood_energy(array_->column_count(),
+                                                 config.dac_bits,
+                                                 config.adc_bits)
+                       .total_j;
 }
 
 double CimHmgmLikelihood::log_likelihood(const core::Pose& pose,

@@ -18,6 +18,8 @@
 // scan-matching filters.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "circuit/array.hpp"
@@ -31,6 +33,13 @@
 namespace cimnav::filter {
 
 /// Interface implemented by every likelihood backend.
+///
+/// Besides scoring poses, every backend keeps an elementary-evaluation
+/// counter and a per-evaluation energy price — the measurement half of
+/// the closed loop's energy ledger: callers snapshot evaluation_count()
+/// around an update and price the delta, so the savings of an update
+/// policy (autonomy::UpdatePolicy) are measured activity, not a model
+/// assumption.
 class MeasurementModel {
  public:
   virtual ~MeasurementModel() = default;
@@ -44,6 +53,18 @@ class MeasurementModel {
 
   /// Human-readable backend name for reports.
   virtual const char* name() const = 0;
+
+  /// Cumulative count of elementary likelihood evaluations (one scored
+  /// scan point) since construction. Thread-safe: updates may come from
+  /// concurrent particle-block workers. Backends without accounting may
+  /// keep the default (always 0 — the ledger then records no activity).
+  virtual std::uint64_t evaluation_count() const { return 0; }
+
+  /// Energy of one elementary evaluation [J] under the backend's
+  /// technology model (energy/likelihood_energy.hpp): one inverter-array
+  /// read for the CIM backend, one digital mixture evaluation for the
+  /// digital ones. Default 0 (no energy model).
+  virtual double evaluation_energy_j() const { return 0.0; }
 };
 
 /// Digital GMM scoring (the conventional baseline).
@@ -53,10 +74,16 @@ class GmmLikelihood final : public MeasurementModel {
   double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
                         core::Rng& rng) const override;
   const char* name() const override { return "gmm-digital"; }
+  std::uint64_t evaluation_count() const override {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  double evaluation_energy_j() const override { return eval_energy_j_; }
 
  private:
   prob::Gmm gmm_;
   double beta_;
+  double eval_energy_j_ = 0.0;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
 };
 
 /// Digital HMGM scoring (kernel co-design without hardware effects).
@@ -66,10 +93,16 @@ class HmgmLikelihood final : public MeasurementModel {
   double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
                         core::Rng& rng) const override;
   const char* name() const override { return "hmgm-digital"; }
+  std::uint64_t evaluation_count() const override {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  double evaluation_energy_j() const override { return eval_energy_j_; }
 
  private:
   prob::Hmgm hmgm_;
   double beta_;
+  double eval_energy_j_ = 0.0;
+  mutable std::atomic<std::uint64_t> evaluations_{0};
 };
 
 /// Full analog CIM scoring through the programmed inverter array.
@@ -92,6 +125,12 @@ class CimHmgmLikelihood final : public MeasurementModel {
   double log_likelihood(const core::Pose& pose, const vision::DepthScan& scan,
                         core::Rng& rng) const override;
   const char* name() const override { return "hmgm-cim"; }
+  /// The array's own hardware counter: one count per log-ADC read,
+  /// including the construction-time calibration probes.
+  std::uint64_t evaluation_count() const override {
+    return array_->evaluation_count();
+  }
+  double evaluation_energy_j() const override { return eval_energy_j_; }
 
   const circuit::CimLikelihoodArray& array() const { return *array_; }
 
@@ -103,6 +142,7 @@ class CimHmgmLikelihood final : public MeasurementModel {
   std::unique_ptr<circuit::CimLikelihoodArray> array_;
   double beta_;
   double gain_ = 1.0;
+  double eval_energy_j_ = 0.0;
 };
 
 }  // namespace cimnav::filter

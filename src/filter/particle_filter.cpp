@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/error.hpp"
 #include "prob/logspace.hpp"
@@ -14,6 +15,9 @@ ParticleFilter::ParticleFilter(const ParticleFilterConfig& config)
   CIMNAV_REQUIRE(config.resample_threshold >= 0.0 &&
                      config.resample_threshold <= 1.0,
                  "resample threshold must lie in [0, 1]");
+  CIMNAV_REQUIRE(config.tempering_ess_floor >= 0.0 &&
+                     config.tempering_ess_floor < 1.0,
+                 "tempering ESS floor must lie in [0, 1)");
 }
 
 void ParticleFilter::init_uniform(const core::Vec3& lo, const core::Vec3& hi,
@@ -55,24 +59,28 @@ void ParticleFilter::predict(const Control& control, const MotionNoise& noise,
     p.pose = sample_motion(p.pose, control, noise, rng);
 }
 
+namespace {
+// Fixed block size (not thread count!) keys the per-block noise streams,
+// so weights are reproducible however the blocks land on workers.
+constexpr std::size_t kParticleBlock = 32;
+}  // namespace
+
 void ParticleFilter::update(const vision::DepthScan& scan,
                             const MeasurementModel& model, core::Rng& rng,
                             core::ThreadPool* pool) {
   CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
-  // Fixed block size (not thread count!) keys the per-block noise streams,
-  // so weights are reproducible however the blocks land on workers.
-  constexpr std::size_t kParticleBlock = 32;
   const std::uint64_t noise_root = rng();
   const std::size_t n_blocks =
       (particles_.size() + kParticleBlock - 1) / kParticleBlock;
+  delta_scratch_.resize(particles_.size());
   const auto weigh_blocks = [&](std::size_t begin, std::size_t end, int) {
     for (std::size_t b = begin; b < end; ++b) {
       core::Rng block_rng = core::Rng::stream(noise_root, b);
       const std::size_t i_end =
           std::min((b + 1) * kParticleBlock, particles_.size());
       for (std::size_t i = b * kParticleBlock; i < i_end; ++i) {
-        auto& p = particles_[i];
-        p.log_weight += model.log_likelihood(p.pose, scan, block_rng);
+        delta_scratch_[i] =
+            model.log_likelihood(particles_[i].pose, scan, block_rng);
       }
     }
   };
@@ -81,9 +89,108 @@ void ParticleFilter::update(const vision::DepthScan& scan,
   } else {
     weigh_blocks(0, n_blocks, 0);
   }
+  apply_log_likelihoods(delta_scratch_, rng);
+}
+
+std::size_t ParticleFilter::decimation_stride(double particle_fraction) {
+  CIMNAV_REQUIRE(particle_fraction > 0.0 && particle_fraction <= 1.0,
+                 "particle fraction must lie in (0, 1]");
+  const auto stride =
+      static_cast<std::size_t>(std::llround(1.0 / particle_fraction));
+  return stride < 1 ? 1 : stride;
+}
+
+void ParticleFilter::update_decimated(const vision::DepthScan& scan,
+                                      const MeasurementModel& model,
+                                      double particle_fraction,
+                                      core::Rng& rng,
+                                      core::ThreadPool* pool) {
+  CIMNAV_REQUIRE(!particles_.empty(), "filter not initialized");
+  const std::size_t stride = decimation_stride(particle_fraction);
+  if (stride <= 1) {
+    update(scan, model, rng, pool);
+    return;
+  }
+  // Representatives: particle 0 of every stride block. They are weighed
+  // with the same block-keyed streams as the full update (blocks of
+  // kParticleBlock *representatives*), so the result is bit-identical at
+  // any thread count.
+  const std::size_t n_reps = (particles_.size() + stride - 1) / stride;
+  const std::uint64_t noise_root = rng();
+  const std::size_t n_blocks =
+      (n_reps + kParticleBlock - 1) / kParticleBlock;
+  std::vector<double> rep_ll(n_reps);
+  const auto weigh_blocks = [&](std::size_t begin, std::size_t end, int) {
+    for (std::size_t b = begin; b < end; ++b) {
+      core::Rng block_rng = core::Rng::stream(noise_root, b);
+      const std::size_t r_end = std::min((b + 1) * kParticleBlock, n_reps);
+      for (std::size_t r = b * kParticleBlock; r < r_end; ++r) {
+        rep_ll[r] = model.log_likelihood(particles_[r * stride].pose, scan,
+                                         block_rng);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n_blocks, 1, weigh_blocks);
+  } else {
+    weigh_blocks(0, n_blocks, 0);
+  }
+  // Every particle of a stride block shares its representative's
+  // log-likelihood — a coarse likelihood field that is spatially
+  // coherent after systematic resampling (contiguous indices are
+  // duplicates of one parent).
+  delta_scratch_.resize(particles_.size());
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    delta_scratch_[i] = rep_ll[i / stride];
+  apply_log_likelihoods(delta_scratch_, rng);
+}
+
+double ParticleFilter::tempered_ess(const std::vector<double>& deltas,
+                                    double beta) const {
+  // Allocation-free: ESS needs only sum(w) and sum(w^2) of the
+  // max-shifted exponentials, not the normalized weights themselves.
+  double max_logw = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    max_logw = std::max(max_logw,
+                        particles_[i].log_weight + beta * deltas[i]);
+  if (!std::isfinite(max_logw)) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    const double w =
+        std::exp(particles_[i].log_weight + beta * deltas[i] - max_logw);
+    sum += w;
+    sum_sq += w * w;
+  }
+  return sum_sq > 0.0 ? sum * sum / sum_sq : 0.0;
+}
+
+void ParticleFilter::apply_log_likelihoods(const std::vector<double>& deltas,
+                                           core::Rng& rng) {
+  const double n = static_cast<double>(particles_.size());
+  double beta = 1.0;
+  const double floor = config_.tempering_ess_floor;
+  if (floor > 0.0 && tempered_ess(deltas, 1.0) < floor * n) {
+    // ESS-targeted annealing: find the largest beta whose tempered ESS
+    // stays above the floor. beta = 0 keeps the pre-update weights
+    // (ESS >= floor whenever the filter was healthy going in); if even
+    // those are below the floor the anneal cannot help, so the full
+    // measurement is applied rather than discarded.
+    if (tempered_ess(deltas, 0.0) >= floor * n) {
+      // 25 halvings resolve beta to ~3e-8 — far past what the ESS
+      // target can distinguish; each probe is one O(N) pass.
+      double lo = 0.0, hi = 1.0;
+      for (int it = 0; it < 25; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (tempered_ess(deltas, mid) >= floor * n ? lo : hi) = mid;
+      }
+      beta = lo;
+    }
+  }
+  last_update_beta_ = beta;
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    particles_[i].log_weight += beta * deltas[i];
   last_update_ess_ = effective_sample_size();
-  if (last_update_ess_ < config_.resample_threshold *
-                             static_cast<double>(particles_.size())) {
+  if (last_update_ess_ < config_.resample_threshold * n) {
     resample(rng);
     // Roughening: diversify the duplicated survivors so the cloud can
     // keep representing residual uncertainty.

@@ -31,6 +31,15 @@ struct ParticleFilterConfig {
   /// impoverishment when the likelihood is sharp.
   core::Vec3 roughening_sigma_pos{0.02, 0.02, 0.015};
   double roughening_sigma_yaw = 0.01;
+  /// ESS-targeted likelihood tempering (fixes the degenerate-first-update
+  /// transient): when an update's raw ESS/N would fall below this floor,
+  /// the update's log-likelihood contribution is annealed by a bisected
+  /// beta in (0, 1] until ESS/N reaches the floor — a sharp likelihood
+  /// against a wide cloud then tightens the belief over a few frames
+  /// instead of collapsing it onto a handful of particles in one. 0
+  /// disables tempering (the historical behavior, bit-identical). Must
+  /// lie in [0, 1).
+  double tempering_ess_floor = 0.0;
 };
 
 /// Weighted-mean state estimate with spread diagnostics.
@@ -72,12 +81,40 @@ class ParticleFilter {
   void update(const vision::DepthScan& scan, const MeasurementModel& model,
               core::Rng& rng, core::ThreadPool* pool = nullptr);
 
+  /// Decimated correction step — the wake-up policies' cheap mode: only
+  /// every `stride`-th particle (stride = round(1 / particle_fraction))
+  /// evaluates the measurement likelihood, and each stride block of
+  /// contiguous particles shares its representative's log-likelihood.
+  /// After a systematic resample, contiguous indices are duplicates of
+  /// the same parent (plus roughening jitter), so block sharing reads as
+  /// a spatially coherent coarse likelihood field; the approximation is
+  /// worst right after init, which is why the built-in policies warm up
+  /// with full updates. Likelihood evaluations drop by ~1/stride — the
+  /// measured energy saving. particle_fraction must lie in (0, 1];
+  /// fraction 1 is exactly update(). Deterministic at any thread count
+  /// (same block-keyed noise streams as update).
+  void update_decimated(const vision::DepthScan& scan,
+                        const MeasurementModel& model,
+                        double particle_fraction, core::Rng& rng,
+                        core::ThreadPool* pool = nullptr);
+
+  /// The stride update_decimated actually uses for a requested fraction:
+  /// round(1 / particle_fraction), at least 1. Callers accounting for
+  /// the work done (the closed loop's energy ledger, step budgets) must
+  /// book 1/stride, not the requested fraction — stride 1 IS a full
+  /// update.
+  static std::size_t decimation_stride(double particle_fraction);
+
   /// Effective sample size of the current normalized weights.
   double effective_sample_size() const;
 
   /// ESS measured in the last update() *before* any resampling — the
   /// meaningful degeneracy diagnostic (post-resample weights are uniform).
   double last_update_ess() const { return last_update_ess_; }
+
+  /// Tempering beta applied by the last update (1 = no annealing; < 1
+  /// only when ParticleFilterConfig::tempering_ess_floor fired).
+  double last_update_beta() const { return last_update_beta_; }
 
   /// Weighted-mean pose (circular mean for yaw) and spread.
   PoseEstimate estimate() const;
@@ -95,9 +132,21 @@ class ParticleFilter {
  private:
   std::vector<double> normalized_weights() const;
 
+  /// Shared tail of update / update_decimated: anneal `deltas` against
+  /// the tempering floor, fold them into the weights, then resample +
+  /// roughen below the resample threshold. `deltas` holds one
+  /// log-likelihood increment per particle.
+  void apply_log_likelihoods(const std::vector<double>& deltas,
+                             core::Rng& rng);
+
+  /// ESS of the weights after adding beta * deltas (no state change).
+  double tempered_ess(const std::vector<double>& deltas, double beta) const;
+
   ParticleFilterConfig config_;
   std::vector<Particle> particles_;
+  std::vector<double> delta_scratch_;  ///< per-update log-likelihoods
   double last_update_ess_ = 0.0;
+  double last_update_beta_ = 1.0;
 };
 
 }  // namespace cimnav::filter

@@ -73,6 +73,14 @@ struct ScenarioConfig {
   /// streams vs one shared sequential stream), so runs are reproducible
   /// within a mode but not comparable across modes.
   bool defer_scans = false;
+  /// Global-localization (kidnapped-drone) workload: runners that honor
+  /// this flag (LocalizationScenario::run via its own parameter,
+  /// vo::run_odometry_loop directly) initialize the cloud uniformly over
+  /// the scene interior with full heading uncertainty instead of a tight
+  /// Gaussian around the start pose. Pair with a larger particle_count
+  /// and an ESS tempering floor — the first updates are exactly the
+  /// degenerate transient tempering exists for.
+  bool global_init = false;
 };
 
 /// A synthesized flight: ground-truth poses plus body-frame controls.

@@ -77,6 +77,28 @@ ScenarioConfig warehouse_symmetry() {
   return cfg;
 }
 
+ScenarioConfig kidnapped_drone() {
+  // The warehouse layout, but the filter starts with *no* pose prior:
+  // uniform cloud over the interior, full heading uncertainty
+  // (global_init). Uncertainty genuinely spikes here — the first updates
+  // are ESS-degenerate by construction — so the scenario exercises both
+  // the ESS-targeted tempering floor and the wake-up policies' ESS wake
+  // rule. More particles than the tracking scenarios (the cloud must
+  // cover the whole room) and a tempering floor on by default.
+  ScenarioConfig cfg = base_config();
+  cfg.scene.room_size = {3.2, 2.8, 1.8};
+  cfg.scene.layout = map::SceneLayout::kWarehouse;
+  cfg.scene.furniture_count = 6;
+  cfg.scene.clutter_count = 8;
+  cfg.trajectory = TrajectoryKind::kEllipsePan;
+  cfg.trajectory_steps = 48;
+  cfg.seed = 474;
+  cfg.global_init = true;
+  cfg.filter.particle_count = 900;
+  cfg.filter.tempering_ess_floor = 0.10;
+  return cfg;
+}
+
 struct Registry {
   std::mutex mutex;
   std::vector<Entry> entries;
@@ -101,6 +123,10 @@ struct Registry {
                  "mirrored rack pairs: likelihood field ambiguous "
                  "under 180-degree rotation",
                  warehouse_symmetry);
+    add_scenario("kidnapped_drone",
+                 "warehouse with global init: no pose prior, the filter "
+                 "must relocalize from scratch",
+                 kidnapped_drone);
   }
 
   void add_scenario(std::string name, std::string description,

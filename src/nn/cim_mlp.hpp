@@ -147,7 +147,11 @@ class CimMlp {
   Vector forward_with_reuse(const Vector& x, const std::vector<Mask>& masks,
                             ReuseState& state, core::Rng& rng) const;
 
-  /// Aggregate macro activity (sum over layers and shards).
+  /// Aggregate macro activity (sum over layers and shards). Callers
+  /// snapshot this around a pass and price the delta through
+  /// energy::macro_stats_energy_j — the stage-B half of the closed
+  /// loop's energy ledger (bnn::McWorkload carries the deltas; the
+  /// window path attributes them per frame, see mc_predict_cim_window).
   cimsram::MacroStats total_stats() const;
   void reset_stats() const;
 

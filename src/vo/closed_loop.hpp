@@ -16,20 +16,28 @@
 //                                          (filter::inflate_motion_noise)
 //               open loop:    control    = ground-truth odometry
 //                             pred noise = base process noise
-//             then ParticleFilter::update against the scenario's
-//             measurement model.
+//             then an autonomy::UpdatePolicy decides what the
+//             measurement stage does — full ParticleFilter::update,
+//             decimated update, or skip (predict-only) — from the VO
+//             sigma, the filter's ESS and a step budget; every frame's
+//             energy (stage-B macro activity + the likelihood
+//             evaluations the policy actually ran) lands in the step's
+//             energy ledger.
 //
 // Because the posterior is consumed only in stage C (never fed back into
 // stages A/B — scans and features depend on the scripted trajectory, not
 // on the filter state), the closed-loop mode inherits the pipeline's
 // determinism contract unchanged: runs are bit-identical at any thread
-// count and any window size to the serial per-frame loop.
+// count and any window size to the serial per-frame loop. Policies make
+// no rng draws, so the "always" policy is additionally bit-identical to
+// the pre-policy (hardcoded predict -> update) closed loop.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "autonomy/update_policy.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/measurement.hpp"
@@ -70,6 +78,17 @@ struct ClosedLoopConfig {
   bnn::McOptions mc;
   /// Closed-loop noise inflation (ignored open-loop).
   filter::NoiseInflation inflation;
+  /// Wake-up policy driving the measurement stage, by registry name
+  /// (autonomy::make_update_policy; built-ins "always", "sigma_gate",
+  /// "decimate"). "always" reproduces the pre-policy loop bit for bit.
+  std::string policy = "always";
+  /// Knobs of the built-in policies (thresholds, decimation fraction,
+  /// step budget).
+  autonomy::PolicyConfig policy_cfg;
+  /// Override of ParticleFilterConfig::tempering_ess_floor for this run
+  /// (< 0 keeps the scenario's filter config untouched — the default, so
+  /// existing runs stay bit-identical).
+  double tempering_ess_floor = -1.0;
   /// Tracking-init displacement scale. Kept tight (takeoff from an
   /// approximately known pose): a wide init cloud collapses the first
   /// update's ESS to a handful of particles and the filter locks onto a
@@ -82,7 +101,7 @@ struct ClosedLoopConfig {
   std::uint64_t analog_seed = 101;  ///< macro analog-noise roots
 };
 
-/// Per-frame record of a run.
+/// Per-frame record of a run, including the frame's energy ledger.
 struct ClosedLoopStep {
   int step = 0;                    ///< 1-based, matches StepRecord::step
   double position_error_m = 0.0;   ///< filter estimate vs ground truth
@@ -91,17 +110,40 @@ struct ClosedLoopStep {
   double position_spread_m = 0.0;  ///< mean axis stddev of the cloud
   double vo_delta_error_m = 0.0;   ///< VO mean vs true body-frame delta
   double vo_sigma = 0.0;           ///< sqrt(scalar predictive variance)
+  /// What the wake-up policy chose for this frame.
+  autonomy::UpdateAction update_action = autonomy::UpdateAction::kFull;
+  /// Tempering beta the update applied (1 = no annealing / skipped).
+  double update_beta = 1.0;
+  /// Elementary likelihood evaluations this frame's measurement stage
+  /// spent (measured through the MeasurementModel counter; 0 on skip).
+  std::uint64_t likelihood_evals = 0;
+  /// Energy ledger [J]: the measurement stage (likelihood_evals priced
+  /// per evaluation), the stage-B VO pass (per-frame MacroStats delta
+  /// priced through energy::macro_stats_energy_j), and their sum.
+  double update_energy_j = 0.0;
+  double vo_energy_j = 0.0;
+  double energy_j = 0.0;
 };
 
 /// One full flight through the scenario in one mode.
 struct ClosedLoopRun {
   std::string mode_label;          ///< "open-loop" / "closed-loop"
+  std::string policy_label;        ///< wake-up policy registry name
   std::vector<ClosedLoopStep> steps;
   double rmse_m = 0.0;             ///< RMS position error over all steps
   double final_error_m = 0.0;
   double mean_spread_m = 0.0;      ///< mean particle-cloud spread
   double mean_vo_sigma = 0.0;      ///< mean reported VO uncertainty
   double mean_vo_delta_error_m = 0.0;
+  /// Run-level energy ledger: sums of the per-step entries.
+  double vo_energy_j = 0.0;
+  double update_energy_j = 0.0;
+  double total_energy_j = 0.0;
+  std::uint64_t likelihood_evals = 0;
+  /// Frames per action — what the policy actually did.
+  int full_updates = 0;
+  int decimated_updates = 0;
+  int skipped_updates = 0;
 };
 
 /// Streams the scenario's whole trajectory through the three-stage
@@ -109,9 +151,12 @@ struct ClosedLoopRun {
 /// scene, trajectory and scans (render_scan — any defer mode works);
 /// `vo`/`net` supply the frame features and the CIM-executed regressor;
 /// `model` is the measurement backend (typically
-/// scenario.make_cim_backend()). Deterministic given the config seeds:
-/// bit-identical at any pool size and window (tested at pools 1/2/8,
-/// windows 1/4).
+/// scenario.make_cim_backend()). When the scenario asks for global init
+/// (ScenarioConfig::global_init — the kidnapped-drone workloads), the
+/// cloud starts uniform over the scene interior instead of a tight
+/// Gaussian at the displaced start pose. Deterministic given the config
+/// seeds: bit-identical at any pool size and window (tested at pools
+/// 1/2/8, windows 1/3/16).
 ClosedLoopRun run_odometry_loop(const filter::LocalizationScenario& scenario,
                                 const VoPipeline& vo, const nn::CimMlp& net,
                                 const filter::MeasurementModel& model,

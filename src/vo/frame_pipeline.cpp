@@ -15,10 +15,14 @@ FramePipeline::FramePipeline(const nn::CimMlp& net,
 
 void FramePipeline::run(int frame_count, const InputFn& make_input,
                         const ConsumeFn& consume, bnn::MaskSource& masks,
-                        core::Rng& analog_rng, bnn::McWorkload* workload) {
+                        core::Rng& analog_rng, bnn::McWorkload* workload,
+                        std::vector<bnn::McWorkload>* frame_workloads) {
   CIMNAV_REQUIRE(frame_count >= 0, "frame count must be >= 0");
   CIMNAV_REQUIRE(make_input != nullptr && consume != nullptr,
                  "pipeline stages must be populated");
+  if (frame_workloads != nullptr)
+    frame_workloads->assign(static_cast<std::size_t>(frame_count),
+                            bnn::McWorkload{});
   if (frame_count == 0) return;
   const int w = config_.window;
 
@@ -68,9 +72,16 @@ void FramePipeline::run(int frame_count, const InputFn& make_input,
     xs_.clear();
     for (int f = w0; f < w1; ++f)
       xs_.push_back(&(*cur)[static_cast<std::size_t>(f - w0)]);
-    pending_ = bnn::mc_predict_cim_window(*net_, xs_, opt, masks, analog_rng,
-                                          workload,
-                                          a_items + (has_c ? 1 : 0), side);
+    std::vector<bnn::McWorkload> window_workloads;
+    pending_ = bnn::mc_predict_cim_window(
+        *net_, xs_, opt, masks, analog_rng, workload,
+        a_items + (has_c ? 1 : 0), side,
+        frame_workloads != nullptr ? &window_workloads : nullptr);
+    if (frame_workloads != nullptr) {
+      for (std::size_t j = 0; j < window_workloads.size(); ++j)
+        (*frame_workloads)[static_cast<std::size_t>(w0) + j] =
+            window_workloads[j];
+    }
     pending_base = w0;
     std::swap(cur, next);
   }

@@ -92,11 +92,17 @@ class FramePipeline {
   /// of the window, or smaller than it — is safe). Every frame's input is
   /// generated exactly once and every prediction is consumed exactly
   /// once, in frame order. `workload` (optional) accumulates the macro
-  /// activity of the whole run. Reentrant per pipeline object: buffers
-  /// are members, so one FramePipeline must not run from two threads.
+  /// activity of the whole run; `frame_workloads` (optional) is resized
+  /// to frame_count and receives each frame's activity attribution (see
+  /// bnn::mc_predict_cim_window — exact per frame on the compute-reuse
+  /// path, window-amortized on the dense path), which the closed loop's
+  /// energy ledger prices per frame. Reentrant per pipeline object:
+  /// buffers are members, so one FramePipeline must not run from two
+  /// threads.
   void run(int frame_count, const InputFn& make_input,
            const ConsumeFn& consume, bnn::MaskSource& masks,
-           core::Rng& analog_rng, bnn::McWorkload* workload = nullptr);
+           core::Rng& analog_rng, bnn::McWorkload* workload = nullptr,
+           std::vector<bnn::McWorkload>* frame_workloads = nullptr);
 
  private:
   const nn::CimMlp* net_;

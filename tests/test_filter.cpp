@@ -402,13 +402,172 @@ TEST(NoiseInflation, PredictedParticleSpreadWidensWithVoVariance) {
   }
 }
 
+TEST(ParticleFilter, DecimatedUpdateFractionOneMatchesFull) {
+  // fraction 1 must be *exactly* the full update (same rng consumption,
+  // same weights), so policies can sweep the fraction continuously.
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 100;
+  struct CornerModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng&) const override {
+      return -5.0 * pose.position.squared_norm();
+    }
+    const char* name() const override { return "corner"; }
+  } model;
+  vision::DepthScan empty_scan;
+
+  ParticleFilter full(cfg), decimated(cfg);
+  Rng rng_a(21), rng_b(21);
+  full.init_uniform({0, 0, 0}, {1, 1, 1}, rng_a);
+  decimated.init_uniform({0, 0, 0}, {1, 1, 1}, rng_b);
+  full.update(empty_scan, model, rng_a);
+  decimated.update_decimated(empty_scan, model, 1.0, rng_b);
+  ASSERT_EQ(full.particles().size(), decimated.particles().size());
+  for (std::size_t i = 0; i < full.particles().size(); ++i) {
+    EXPECT_EQ(full.particles()[i].log_weight,
+              decimated.particles()[i].log_weight);
+    EXPECT_EQ(full.particles()[i].pose.position.x,
+              decimated.particles()[i].pose.position.x);
+  }
+}
+
+TEST(ParticleFilter, DecimationStrideRoundsTheFraction) {
+  EXPECT_EQ(ParticleFilter::decimation_stride(1.0), 1u);
+  EXPECT_EQ(ParticleFilter::decimation_stride(0.7), 1u);   // rounds to full
+  EXPECT_EQ(ParticleFilter::decimation_stride(0.5), 2u);
+  EXPECT_EQ(ParticleFilter::decimation_stride(0.25), 4u);
+  EXPECT_EQ(ParticleFilter::decimation_stride(0.1), 10u);
+  EXPECT_THROW(ParticleFilter::decimation_stride(0.0), std::invalid_argument);
+  EXPECT_THROW(ParticleFilter::decimation_stride(1.5), std::invalid_argument);
+}
+
+TEST(ParticleFilter, DecimatedUpdateSharesBlockLikelihoodsAndSavesEvals) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 101;       // non-multiple of the stride on purpose
+  cfg.resample_threshold = 0.0;   // keep the weights observable
+  struct CountingModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng&) const override {
+      ++evals;
+      return -0.5 * pose.position.squared_norm();
+    }
+    const char* name() const override { return "counting"; }
+    mutable int evals = 0;
+  } model;
+  vision::DepthScan empty_scan;
+
+  ParticleFilter pf(cfg);
+  Rng rng(23);
+  pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+  pf.update_decimated(empty_scan, model, 0.25, rng);
+  // ceil(101 / 4) representatives evaluated, everyone else shares.
+  EXPECT_EQ(model.evals, 26);
+  const auto& ps = pf.particles();
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_EQ(ps[i].log_weight, ps[(i / 4) * 4].log_weight);
+}
+
+TEST(ParticleFilter, DecimatedUpdateBitIdenticalAcrossPools) {
+  ParticleFilterConfig cfg;
+  cfg.particle_count = 500;
+  struct NoisyModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng& rng) const override {
+      return -2.0 * pose.position.squared_norm() + 0.01 * rng.normal();
+    }
+    const char* name() const override { return "noisy"; }
+  } model;
+  vision::DepthScan empty_scan;
+
+  std::vector<std::vector<double>> weights;
+  core::ThreadPool p2(2), p8(8);
+  for (core::ThreadPool* pool : {(core::ThreadPool*)nullptr, &p2, &p8}) {
+    ParticleFilter pf(cfg);
+    Rng rng(29);
+    pf.init_uniform({0, 0, 0}, {1, 1, 1}, rng);
+    pf.update_decimated(empty_scan, model, 0.25, rng, pool);
+    std::vector<double> w;
+    for (const auto& p : pf.particles()) w.push_back(p.log_weight);
+    weights.push_back(std::move(w));
+  }
+  EXPECT_EQ(weights[0], weights[1]);
+  EXPECT_EQ(weights[0], weights[2]);
+}
+
+TEST(ParticleFilter, TemperingLiftsEssAboveFloor) {
+  // A likelihood sharp enough to collapse a wide cloud onto a handful of
+  // particles — the degenerate-first-update transient. With a tempering
+  // floor the anneal keeps ESS/N at or above it; without, beta stays 1.
+  struct SharpModel final : MeasurementModel {
+    double log_likelihood(const Pose& pose, const vision::DepthScan&,
+                          Rng&) const override {
+      return -200.0 * pose.position.squared_norm();
+    }
+    const char* name() const override { return "sharp"; }
+  } model;
+  vision::DepthScan empty_scan;
+
+  ParticleFilterConfig plain;
+  plain.particle_count = 400;
+  ParticleFilter pf_plain(plain);
+  Rng rng_a(31);
+  pf_plain.init_uniform({0, 0, 0}, {1, 1, 1}, rng_a);
+  pf_plain.update(empty_scan, model, rng_a);
+  EXPECT_DOUBLE_EQ(pf_plain.last_update_beta(), 1.0);
+  EXPECT_LT(pf_plain.last_update_ess(), 0.1 * 400);
+
+  ParticleFilterConfig tempered = plain;
+  tempered.tempering_ess_floor = 0.25;
+  ParticleFilter pf_temp(tempered);
+  Rng rng_b(31);
+  pf_temp.init_uniform({0, 0, 0}, {1, 1, 1}, rng_b);
+  pf_temp.update(empty_scan, model, rng_b);
+  EXPECT_LT(pf_temp.last_update_beta(), 1.0);
+  EXPECT_GT(pf_temp.last_update_beta(), 0.0);
+  EXPECT_GE(pf_temp.last_update_ess(), 0.25 * 400 - 1e-6);
+
+  // A higher floor anneals harder (smaller beta, larger ESS).
+  ParticleFilterConfig higher = plain;
+  higher.tempering_ess_floor = 0.5;
+  ParticleFilter pf_high(higher);
+  Rng rng_c(31);
+  pf_high.init_uniform({0, 0, 0}, {1, 1, 1}, rng_c);
+  pf_high.update(empty_scan, model, rng_c);
+  EXPECT_LT(pf_high.last_update_beta(), pf_temp.last_update_beta());
+  EXPECT_GE(pf_high.last_update_ess(), 0.5 * 400 - 1e-6);
+
+  ParticleFilterConfig bad;
+  bad.tempering_ess_floor = 1.0;
+  EXPECT_THROW(ParticleFilter{bad}, std::invalid_argument);
+}
+
+TEST(Backends, EvaluationCountersAndEnergy) {
+  // The ledger contract: every scored scan point counts one elementary
+  // evaluation, priced by a positive per-evaluation energy.
+  const prob::Gmm g({{1.0, prob::DiagGaussian({0, 0, 0}, {1, 1, 1})}});
+  const GmmLikelihood m(g, 1.0);
+  EXPECT_EQ(m.evaluation_count(), 0u);
+  EXPECT_GT(m.evaluation_energy_j(), 0.0);
+  vision::DepthScan scan;
+  scan.intrinsics = vision::CameraIntrinsics::kinect_like(16, 12);
+  scan.pixels.push_back({8, 6, 1.0});
+  scan.pixels.push_back({4, 3, 1.5});
+  Rng rng(37);
+  const Pose pose{{0, 0, 0}, 0.0};
+  m.log_likelihood(pose, scan, rng);
+  EXPECT_EQ(m.evaluation_count(), 2u);
+  m.log_likelihood(pose, scan, rng);
+  EXPECT_EQ(m.evaluation_count(), 4u);
+}
+
 TEST(ScenarioRegistry, BuiltInsRegisteredInOrder) {
   const auto names = scenario_names();
-  ASSERT_GE(names.size(), 4u);
+  ASSERT_GE(names.size(), 5u);
   EXPECT_EQ(names[0], "indoor_loop");
   EXPECT_EQ(names[1], "corridor_dropout");
   EXPECT_EQ(names[2], "loop_closure_square");
   EXPECT_EQ(names[3], "warehouse_symmetry");
+  EXPECT_EQ(names[4], "kidnapped_drone");
   for (const auto& n : names)
     EXPECT_FALSE(scenario_description(n).empty());
 }
@@ -429,6 +588,12 @@ TEST(ScenarioRegistry, ConfigsPairLayoutsAndTrajectories) {
   EXPECT_EQ(warehouse.scene.layout, map::SceneLayout::kWarehouse);
   const auto square = make_scenario_config("loop_closure_square");
   EXPECT_EQ(square.trajectory, TrajectoryKind::kRoundedSquare);
+  const auto kidnapped = make_scenario_config("kidnapped_drone");
+  EXPECT_EQ(kidnapped.scene.layout, map::SceneLayout::kWarehouse);
+  EXPECT_TRUE(kidnapped.global_init);
+  EXPECT_GT(kidnapped.filter.tempering_ess_floor, 0.0);
+  EXPECT_GT(kidnapped.filter.particle_count,
+            make_scenario_config("warehouse_symmetry").filter.particle_count);
 }
 
 TEST(ScenarioRegistry, RegisterExtendsAndReplaceReturnsFalse) {
@@ -465,7 +630,7 @@ TEST(ScenarioTrajectories, RegistryFlightsStayInEnvelopeAndAvoidBoxes) {
   // distribution) and fly clear of scene geometry.
   for (const auto& name :
        {"indoor_loop", "corridor_dropout", "loop_closure_square",
-        "warehouse_symmetry"}) {
+        "warehouse_symmetry", "kidnapped_drone"}) {
     const ScenarioConfig cfg = make_scenario_config(name);
     // Scene + trajectory exactly as the LocalizationScenario constructor
     // builds them (same seeds), skipping the map fitting the geometry

@@ -1,0 +1,132 @@
+// Error-path contract shared by the three name registries (cimsram
+// compute backends, filter scenarios, autonomy update policies),
+// parameterized over one probe per registry:
+//
+//   * looking up an unknown name throws std::invalid_argument whose
+//     message names the offender AND lists every registered name;
+//   * a duplicate register_* call is rejected as a new registration
+//     (returns false; the mapping is replaced in place) — first
+//     registrations return true.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "autonomy/update_policy.hpp"
+#include "cimsram/backend.hpp"
+#include "filter/scenario.hpp"
+
+namespace cimnav {
+namespace {
+
+struct RegistryProbe {
+  const char* label;
+  std::vector<std::string> builtins;  ///< names the error must list
+  std::function<void(const std::string&)> lookup;
+  std::function<std::vector<std::string>()> names;
+  /// Registers `name` (twice -> {true, false} expected).
+  std::function<bool(const std::string&)> register_name;
+};
+
+class StubBackend final : public cimsram::ComputeBackend {
+ public:
+  explicit StubBackend(std::string name) : name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  void run_columns(const cimsram::MacroView&, const std::uint64_t*,
+                   std::uint64_t, const std::uint8_t*, int, int, bool,
+                   core::Rng*, double*) const override {}
+
+ private:
+  std::string name_;
+};
+
+RegistryProbe scenario_probe() {
+  return {"scenario",
+          {"indoor_loop", "corridor_dropout", "loop_closure_square",
+           "warehouse_symmetry", "kidnapped_drone"},
+          [](const std::string& n) { filter::make_scenario_config(n); },
+          [] { return filter::scenario_names(); },
+          [](const std::string& n) {
+            return filter::register_scenario(
+                n, "probe", [] { return filter::ScenarioConfig{}; });
+          }};
+}
+
+RegistryProbe backend_probe() {
+  return {"backend",
+          {"reference", "bitsliced"},
+          [](const std::string& n) { cimsram::backend(n); },
+          [] { return cimsram::backend_names(); },
+          [](const std::string& n) {
+            // Instances must outlive the registry; the probe leaks two
+            // tiny stubs on purpose (process-lifetime registration).
+            return cimsram::register_backend(new StubBackend(n));
+          }};
+}
+
+RegistryProbe policy_probe() {
+  return {"policy",
+          {"always", "sigma_gate", "decimate"},
+          [](const std::string& n) { autonomy::make_update_policy(n); },
+          [] { return autonomy::policy_names(); },
+          [](const std::string& n) {
+            return autonomy::register_policy(
+                n, "probe", [](const autonomy::PolicyConfig& cfg) {
+                  return autonomy::make_update_policy("always", cfg);
+                });
+          }};
+}
+
+class RegistryContract : public ::testing::TestWithParam<RegistryProbe> {};
+
+TEST_P(RegistryContract, UnknownNameThrowsListingKnownNames) {
+  const RegistryProbe& probe = GetParam();
+  const std::string bogus = "no_such_" + std::string(probe.label);
+  try {
+    probe.lookup(bogus);
+    FAIL() << probe.label << ": expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(bogus), std::string::npos)
+        << probe.label << ": message must name the offender: " << msg;
+    for (const auto& name : probe.builtins)
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << probe.label << ": message must list '" << name << "': " << msg;
+  }
+}
+
+TEST_P(RegistryContract, BuiltInsPresentAndLookupSucceeds) {
+  const RegistryProbe& probe = GetParam();
+  const auto names = probe.names();
+  for (const auto& name : probe.builtins) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end())
+        << probe.label << ": built-in '" << name << "' missing";
+    EXPECT_NO_THROW(probe.lookup(name)) << probe.label << "/" << name;
+  }
+}
+
+TEST_P(RegistryContract, DuplicateRegistrationRejected) {
+  const RegistryProbe& probe = GetParam();
+  const std::string name = "dup_probe_" + std::string(probe.label);
+  EXPECT_TRUE(probe.register_name(name))
+      << probe.label << ": first registration must be accepted";
+  EXPECT_FALSE(probe.register_name(name))
+      << probe.label << ": duplicate must be rejected (replace, not add)";
+  // The duplicate must not have added a second entry.
+  const auto names = probe.names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), name), 1)
+      << probe.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegistries, RegistryContract,
+                         ::testing::Values(scenario_probe(), backend_probe(),
+                                           policy_probe()),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+}  // namespace
+}  // namespace cimnav

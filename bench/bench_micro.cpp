@@ -28,6 +28,8 @@
 #include "nn/mlp.hpp"
 #include "prob/gmm.hpp"
 #include "prob/hmg.hpp"
+#include "prob/logspace.hpp"
+#include "vision/depth.hpp"
 #include "vo/frame_pipeline.hpp"
 
 namespace {
@@ -237,6 +239,102 @@ struct SeedMlp {
 };
 
 // ---------------------------------------------------------------------------
+// Faithful port of the seed (pre-SoA) particle-filter hot path: AoS
+// vector<Particle> storage, per-call weight vectors, a vector-building
+// systematic resample. Baseline for the SoA engine's speedup, compiled
+// with identical flags. Bit-identity of the SoA engine against this
+// algorithm is pinned separately in tests/test_memory.cpp; here it is
+// only timed.
+// ---------------------------------------------------------------------------
+
+struct SeedAosFilter {
+  std::vector<filter::Particle> ps;
+  std::vector<double> delta_scratch;  // the seed's member scratch
+  double last_ess = 0.0;
+
+  void init_uniform(int n, const core::Vec3& lo, const core::Vec3& hi,
+                    core::Rng& rng) {
+    ps.clear();
+    ps.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      core::Pose p{{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y),
+                    rng.uniform(lo.z, hi.z)},
+                   rng.uniform(-3.14159265358979323846,
+                               3.14159265358979323846)};
+      ps.push_back({p, 0.0});
+    }
+  }
+
+  std::vector<double> normalized_weights() const {
+    std::vector<double> logw;
+    logw.reserve(ps.size());
+    for (const auto& p : ps) logw.push_back(p.log_weight);
+    return prob::normalize_log_weights(logw);
+  }
+
+  double effective_sample_size() const {
+    const auto w = normalized_weights();
+    double sum_sq = 0.0;
+    for (double x : w) sum_sq += x * x;
+    return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+  }
+
+  // The seed update without the resample branch (no tempering floor):
+  // weigh in kBlock-keyed streams, fold the deltas in, measure the ESS.
+  // The cycle rows call resample() right after — exactly the seed's
+  // update at resample_threshold 1 with zero roughening sigmas.
+  void update(const vision::DepthScan& scan,
+              const filter::MeasurementModel& model, core::Rng& rng) {
+    constexpr std::size_t kBlock = 32;
+    const std::uint64_t noise_root = rng();
+    const std::size_t n_blocks = (ps.size() + kBlock - 1) / kBlock;
+    delta_scratch.resize(ps.size());
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      core::Rng block_rng = core::Rng::stream(noise_root, b);
+      const std::size_t i_end = std::min((b + 1) * kBlock, ps.size());
+      for (std::size_t i = b * kBlock; i < i_end; ++i)
+        delta_scratch[i] = model.log_likelihood(ps[i].pose, scan, block_rng);
+    }
+    for (std::size_t i = 0; i < ps.size(); ++i)
+      ps[i].log_weight += delta_scratch[i];
+    last_ess = effective_sample_size();
+  }
+
+  void resample(core::Rng& rng) {
+    const auto w = normalized_weights();
+    const std::size_t n = ps.size();
+    std::vector<filter::Particle> next;
+    next.reserve(n);
+    const double step = 1.0 / static_cast<double>(n);
+    double u = rng.uniform() * step;
+    double cumulative = w[0];
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (u > cumulative && idx + 1 < ps.size()) {
+        ++idx;
+        cumulative += w[idx];
+      }
+      next.push_back({ps[idx].pose, 0.0});
+      u += step;
+    }
+    ps = std::move(next);
+  }
+};
+
+// Quadratic synthetic likelihood: cheap enough that the 100k-cloud rows
+// time the filter mechanics (weight passes, normalization, the resample
+// gather), not the measurement backend.
+class QuadraticModel final : public filter::MeasurementModel {
+ public:
+  double log_likelihood(const core::Pose& pose, const vision::DepthScan&,
+                        core::Rng&) const override {
+    const core::Vec3 d = pose.position - core::Vec3{1.5, 1.0, 0.9};
+    return -0.5 * d.squared_norm();
+  }
+  const char* name() const override { return "bench-quadratic"; }
+};
+
+// ---------------------------------------------------------------------------
 
 std::vector<circuit::VoltageComponent> bench_components(int k) {
   core::Rng rng(3);
@@ -347,6 +445,108 @@ int main() {
       suite.run("particle_resample/n=" + std::to_string(n), 1, n,
                 "particles", [&] { pf.resample(rng); });
     }
+  }
+
+  // ---- Headline: SoA particle engine vs the seed AoS filter (100k) ----
+  //
+  // A 100k-particle cloud through one measurement update and one
+  // systematic resample, single-threaded, SoA engine vs the literal seed
+  // algorithm it replaced (AoS vector<Particle>, per-call weight vectors,
+  // vector-building resample). The synthetic quadratic likelihood keeps
+  // the measurement backend out of the timing, so the ratios isolate the
+  // storage layout and the allocation behavior. The steady-state cycle
+  // must also be heap-silent — asserted on the filter's own arena/pool
+  // counters at bench scale.
+  {
+    constexpr int kCloud = 100000;
+    const QuadraticModel model;
+    const vision::DepthScan scan;  // the synthetic model ignores the scan
+
+    filter::ParticleFilterConfig cfg;
+    cfg.particle_count = kCloud;
+    cfg.resample_threshold = 0.0;  // resampling timed as its own rows
+    filter::ParticleFilter soa(cfg);
+    core::Rng soa_init(19);
+    soa.init_uniform({0, 0, 0}, {3, 3, 2}, soa_init);
+
+    SeedAosFilter aos;
+    core::Rng aos_init(19);
+    aos.init_uniform(kCloud, {0, 0, 0}, {3, 3, 2}, aos_init);
+
+    core::Rng soa_rng(23);
+    core::Rng aos_rng(23);
+    const auto soa_update =
+        suite.run("particle_filter_100k/update/soa", 1, kCloud, "particles",
+                  [&] { soa.update(scan, model, soa_rng); });
+    const auto aos_update =
+        suite.run("particle_filter_100k/update/aos_seed", 1, kCloud,
+                  "particles", [&] { aos.update(scan, model, aos_rng); });
+    const auto soa_res =
+        suite.run("particle_filter_100k/resample/soa", 1, kCloud,
+                  "particles", [&] { soa.resample(soa_rng); });
+    const auto aos_res =
+        suite.run("particle_filter_100k/resample/aos_seed", 1, kCloud,
+                  "particles", [&] { aos.resample(aos_rng); });
+
+    // The production cycle: an update whose ESS triggers the internal
+    // resample (threshold 1, zero roughening so the shared jitter cost
+    // does not dilute the layout comparison). This is where the SoA
+    // engine's normalized-weight reuse pays: the ESS measurement and the
+    // resample it triggers share one normalization, where the seed path
+    // normalizes twice and allocates three vectors.
+    filter::ParticleFilterConfig cyc_cfg = cfg;
+    cyc_cfg.resample_threshold = 1.0;
+    cyc_cfg.roughening_sigma_pos = {0.0, 0.0, 0.0};
+    cyc_cfg.roughening_sigma_yaw = 0.0;
+    filter::ParticleFilter soa_cyc(cyc_cfg);
+    core::Rng soa_cyc_init(19);
+    soa_cyc.init_uniform({0, 0, 0}, {3, 3, 2}, soa_cyc_init);
+    SeedAosFilter aos_cyc;
+    core::Rng aos_cyc_init(19);
+    aos_cyc.init_uniform(kCloud, {0, 0, 0}, {3, 3, 2}, aos_cyc_init);
+    core::Rng soa_cyc_rng(29);
+    core::Rng aos_cyc_rng(29);
+    const auto soa_cycle =
+        suite.run("particle_filter_100k/cycle/soa", 1, kCloud, "particles",
+                  [&] { soa_cyc.update(scan, model, soa_cyc_rng); });
+    const auto aos_cycle = suite.run(
+        "particle_filter_100k/cycle/aos_seed", 1, kCloud, "particles", [&] {
+          aos_cyc.update(scan, model, aos_cyc_rng);
+          aos_cyc.resample(aos_cyc_rng);
+        });
+
+    const double update_speedup = aos_update.ns_per_op / soa_update.ns_per_op;
+    const double resample_speedup = aos_res.ns_per_op / soa_res.ns_per_op;
+    const double cycle_speedup = aos_cycle.ns_per_op / soa_cycle.ns_per_op;
+
+    // Zero-steady-state-allocation check at bench scale: a full
+    // update + resample cycle after warm-up must not move the filter's
+    // heap counter (arena + pool slabs).
+    const auto mem0 = soa_cyc.memory_stats();
+    soa_cyc.update(scan, model, soa_cyc_rng);
+    const auto mem1 = soa_cyc.memory_stats();
+    const bool zero_alloc = mem1.heap_allocations == mem0.heap_allocations;
+
+    suite.add_summary("particle_filter_100k_update_speedup_vs_aos",
+                      update_speedup);
+    suite.add_summary("particle_filter_100k_resample_speedup_vs_aos",
+                      resample_speedup);
+    suite.add_summary("particle_filter_100k_cycle_speedup_vs_aos",
+                      cycle_speedup);
+    // Acceptance flags (gated as exact values by bench_diff.py):
+    // >= 1.2x single-thread update+resample throughput, zero heap
+    // allocations in the steady-state cycle.
+    suite.add_summary("particle_filter_100k_speedup_criterion_met",
+                      cycle_speedup >= 1.2 ? 1.0 : 0.0);
+    suite.add_summary("particle_filter_100k_zero_alloc_cycle",
+                      zero_alloc ? 1.0 : 0.0);
+    std::printf(
+        "\nparticle_filter_100k SoA vs seed AoS (1 thread): update %.2fx, "
+        "resample %.2fx, update+resample cycle %.2fx, steady-state heap "
+        "allocs %llu\n\n",
+        update_speedup, resample_speedup, cycle_speedup,
+        static_cast<unsigned long long>(mem1.heap_allocations -
+                                        mem0.heap_allocations));
   }
 
   // ---- Headline: MC-Dropout prediction, engine vs seed path ----

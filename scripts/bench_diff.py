@@ -36,6 +36,16 @@ TRACKED = {
         "mc_predict_bitsliced_speedup_vs_reference": "higher",
         "mc_predict_macs_per_pred": "stable",
         "frame_pipeline_speedup_8t": "higher",
+        # SoA particle engine vs the seed AoS path, 100k cloud, single
+        # thread (within-run ratios -> machine-portable).
+        "particle_filter_100k_update_speedup_vs_aos": "higher",
+        "particle_filter_100k_resample_speedup_vs_aos": "higher",
+        "particle_filter_100k_cycle_speedup_vs_aos": "higher",
+        # PR acceptance flags: cycle speedup >= 1.2x, and the steady-state
+        # update+resample cycle performs zero heap allocations (measured
+        # on the filter's arena/pool counters). Exact-match gated.
+        "particle_filter_100k_speedup_criterion_met": "stable",
+        "particle_filter_100k_zero_alloc_cycle": "stable",
     },
     "BENCH_compute_reuse.json": {
         "wordline_pulses_dense": "lower",

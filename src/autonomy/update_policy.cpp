@@ -5,11 +5,10 @@
 #include "autonomy/update_policy.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <stdexcept>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/name_registry.hpp"
 
 namespace cimnav::autonomy {
 namespace {
@@ -86,18 +85,15 @@ class GatedPolicy final : public UpdatePolicy {
 
 using Factory =
     std::function<std::unique_ptr<UpdatePolicy>(const PolicyConfig&)>;
+using PolicyRegistry = core::NameRegistry<Factory>;
 
-struct Entry {
-  std::string name;
-  std::string description;
-  Factory factory;
-};
-
-struct Registry {
-  std::mutex mutex;
-  std::vector<Entry> entries;
-
-  Registry() {
+PolicyRegistry& registry() {
+  static PolicyRegistry r("update policy");
+  static const bool built_ins = [&] {
+    const auto add_policy = [&](const char* name, const char* description,
+                                Factory factory) {
+      r.add(name, description, std::move(factory));
+    };
     add_policy("always",
                "full CIM likelihood update every frame (the pre-policy "
                "closed loop, bit-identical)",
@@ -118,29 +114,9 @@ struct Registry {
                  return std::make_unique<GatedPolicy>(
                      "decimate", UpdateAction::kDecimated, cfg);
                });
-  }
-
-  void add_policy(std::string name, std::string description,
-                  Factory factory) {
-    entries.push_back(
-        {std::move(name), std::move(description), std::move(factory)});
-  }
-
-  Entry* find(std::string_view name) {
-    for (auto& e : entries)
-      if (e.name == name) return &e;
-    return nullptr;
-  }
-
-  std::string known_names() {
-    std::string all;
-    for (const auto& e : entries) all += (all.empty() ? "" : ", ") + e.name;
-    return all;
-  }
-};
-
-Registry& registry() {
-  static Registry r;
+    return true;
+  }();
+  (void)built_ins;
   return r;
 }
 
@@ -163,56 +139,23 @@ std::unique_ptr<UpdatePolicy> make_update_policy(std::string_view name,
   CIMNAV_REQUIRE(config.decimated_fraction > 0.0 &&
                      config.decimated_fraction <= 1.0,
                  "decimated_fraction must lie in (0, 1]");
-  Registry& r = registry();
-  // Copy the factory out of the critical section before invoking it (a
-  // registered factory may call back into the registry).
-  Factory factory;
-  {
-    std::lock_guard<std::mutex> lock(r.mutex);
-    Entry* e = r.find(name);
-    if (e == nullptr)
-      throw std::invalid_argument("unknown update policy '" +
-                                  std::string(name) +
-                                  "'; registered: " + r.known_names());
-    factory = e->factory;
-  }
-  return factory(config);
+  // NameRegistry::lookup copies the factory out of the critical section
+  // (a registered factory may call back into the registry).
+  return registry().lookup(name)(config);
 }
 
-std::vector<std::string> policy_names() {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  std::vector<std::string> names;
-  names.reserve(r.entries.size());
-  for (const auto& e : r.entries) names.push_back(e.name);
-  return names;
-}
+std::vector<std::string> policy_names() { return registry().names(); }
 
 std::string policy_description(std::string_view name) {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  const Entry* e = r.find(name);
-  if (e == nullptr)
-    throw std::invalid_argument("unknown update policy '" +
-                                std::string(name) +
-                                "'; registered: " + r.known_names());
-  return e->description;
+  return registry().description(name);
 }
 
 bool register_policy(std::string name, std::string description,
                      Factory factory) {
   CIMNAV_REQUIRE(!name.empty(), "policy name must be non-empty");
   CIMNAV_REQUIRE(factory != nullptr, "policy factory must be callable");
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  if (Entry* e = r.find(name)) {
-    e->description = std::move(description);
-    e->factory = std::move(factory);
-    return false;
-  }
-  r.entries.push_back(
-      {std::move(name), std::move(description), std::move(factory)});
-  return true;
+  return registry().add(std::move(name), std::move(description),
+                        std::move(factory));
 }
 
 }  // namespace cimnav::autonomy

@@ -244,30 +244,6 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
   return stats.finish();
 }
 
-namespace {
-
-/// Even, counter-conserving attribution of one window's measured macro
-/// delta across its frames: counter values split as v/n with the
-/// remainder spread over the first v%n frames, so the per-frame parts
-/// sum back to the window total exactly.
-void split_stats_evenly(const cimsram::MacroStats& total, std::size_t n,
-                        std::vector<McWorkload>& out) {
-  const auto share = [n](std::uint64_t v, std::size_t f) {
-    return v / n + (f < v % n ? 1 : 0);
-  };
-  for (std::size_t f = 0; f < n; ++f) {
-    cimsram::MacroStats& s = out[f].macro;
-    s.matvec_calls += share(total.matvec_calls, f);
-    s.wordline_pulses += share(total.wordline_pulses, f);
-    s.wordline_col_drives += share(total.wordline_col_drives, f);
-    s.adc_conversions += share(total.adc_conversions, f);
-    s.analog_cycles += share(total.analog_cycles, f);
-    s.nominal_macs += share(total.nominal_macs, f);
-  }
-}
-
-}  // namespace
-
 std::vector<McPrediction> mc_predict_cim_window(
     const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
     const McOptions& options, MaskSource& masks, core::Rng& analog_rng,
@@ -338,9 +314,12 @@ std::vector<McPrediction> mc_predict_cim_window(
 
   thread_local nn::CimMlp::WindowScratch scratch_tls;
   thread_local std::vector<std::vector<nn::Vector>> outs_tls;
+  thread_local std::vector<cimsram::MacroStats> frame_stats_tls;
   std::vector<std::vector<nn::Vector>>& outs = outs_tls;
+  std::vector<cimsram::MacroStats>& frame_stats = frame_stats_tls;
   net.forward_window(frames, options.pool, scratch_tls, outs, side_items,
-                     side_item);
+                     side_item,
+                     frame_workloads != nullptr ? &frame_stats : nullptr);
 
   // Welford accumulation stays serial and in (frame, iteration) order, so
   // the final moments are bit-exact for any thread count.
@@ -361,8 +340,11 @@ std::vector<McPrediction> mc_predict_cim_window(
       workload->mask_bits_drawn += bits_drawn;
       workload->input_mask_flips += locus_flips;
     }
+    // Exact per-frame attribution, captured item-by-item inside
+    // forward_window; the entries sum to window_delta by construction.
     if (frame_workloads != nullptr)
-      split_stats_evenly(window_delta, xs.size(), *frame_workloads);
+      for (std::size_t f = 0; f < xs.size(); ++f)
+        (*frame_workloads)[f].macro += frame_stats[f];
   }
   return preds;
 }

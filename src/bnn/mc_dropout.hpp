@@ -111,12 +111,12 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
 ///
 /// `frame_workloads` (optional) receives one McWorkload per frame of the
 /// window (resized to xs.size()) — the per-frame MacroStats deltas the
-/// closed loop's energy ledger prices. Mask bits and locus flips are
-/// exact per frame. Macro activity is exact per frame on the per-frame
-/// (compute-reuse) path; on the dense window path the window's measured
-/// delta is attributed evenly across its frames (counter-conserving —
-/// iteration counts are identical per frame, so the per-frame truth
-/// differs only by the binomial spread of the drawn masks).
+/// closed loop's energy ledger prices. Every field is *exact* per frame
+/// on both paths: the compute-reuse path runs frame-by-frame anyway, and
+/// the dense window path captures each (frame, iteration) item's macro
+/// accounting thread-locally inside the layer dispatches
+/// (cimsram::ScopedStatsCapture), so the per-frame entries sum to the
+/// window's measured counter delta identically — no amortized split.
 std::vector<McPrediction> mc_predict_cim_window(
     const nn::CimMlp& net, const std::vector<const nn::Vector*>& xs,
     const McOptions& options, MaskSource& masks, core::Rng& analog_rng,

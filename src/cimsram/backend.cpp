@@ -4,10 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <cstring>
-#include <mutex>
 #include <stdexcept>
 
 #include "core/error.hpp"
+#include "core/name_registry.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -567,55 +567,36 @@ class BitSlicedBackend final : public ComputeBackend {
   }
 };
 
-std::mutex& registry_mutex() {
-  static std::mutex m;
-  return m;
-}
-
-std::vector<const ComputeBackend*>& registry() {
-  static std::vector<const ComputeBackend*> backends = [] {
+// Shared registry contract (error shape, replace-in-place duplicates,
+// insertion-order sweeps) lives in core::NameRegistry; "reference" is
+// registered first so backend_names() keeps its stable sweep order.
+core::NameRegistry<const ComputeBackend*>& registry() {
+  static core::NameRegistry<const ComputeBackend*> r("CIM backend");
+  static const bool built_ins = [&] {
     static const ReferenceBackend reference;
     static const BitSlicedBackend bitsliced;
-    return std::vector<const ComputeBackend*>{&reference, &bitsliced};
+    r.add("reference", "scalar kernel, sequential analog-noise draws",
+          &reference);
+    r.add("bitsliced", "packed bit-plane kernel (AVX2 when available)",
+          &bitsliced);
+    return true;
   }();
-  return backends;
+  (void)built_ins;
+  return r;
 }
 
 }  // namespace
 
 const ComputeBackend& backend(std::string_view name) {
   if (name.empty() || name == "auto") name = "bitsliced";
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  for (const ComputeBackend* b : registry())
-    if (b->name() == name) return *b;
-  // Same error shape as the scenario / policy registries: a clear
-  // message listing every registered name.
-  std::string known;
-  for (const ComputeBackend* b : registry())
-    known += (known.empty() ? "" : ", ") + std::string(b->name());
-  throw std::invalid_argument("unknown CIM backend '" + std::string(name) +
-                              "'; registered: " + known);
+  return *registry().lookup(name);
 }
 
-std::vector<std::string> backend_names() {
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  std::vector<std::string> names;
-  names.reserve(registry().size());
-  for (const ComputeBackend* b : registry()) names.emplace_back(b->name());
-  return names;
-}
+std::vector<std::string> backend_names() { return registry().names(); }
 
 bool register_backend(const ComputeBackend* backend) {
   CIMNAV_REQUIRE(backend != nullptr, "backend must not be null");
-  std::lock_guard<std::mutex> lock(registry_mutex());
-  for (const ComputeBackend*& b : registry()) {
-    if (b->name() == backend->name()) {
-      b = backend;
-      return false;
-    }
-  }
-  registry().push_back(backend);
-  return true;
+  return registry().add(std::string(backend->name()), "", backend);
 }
 
 }  // namespace cimnav::cimsram

@@ -21,6 +21,17 @@ MacroWorkspace& tls_workspace() {
 
 }  // namespace
 
+thread_local MacroStats* ScopedStatsCapture::active_sink_ = nullptr;
+
+ScopedStatsCapture::ScopedStatsCapture(MacroStats* sink)
+    : prev_(active_sink_) {
+  active_sink_ = sink;
+}
+
+ScopedStatsCapture::~ScopedStatsCapture() { active_sink_ = prev_; }
+
+MacroStats* ScopedStatsCapture::active_sink() { return active_sink_; }
+
 MacroStats& MacroStats::operator+=(const MacroStats& o) {
   matvec_calls += o.matvec_calls;
   wordline_pulses += o.wordline_pulses;
@@ -249,6 +260,18 @@ void CimMacro::account(std::uint64_t calls, std::uint64_t active_rows,
                       std::memory_order_relaxed);
   stat_macs_.fetch_add(calls * active_rows * active_cols,
                        std::memory_order_relaxed);
+  // Mirror the exact same quantities into the thread's capture sink (if
+  // any) so per-scope captures sum back to the lifetime-counter delta
+  // without a second accounting model to keep in sync.
+  if (MacroStats* sink = ScopedStatsCapture::active_sink()) {
+    sink->matvec_calls += calls;
+    sink->analog_cycles += calls * cycles;
+    sink->wordline_pulses += calls * active_rows * cycles;
+    sink->wordline_col_drives +=
+        calls * active_rows * cycles * static_cast<std::uint64_t>(n_out_);
+    sink->adc_conversions += calls * active_cols * cycles;
+    sink->nominal_macs += calls * active_rows * active_cols;
+  }
 }
 
 MacroStats CimMacro::stats() const {

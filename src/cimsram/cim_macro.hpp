@@ -97,6 +97,36 @@ struct MacroStats {
   }
 };
 
+/// RAII thread-local capture of macro accounting: while an instance is
+/// alive on a thread, every accounting event that thread performs (on any
+/// macro / shard) is ALSO added, non-atomically, into `*sink` — the
+/// macros' own lifetime counters keep advancing unchanged, so captured
+/// per-item stats sum back to the counter delta exactly. Captures nest;
+/// the innermost sink wins and the previous one is restored on
+/// destruction (a null sink suspends capture for the scope).
+///
+/// This is how the dense-window VO path attributes stage-B activity to
+/// individual frames exactly: a sharded matvec runs its shards serially
+/// on the dispatching worker, so a capture scoped around one
+/// (frame, iteration) work item sees precisely that item's accounting.
+class ScopedStatsCapture {
+ public:
+  // Out-of-line on purpose: every access to the thread-local sink lives
+  // in cim_macro.cpp next to its definition (GCC 12's UBSan mis-reports
+  // cross-TU inline TLS stores as null-pointer stores).
+  explicit ScopedStatsCapture(MacroStats* sink);
+  ~ScopedStatsCapture();
+  ScopedStatsCapture(const ScopedStatsCapture&) = delete;
+  ScopedStatsCapture& operator=(const ScopedStatsCapture&) = delete;
+
+  /// The calling thread's current capture sink (nullptr when none).
+  static MacroStats* active_sink();
+
+ private:
+  MacroStats* prev_;
+  static thread_local MacroStats* active_sink_;
+};
+
 /// Quantized input expanded into packed word-line bit planes: bit b of
 /// input row i lives at planes[b * words + i/64] bit i%64. Encoding is
 /// mask-independent, so one EncodedInput serves every dropout mask of a

@@ -1,0 +1,98 @@
+#include "core/arena.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace cimnav::core {
+
+namespace {
+
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::byte* align_up(std::byte* p, std::size_t alignment) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  const std::uintptr_t aligned = (addr + alignment - 1) & ~(alignment - 1);
+  return p + (aligned - addr);
+}
+
+}  // namespace
+
+void Arena::reserve(std::size_t capacity_bytes) {
+  if (capacity_bytes <= stats_.capacity_bytes) return;
+  CIMNAV_REQUIRE(stats_.used_bytes == 0,
+                 "arena growth requires an empty arena (reset() first)");
+  // Over-allocate by one line so base_ can be aligned manually; this keeps
+  // the arena portable (no aligned-new requirements on the toolchain).
+  slab_ = std::make_unique<std::byte[]>(capacity_bytes + kCacheLineBytes);
+  base_ = align_up(slab_.get(), kCacheLineBytes);
+  stats_.capacity_bytes = capacity_bytes;
+  ++stats_.slab_allocations;
+}
+
+void Arena::reset() { stats_.used_bytes = 0; }
+
+void* Arena::carve(std::size_t bytes, std::size_t alignment) {
+  CIMNAV_REQUIRE(is_pow2(alignment) && alignment <= kCacheLineBytes,
+                 "carve alignment must be a power of two <= 64");
+  const std::size_t aligned_used =
+      (stats_.used_bytes + alignment - 1) & ~(alignment - 1);
+  CIMNAV_REQUIRE(bytes <= stats_.capacity_bytes &&
+                     aligned_used <= stats_.capacity_bytes - bytes,
+                 "arena exhausted: carve exceeds fixed capacity");
+  void* out = base_ + aligned_used;
+  stats_.used_bytes = aligned_used + bytes;
+  stats_.high_water_bytes =
+      std::max(stats_.high_water_bytes, stats_.used_bytes);
+  ++stats_.carves;
+  return out;
+}
+
+void BufferPool::configure(std::size_t block_bytes, std::size_t block_count) {
+  CIMNAV_REQUIRE(block_bytes > 0 && block_count > 0,
+                 "buffer pool needs a positive block shape");
+  // Round each block up to whole cache lines so consecutive carves stay
+  // line-aligned.
+  const std::size_t rounded =
+      (block_bytes + kCacheLineBytes - 1) & ~(kCacheLineBytes - 1);
+  arena_.reset();
+  arena_.reserve(rounded * block_count);
+  blocks_.clear();
+  blocks_.reserve(block_count);
+  free_.clear();
+  free_.reserve(block_count);
+  for (std::size_t b = 0; b < block_count; ++b)
+    blocks_.push_back(arena_.carve(rounded, kCacheLineBytes));
+  // LIFO list in reverse so acquire() hands out blocks in carve order.
+  for (std::size_t b = block_count; b-- > 0;) free_.push_back(blocks_[b]);
+  stats_.block_bytes = rounded;
+  stats_.blocks_total = block_count;
+}
+
+void* BufferPool::acquire() {
+  CIMNAV_REQUIRE(!free_.empty(), "buffer pool exhausted: no free blocks");
+  void* out = free_.back();
+  free_.pop_back();
+  ++stats_.acquires;
+  return out;
+}
+
+void BufferPool::release(void* block) {
+  const bool known =
+      std::find(blocks_.begin(), blocks_.end(), block) != blocks_.end();
+  CIMNAV_REQUIRE(known, "released block does not belong to this pool");
+  const bool already_free =
+      std::find(free_.begin(), free_.end(), block) != free_.end();
+  CIMNAV_REQUIRE(!already_free, "block released twice");
+  free_.push_back(block);
+  ++stats_.releases;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  BufferPoolStats s = stats_;
+  s.slab_allocations = arena_.stats().slab_allocations;
+  s.blocks_free = free_.size();
+  return s;
+}
+
+}  // namespace cimnav::core

@@ -25,35 +25,52 @@ int kld_required_particles(int occupied_bins, const KldConfig& config) {
                   config.max_particles);
 }
 
-int count_occupied_bins(const std::vector<Particle>& particles,
-                        const KldConfig& config) {
+namespace {
+
+/// Packs one pose's four signed 16-bit bin indices into one key.
+std::uint64_t bin_key(double x, double y, double z, double yaw,
+                      const KldConfig& config) {
+  const auto qx = static_cast<std::int64_t>(std::floor(x / config.bin_size.x));
+  const auto qy = static_cast<std::int64_t>(std::floor(y / config.bin_size.y));
+  const auto qz = static_cast<std::int64_t>(std::floor(z / config.bin_size.z));
+  const auto qw = static_cast<std::int64_t>(
+      std::floor((yaw + 3.14159265358979323846) / config.yaw_bin_rad));
+  const auto pack = [](std::int64_t v) {
+    return static_cast<std::uint64_t>((v + 32768) & 0xFFFF);
+  };
+  return pack(qx) | (pack(qy) << 16) | (pack(qz) << 32) | (pack(qw) << 48);
+}
+
+void require_bins(const KldConfig& config) {
   CIMNAV_REQUIRE(config.bin_size.x > 0 && config.bin_size.y > 0 &&
                      config.bin_size.z > 0 && config.yaw_bin_rad > 0,
                  "bin sizes must be positive");
+}
+
+}  // namespace
+
+int count_occupied_bins(const std::vector<Particle>& particles,
+                        const KldConfig& config) {
+  require_bins(config);
   std::unordered_set<std::uint64_t> bins;
-  for (const auto& p : particles) {
-    const auto qx = static_cast<std::int64_t>(
-        std::floor(p.pose.position.x / config.bin_size.x));
-    const auto qy = static_cast<std::int64_t>(
-        std::floor(p.pose.position.y / config.bin_size.y));
-    const auto qz = static_cast<std::int64_t>(
-        std::floor(p.pose.position.z / config.bin_size.z));
-    const auto qw = static_cast<std::int64_t>(
-        std::floor((p.pose.yaw + 3.14159265358979323846) /
-                   config.yaw_bin_rad));
-    // Pack four signed 16-bit bin indices into one key.
-    const auto pack = [](std::int64_t v) {
-      return static_cast<std::uint64_t>((v + 32768) & 0xFFFF);
-    };
-    bins.insert(pack(qx) | (pack(qy) << 16) | (pack(qz) << 32) |
-                (pack(qw) << 48));
-  }
+  for (const auto& p : particles)
+    bins.insert(bin_key(p.pose.position.x, p.pose.position.y,
+                        p.pose.position.z, p.pose.yaw, config));
+  return static_cast<int>(bins.size());
+}
+
+int count_occupied_bins(const SoaView& cloud, const KldConfig& config) {
+  require_bins(config);
+  std::unordered_set<std::uint64_t> bins;
+  for (std::size_t i = 0; i < cloud.count; ++i)
+    bins.insert(
+        bin_key(cloud.x[i], cloud.y[i], cloud.z[i], cloud.yaw[i], config));
   return static_cast<int>(bins.size());
 }
 
 int kld_resample(ParticleFilter& pf, const KldConfig& config,
                  core::Rng& rng) {
-  const int bins = count_occupied_bins(pf.particles(), config);
+  const int bins = count_occupied_bins(pf.soa(), config);
   const int target = kld_required_particles(bins, config);
   pf.resample_to(static_cast<std::size_t>(target), rng);
   return target;

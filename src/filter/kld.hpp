@@ -36,6 +36,10 @@ int kld_required_particles(int occupied_bins, const KldConfig& config);
 int count_occupied_bins(const std::vector<Particle>& particles,
                         const KldConfig& config);
 
+/// Zero-copy variant over the filter's SoA view (same bins, no AoS
+/// materialization) — what kld_resample uses.
+int count_occupied_bins(const SoaView& cloud, const KldConfig& config);
+
 /// Systematic resampling to an adaptively-chosen particle count: resamples
 /// `pf`'s cloud to kld_required_particles(bins of the current cloud).
 /// Returns the new particle count.

@@ -2,10 +2,32 @@
 // localization (paper Sec. II-A/II-C): Monte-Carlo implementation of the
 // recursive Bayes update, with systematic resampling triggered by the
 // effective sample size.
+//
+// Storage is structure-of-arrays: the cloud lives in cache-line-aligned
+// `x/y/z/yaw` arrays (two pose blocks cycled through a core::BufferPool
+// for the double-buffered resample gather) plus `log_weight` and scratch
+// arrays carved from a core::Arena. All per-step work — weight
+// normalization, ESS, the tempering bisection, estimate, systematic
+// resampling — runs as fused passes over these arrays, and the whole
+// predict -> update -> resample cycle performs zero heap allocations
+// after construction (asserted by the arena counters in
+// memory_stats()). `particles()` remains as a compatibility view that
+// materializes an AoS copy on demand; hot paths use soa().
+//
+// Determinism contract: results are bit-identical to the historical AoS
+// implementation at any thread count. Element-wise passes (likelihood
+// blocks, exp() normalization, the resample gather) fan over the pool in
+// fixed-size blocks; every reduction that feeds a decision (max, weight
+// sum, the systematic-resampling cumulative chain) stays a serial
+// index-order chain because float addition is not associative — see
+// docs/architecture.md "Memory architecture".
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "core/vec.hpp"
@@ -47,6 +69,39 @@ struct PoseEstimate {
   core::Pose pose;
   core::Vec3 position_stddev;
   double yaw_stddev = 0.0;
+};
+
+/// Read-only view of the SoA cloud (pointers valid until the next
+/// mutating call — resampling swaps pose blocks).
+struct SoaView {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  const double* yaw = nullptr;
+  const double* log_weight = nullptr;
+  std::size_t count = 0;
+};
+
+/// Mutable view for tests and in-place editors; invalidates the
+/// compatibility view returned by particles().
+struct MutableSoaView {
+  double* x = nullptr;
+  double* y = nullptr;
+  double* z = nullptr;
+  double* yaw = nullptr;
+  double* log_weight = nullptr;
+  std::size_t count = 0;
+};
+
+/// Lifetime heap-traffic ledger (see ParticleFilter::memory_stats):
+/// `heap_allocations` counts arena/pool slab allocations only — it must
+/// stay flat across steady-state predict -> update -> resample cycles.
+struct FilterMemoryStats {
+  std::uint64_t heap_allocations = 0;  ///< arena + pool slabs, lifetime
+  std::uint64_t pool_acquires = 0;     ///< pose-block acquires (resamples)
+  std::uint64_t pool_releases = 0;
+  std::size_t particle_capacity = 0;   ///< allocated cloud capacity
+  std::size_t arena_bytes = 0;         ///< scratch arena capacity
 };
 
 class ParticleFilter {
@@ -119,34 +174,96 @@ class ParticleFilter {
   /// Weighted-mean pose (circular mean for yaw) and spread.
   PoseEstimate estimate() const;
 
-  const std::vector<Particle>& particles() const { return particles_; }
+  /// Current particle count (allocation-free; prefer over
+  /// particles().size() on hot paths).
+  std::size_t size() const { return count_; }
+
+  /// Zero-copy read view of the SoA cloud.
+  SoaView soa() const;
+
+  /// Mutable SoA view (tests / in-place editors). Yaw values written
+  /// through the view must already be wrapped to (-pi, pi].
+  MutableSoaView mutable_soa();
+
+  /// Compatibility view: materializes an AoS copy of the cloud on first
+  /// use after a mutation (the copy itself may allocate — hot paths use
+  /// soa()/size() instead). Mutating the returned vector does NOT write
+  /// back to the filter; use mutable_soa() for that.
+  const std::vector<Particle>& particles() const;
+
   const ParticleFilterConfig& config() const { return config_; }
 
-  /// Systematic (low-variance) resampling; exposed for testing.
-  void resample(core::Rng& rng);
+  /// Lifetime heap-traffic counters: `heap_allocations` is flat across
+  /// steady-state predict -> update -> resample cycles (the
+  /// zero-allocation contract); it moves only at construction and when
+  /// resample_to grows past the allocated capacity.
+  FilterMemoryStats memory_stats() const;
+
+  /// Systematic (low-variance) resampling; exposed for testing. The
+  /// gather fans over `pool`; results are pool-independent.
+  void resample(core::Rng& rng, core::ThreadPool* pool = nullptr);
 
   /// Systematic resampling into a *different* cloud size (KLD-sampling
   /// support): draws `n` particles proportionally to the current weights.
-  void resample_to(std::size_t n, core::Rng& rng);
+  /// Allocation-free while n <= the allocated capacity; growing past it
+  /// re-slabs the arena (counted in memory_stats).
+  void resample_to(std::size_t n, core::Rng& rng,
+                   core::ThreadPool* pool = nullptr);
 
  private:
-  std::vector<double> normalized_weights() const;
+  /// Reconstructs particle i's pose without re-wrapping yaw (stored
+  /// values are already wrapped; Pose's converting ctor must not run).
+  core::Pose pose_at(std::size_t i) const {
+    core::Pose p;
+    p.position = {x_[i], y_[i], z_[i]};
+    p.yaw = yaw_[i];
+    return p;
+  }
+
+  /// Grows the arena/pose-pool storage to hold `cap` particles (no-op if
+  /// already large enough). Live state is preserved.
+  void ensure_capacity(std::size_t cap);
+
+  /// Fills weights_[0..count_) with the normalized weights, replicating
+  /// prob::normalize_log_weights bit for bit (serial max and sum chains;
+  /// the two exp() passes fan over `pool`). The result is a pure function
+  /// of logw_[0..count_), so it is cached across calls (weights_valid_)
+  /// — the update's ESS measurement and the resample that follows it
+  /// share one normalization — and an all-equal cloud (the state right
+  /// after a resample) takes a one-exp broadcast fast path.
+  void fill_normalized_weights(core::ThreadPool* pool) const;
 
   /// Shared tail of update / update_decimated: anneal `deltas` against
   /// the tempering floor, fold them into the weights, then resample +
   /// roughen below the resample threshold. `deltas` holds one
-  /// log-likelihood increment per particle.
-  void apply_log_likelihoods(const std::vector<double>& deltas,
-                             core::Rng& rng);
+  /// log-likelihood increment per particle (count_ entries).
+  void apply_log_likelihoods(const double* deltas, core::Rng& rng,
+                             core::ThreadPool* pool);
 
   /// ESS of the weights after adding beta * deltas (no state change).
-  double tempered_ess(const std::vector<double>& deltas, double beta) const;
+  double tempered_ess(const double* deltas, double beta) const;
 
   ParticleFilterConfig config_;
-  std::vector<Particle> particles_;
-  std::vector<double> delta_scratch_;  ///< per-update log-likelihoods
+  core::Arena arena_;           ///< log-weights + scratch arrays
+  core::BufferPool pose_pool_;  ///< two pose blocks (resample gather)
+  std::size_t count_ = 0;       ///< live particles
+  std::size_t capacity_ = 0;    ///< allocated particle capacity
+  std::size_t padded_ = 0;      ///< capacity_ rounded up to a cache line
+  void* front_ = nullptr;       ///< pose block holding x_/y_/z_/yaw_
+  double* x_ = nullptr;
+  double* y_ = nullptr;
+  double* z_ = nullptr;
+  double* yaw_ = nullptr;
+  double* logw_ = nullptr;
+  double* weights_ = nullptr;      ///< normalized-weight / ESS scratch
+  double* deltas_ = nullptr;       ///< per-update log-likelihoods
+  std::uint32_t* idx_ = nullptr;   ///< resample ancestor indices
+  std::uint64_t retired_heap_allocations_ = 0;  ///< from replaced slabs
   double last_update_ess_ = 0.0;
   double last_update_beta_ = 1.0;
+  mutable std::vector<Particle> compat_;  ///< particles() materialization
+  mutable bool compat_dirty_ = true;
+  mutable bool weights_valid_ = false;  ///< weights_ matches current logw_
 };
 
 }  // namespace cimnav::filter

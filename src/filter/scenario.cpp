@@ -340,7 +340,7 @@ BackendRun LocalizationScenario::run(const MeasurementModel& model,
     rec.position_error_m = est.pose.position_error(truth);
     rec.yaw_error_rad = est.pose.yaw_error(truth);
     rec.ess_fraction =
-        pf.last_update_ess() / static_cast<double>(pf.particles().size());
+        pf.last_update_ess() / static_cast<double>(pf.size());
     rec.position_spread_m =
         (est.position_stddev.x + est.position_stddev.y +
          est.position_stddev.z) /

@@ -6,20 +6,13 @@
 // (|delta_pos| <~ 0.15 m, |delta_yaw| <~ 0.16 rad per step).
 #include "filter/scenario.hpp"
 
-#include <mutex>
-#include <stdexcept>
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/name_registry.hpp"
 
 namespace cimnav::filter {
 namespace {
-
-struct Entry {
-  std::string name;
-  std::string description;
-  std::function<ScenarioConfig()> factory;
-};
 
 ScenarioConfig base_config() {
   ScenarioConfig cfg;
@@ -99,14 +92,18 @@ ScenarioConfig kidnapped_drone() {
   return cfg;
 }
 
-struct Registry {
-  std::mutex mutex;
-  std::vector<Entry> entries;
+using ScenarioRegistry = core::NameRegistry<std::function<ScenarioConfig()>>;
 
+ScenarioRegistry& registry() {
+  static ScenarioRegistry r("scenario");
   // Built-in registrations. scripts/check_docs.py greps add_scenario /
   // register_scenario calls with a string-literal first argument under
   // src/filter/ and requires every such name to appear in the docs.
-  Registry() {
+  static const bool built_ins = [&] {
+    const auto add_scenario = [&](const char* name, const char* description,
+                                  std::function<ScenarioConfig()> factory) {
+      r.add(name, description, std::move(factory));
+    };
     add_scenario("indoor_loop",
                  "cluttered room, panning ellipse (the classic "
                  "tabletop-scene flight)",
@@ -127,85 +124,33 @@ struct Registry {
                  "warehouse with global init: no pose prior, the filter "
                  "must relocalize from scratch",
                  kidnapped_drone);
-  }
-
-  void add_scenario(std::string name, std::string description,
-                    std::function<ScenarioConfig()> factory) {
-    entries.push_back(
-        {std::move(name), std::move(description), std::move(factory)});
-  }
-
-  Entry* find(std::string_view name) {
-    for (auto& e : entries)
-      if (e.name == name) return &e;
-    return nullptr;
-  }
-};
-
-Registry& registry() {
-  static Registry r;
+    return true;
+  }();
+  (void)built_ins;
   return r;
 }
 
 }  // namespace
 
 ScenarioConfig make_scenario_config(std::string_view name) {
-  Registry& r = registry();
-  // Copy the factory out of the critical section before invoking it: a
-  // registered factory may itself call back into the registry (e.g. a
-  // derived scenario starting from make_scenario_config of a built-in),
-  // which must not deadlock on the non-recursive mutex.
-  std::function<ScenarioConfig()> factory;
-  {
-    std::lock_guard<std::mutex> lock(r.mutex);
-    const Entry* e = r.find(name);
-    if (e == nullptr)
-      throw std::invalid_argument("unknown scenario '" + std::string(name) +
-                                  "'; registered: " + [&] {
-                                    std::string all;
-                                    for (const auto& x : r.entries)
-                                      all +=
-                                          (all.empty() ? "" : ", ") + x.name;
-                                    return all;
-                                  }());
-    factory = e->factory;
-  }
-  return factory();
+  // NameRegistry::lookup copies the factory out of the critical section;
+  // invoking it here keeps re-entrant factories (a derived scenario
+  // starting from make_scenario_config of a built-in) deadlock-free.
+  return registry().lookup(name)();
 }
 
-std::vector<std::string> scenario_names() {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  std::vector<std::string> names;
-  names.reserve(r.entries.size());
-  for (const auto& e : r.entries) names.push_back(e.name);
-  return names;
-}
+std::vector<std::string> scenario_names() { return registry().names(); }
 
 std::string scenario_description(std::string_view name) {
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  const Entry* e = r.find(name);
-  if (e == nullptr)
-    throw std::invalid_argument("unknown scenario '" + std::string(name) +
-                                "'");
-  return e->description;
+  return registry().description(name);
 }
 
 bool register_scenario(std::string name, std::string description,
                        std::function<ScenarioConfig()> factory) {
   CIMNAV_REQUIRE(!name.empty(), "scenario name must be non-empty");
   CIMNAV_REQUIRE(factory != nullptr, "scenario factory must be callable");
-  Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
-  if (Entry* e = r.find(name)) {
-    e->description = std::move(description);
-    e->factory = std::move(factory);
-    return false;
-  }
-  r.entries.push_back(
-      {std::move(name), std::move(description), std::move(factory)});
-  return true;
+  return registry().add(std::move(name), std::move(description),
+                        std::move(factory));
 }
 
 }  // namespace cimnav::filter

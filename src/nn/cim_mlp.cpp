@@ -199,7 +199,8 @@ void CimMlp::forward_window(const std::vector<FrameBatch>& frames,
                             core::ThreadPool* pool, WindowScratch& scratch,
                             std::vector<std::vector<Vector>>& outs,
                             std::size_t side_items,
-                            const std::function<void(std::size_t)>& side_item)
+                            const std::function<void(std::size_t)>& side_item,
+                            std::vector<cimsram::MacroStats>* frame_stats)
     const {
   const std::size_t n_frames = frames.size();
   const int n_layers = layer_count();
@@ -231,6 +232,7 @@ void CimMlp::forward_window(const std::vector<FrameBatch>& frames,
   }
   const std::size_t n_items = scratch.rngs.size();
   scratch.acts.resize(n_items);
+  if (frame_stats != nullptr) scratch.item_stats.assign(n_items, {});
 
   const Mask empty;
   for (int l = 0; l < n_layers; ++l) {
@@ -248,6 +250,11 @@ void CimMlp::forward_window(const std::vector<FrameBatch>& frames,
         }
         const std::size_t f = scratch.frame_of[i];
         const std::size_t t = scratch.iter_of[i];
+        // Scoped to the item body: a sharded matvec runs its shards
+        // serially on this thread, so the capture sees exactly this
+        // item's accounting and nothing else.
+        const cimsram::ScopedStatsCapture capture(
+            frame_stats != nullptr ? &scratch.item_stats[i] : nullptr);
         const std::vector<Mask>& set = (*frames[f].mask_sets)[t];
         const Mask& row_mask =
             l == 0 ? (dropout_on_input_ ? set[0] : empty)
@@ -279,6 +286,12 @@ void CimMlp::forward_window(const std::vector<FrameBatch>& frames,
     } else {
       body(0, total, 0);
     }
+  }
+
+  if (frame_stats != nullptr) {
+    frame_stats->assign(n_frames, {});
+    for (std::size_t i = 0; i < n_items; ++i)
+      (*frame_stats)[scratch.frame_of[i]] += scratch.item_stats[i];
   }
 }
 

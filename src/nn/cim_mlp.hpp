@@ -90,6 +90,8 @@ class CimMlp {
     std::vector<std::uint32_t> frame_of;  ///< item -> frame index
     std::vector<std::uint32_t> iter_of;   ///< item -> iteration in frame
     std::vector<Vector> acts;
+    /// Per-item macro accounting when the caller asks for frame_stats.
+    std::vector<cimsram::MacroStats> item_stats;
   };
 
   /// Multi-frame batched masked forward — the cross-frame batching entry
@@ -109,12 +111,20 @@ class CimMlp {
   /// dispatch (the widest one): side_item(k) runs once for each
   /// k < side_items, concurrently with the macro work — the frame
   /// pipeline overlaps its input-generation and consume stages there.
+  ///
+  /// When `frame_stats` is non-null, it is resized to frames.size() and
+  /// entry f receives the *exact* macro accounting of frame f's items
+  /// (captured per item via cimsram::ScopedStatsCapture). The per-frame
+  /// entries sum to the window's total_stats() delta: every accounting
+  /// event of the window happens inside an item body (encode_layer0 /
+  /// encode_input never account).
   void forward_window(const std::vector<FrameBatch>& frames,
                       core::ThreadPool* pool, WindowScratch& scratch,
                       std::vector<std::vector<Vector>>& outs,
                       std::size_t side_items = 0,
-                      const std::function<void(std::size_t)>& side_item =
-                          {}) const;
+                      const std::function<void(std::size_t)>& side_item = {},
+                      std::vector<cimsram::MacroStats>* frame_stats =
+                          nullptr) const;
 
   /// Deterministic forward (no dropout, all neurons active).
   Vector forward_deterministic(const Vector& x, core::Rng& rng) const;

@@ -76,7 +76,7 @@ ClosedLoopRun run_odometry_loop(const filter::LocalizationScenario& scenario,
                       config.init_sigma_m * 0.5 + 0.03},
                      config.init_sigma_yaw + 0.03, run_rng);
   }
-  const double n_particles = static_cast<double>(pf.particles().size());
+  const double n_particles = static_cast<double>(pf.size());
 
   // Stage A: pure function of the frame index (keyed rng streams) — the
   // FramePipeline purity contract. Scans park in a side buffer until the

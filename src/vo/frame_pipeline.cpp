@@ -72,15 +72,14 @@ void FramePipeline::run(int frame_count, const InputFn& make_input,
     xs_.clear();
     for (int f = w0; f < w1; ++f)
       xs_.push_back(&(*cur)[static_cast<std::size_t>(f - w0)]);
-    std::vector<bnn::McWorkload> window_workloads;
     pending_ = bnn::mc_predict_cim_window(
         *net_, xs_, opt, masks, analog_rng, workload,
         a_items + (has_c ? 1 : 0), side,
-        frame_workloads != nullptr ? &window_workloads : nullptr);
+        frame_workloads != nullptr ? &window_workloads_ : nullptr);
     if (frame_workloads != nullptr) {
-      for (std::size_t j = 0; j < window_workloads.size(); ++j)
+      for (std::size_t j = 0; j < window_workloads_.size(); ++j)
         (*frame_workloads)[static_cast<std::size_t>(w0) + j] =
-            window_workloads[j];
+            window_workloads_[j];
     }
     pending_base = w0;
     std::swap(cur, next);

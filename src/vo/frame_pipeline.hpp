@@ -93,12 +93,12 @@ class FramePipeline {
   /// generated exactly once and every prediction is consumed exactly
   /// once, in frame order. `workload` (optional) accumulates the macro
   /// activity of the whole run; `frame_workloads` (optional) is resized
-  /// to frame_count and receives each frame's activity attribution (see
-  /// bnn::mc_predict_cim_window — exact per frame on the compute-reuse
-  /// path, window-amortized on the dense path), which the closed loop's
-  /// energy ledger prices per frame. Reentrant per pipeline object:
-  /// buffers are members, so one FramePipeline must not run from two
-  /// threads.
+  /// to frame_count and receives each frame's *exact* activity
+  /// attribution (see bnn::mc_predict_cim_window — per-item capture on
+  /// the dense path, frame-local execution on the compute-reuse path),
+  /// which the closed loop's energy ledger prices per frame. Reentrant
+  /// per pipeline object: buffers are members, so one FramePipeline must
+  /// not run from two threads.
   void run(int frame_count, const InputFn& make_input,
            const ConsumeFn& consume, bnn::MaskSource& masks,
            core::Rng& analog_rng, bnn::McWorkload* workload = nullptr,
@@ -114,6 +114,8 @@ class FramePipeline {
   std::vector<nn::Vector> slots_[2];
   std::vector<const nn::Vector*> xs_;         ///< stage-B view of a window
   std::vector<bnn::McPrediction> pending_;    ///< window awaiting stage C
+  /// Per-window attribution scratch (capacity reused across windows).
+  std::vector<bnn::McWorkload> window_workloads_;
 };
 
 }  // namespace cimnav::vo

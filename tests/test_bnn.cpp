@@ -6,8 +6,10 @@
 
 #include "bnn/mask_source.hpp"
 #include "bnn/mc_dropout.hpp"
+#include "cimsram/cim_macro.hpp"
 #include "core/rng.hpp"
 #include "core/stats.hpp"
+#include "core/thread_pool.hpp"
 
 namespace cimnav::bnn {
 namespace {
@@ -222,6 +224,78 @@ TEST_F(McFixture, WorkloadShowsReuseAndOrderingSavings) {
   EXPECT_LE(both.input_mask_flips, reuse.input_mask_flips);
   EXPECT_LE(both.macro.wordline_pulses, reuse.macro.wordline_pulses);
   EXPECT_GT(dense.mask_bits_drawn, 0u);
+}
+
+TEST_F(McFixture, WindowAttributionIsExactPerFrame) {
+  std::vector<Vector> calib;
+  Rng crng(83);
+  for (int i = 0; i < 20; ++i)
+    calib.push_back({crng.uniform(), crng.uniform(), crng.uniform()});
+  cimsram::CimMacroConfig mc;
+  Rng nrng(89);
+  const nn::CimMlp cim(net_, mc, calib, nrng);
+  const std::vector<Vector> inputs = {{0.4, 0.6, 0.2},
+                                      {0.1, 0.9, 0.3},
+                                      {0.7, 0.2, 0.5},
+                                      {0.3, 0.3, 0.8}};
+  std::vector<const Vector*> xs;
+  for (const auto& x : inputs) xs.push_back(&x);
+
+  const auto make_opt = [](core::ThreadPool* pool) {
+    McOptions opt;
+    opt.iterations = 9;
+    opt.dropout_p = 0.4;
+    opt.pool = pool;
+    return opt;
+  };
+  const auto expect_stats_eq = [](const cimsram::MacroStats& a,
+                                  const cimsram::MacroStats& b) {
+    EXPECT_EQ(a.matvec_calls, b.matvec_calls);
+    EXPECT_EQ(a.wordline_pulses, b.wordline_pulses);
+    EXPECT_EQ(a.wordline_col_drives, b.wordline_col_drives);
+    EXPECT_EQ(a.adc_conversions, b.adc_conversions);
+    EXPECT_EQ(a.analog_cycles, b.analog_cycles);
+    EXPECT_EQ(a.nominal_macs, b.nominal_macs);
+  };
+
+  // Serial per-frame reference: the same mask/noise consumption, one
+  // measured counter delta per frame.
+  std::vector<cimsram::MacroStats> ref;
+  {
+    SoftwareMaskSource masks(Rng{97});
+    const McOptions opt = make_opt(nullptr);
+    Rng arng(101);
+    for (const auto* x : xs) {
+      const auto before = cim.total_stats();
+      mc_predict_cim(cim, *x, opt, masks, arng);
+      ref.push_back(cim.total_stats() - before);
+    }
+  }
+
+  core::ThreadPool p4(4);
+  for (core::ThreadPool* pool :
+       {static_cast<core::ThreadPool*>(nullptr), &p4}) {
+    SoftwareMaskSource masks(Rng{97});
+    Rng arng(101);
+    McWorkload total;
+    std::vector<McWorkload> per_frame;
+    const auto before = cim.total_stats();
+    mc_predict_cim_window(cim, xs, make_opt(pool), masks, arng, &total, 0,
+                          {}, &per_frame);
+    const auto window_delta = cim.total_stats() - before;
+
+    ASSERT_EQ(per_frame.size(), xs.size());
+    cimsram::MacroStats sum;
+    for (std::size_t f = 0; f < per_frame.size(); ++f) {
+      sum += per_frame[f].macro;
+      // Exact attribution: each frame's captured stats equal the frame's
+      // serial counter delta, not an even share of the window.
+      expect_stats_eq(per_frame[f].macro, ref[f]);
+    }
+    // Conservation: the per-frame parts sum to the measured window delta.
+    expect_stats_eq(sum, window_delta);
+    expect_stats_eq(total.macro, window_delta);
+  }
 }
 
 TEST_F(McFixture, PeriodicRefreshBoundsReuseDrift) {

@@ -135,10 +135,11 @@ TEST(ParticleFilter, EstimateUsesCircularYawMean) {
   ParticleFilter pf(cfg);
   Rng rng(19);
   pf.init_gaussian(Pose{{0, 0, 0}, 0.0}, {1e-9, 1e-9, 1e-9}, 1e-9, rng);
-  // Hand-place two particles straddling the wrap point.
-  auto& ps = const_cast<std::vector<Particle>&>(pf.particles());
-  ps[0].pose.yaw = 3.1;
-  ps[1].pose.yaw = -3.1;
+  // Hand-place two particles straddling the wrap point (the particles()
+  // view is read-only; edits go through the mutable SoA view).
+  const auto soa = pf.mutable_soa();
+  soa.yaw[0] = 3.1;
+  soa.yaw[1] = -3.1;
   const auto est = pf.estimate();
   // Circular mean of 3.1 and -3.1 is pi (not 0).
   EXPECT_GT(std::abs(est.pose.yaw), 3.0);

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -61,9 +62,12 @@ RegistryProbe backend_probe() {
           [](const std::string& n) { cimsram::backend(n); },
           [] { return cimsram::backend_names(); },
           [](const std::string& n) {
-            // Instances must outlive the registry; the probe leaks two
-            // tiny stubs on purpose (process-lifetime registration).
-            return cimsram::register_backend(new StubBackend(n));
+            // Instances must outlive the registry (process-lifetime
+            // registration); a static owner keeps them reachable so
+            // LeakSanitizer stays quiet about the intentional lifetime.
+            static std::vector<std::unique_ptr<StubBackend>> kept;
+            kept.push_back(std::make_unique<StubBackend>(n));
+            return cimsram::register_backend(kept.back().get());
           }};
 }
 

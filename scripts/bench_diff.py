@@ -46,6 +46,9 @@ TRACKED = {
         # on the filter's arena/pool counters). Exact-match gated.
         "particle_filter_100k_speedup_criterion_met": "stable",
         "particle_filter_100k_zero_alloc_cycle": "stable",
+        # Shard-affine pooled dispatch must keep producing the same bits
+        # as the serial sample-major schedule (rng keys preserved).
+        "sharded_batch_affinity_bit_identity": "stable",
     },
     "BENCH_compute_reuse.json": {
         "wordline_pulses_dense": "lower",
@@ -82,6 +85,26 @@ TRACKED = {
         "decimate_rmse_vs_always_mean": "stable",
         # >= 25% savings at <= 1.10x RMSE on at least one scenario.
         "savings_criterion_met": "stable",
+    },
+    "BENCH_fleet.json": {
+        # Every fleet session must stay bit-identical to its standalone
+        # run_odometry_loop (any drift fails).
+        "fleet_bit_identity": "stable",
+        # Cross-session batching: deterministic layer-dispatch counts,
+        # serial-equivalent over pooled. 8 lock-step sessions -> 8.0.
+        "fleet_dispatch_ratio_8s": "higher",
+        # PR acceptance flag: dispatch ratio >= 4x at 8 sessions.
+        "fleet_dispatch_criterion_met": "stable",
+        # Scheduler overhead as a within-run wall-time ratio (fleet vs
+        # the same 8 sessions run serially, both single-threaded) — the
+        # only portable timing quantity; raw multicore speedups are
+        # deliberately NOT tracked.
+        "fleet_over_serial_runtime_ratio": "lower",
+        # Steady-state admit -> run -> retire must not touch the heap.
+        "fleet_zero_steady_state_alloc": "stable",
+        # KLD-adaptive particle cost: fraction of the configured
+        # kidnapped_drone cloud the adaptive session sheds.
+        "fleet_kld_particle_savings": "higher",
     },
 }
 

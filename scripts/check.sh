@@ -18,6 +18,7 @@ ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"
 ./build/bench_compute_reuse
 ./build/bench_fig4_closed_loop
 ./build/bench_fig5_wakeup
+./build/bench_fleet
 
 # Perf-trajectory gate: tracked summary metrics (within-run speedup ratios
 # and deterministic workload counts) must stay within 20% of the committed

@@ -29,7 +29,14 @@ DOC_FILES = [
     "README.md",
     os.path.join("docs", "architecture.md"),
     os.path.join("docs", "closed_loop.md"),
+    os.path.join("docs", "fleet.md"),
 ]
+
+# Subsystems whose documentation must live in a dedicated doc file, not
+# just a passing README mention: subsystem -> required doc file.
+SUBSYSTEM_DOCS = {
+    "fleet": os.path.join("docs", "fleet.md"),
+}
 
 SCENARIO_RE = re.compile(
     r'(?:add_scenario|register_scenario)\(\s*"([A-Za-z0-9_]+)"')
@@ -93,6 +100,15 @@ def main():
             failures.append(
                 f"subsystem 'src/{sub}' is not mentioned in the docs "
                 f"({' / '.join(DOC_FILES)})")
+    for sub, doc in sorted(SUBSYSTEM_DOCS.items()):
+        path = os.path.join(root, doc)
+        if not os.path.exists(path):
+            continue  # already reported as a missing required doc file
+        with open(path, encoding="utf-8") as f:
+            if f"src/{sub}" not in f.read():
+                failures.append(
+                    f"subsystem 'src/{sub}' must be documented in its "
+                    f"dedicated doc file {doc}")
 
     scenarios = registered_scenarios(root)
     if not scenarios:

@@ -47,6 +47,7 @@ class AlwaysPolicy final : public UpdatePolicy {
  public:
   std::string_view name() const override { return "always"; }
   UpdateDecision decide(const FrameSignals&) override { return {}; }
+  bool reset(const PolicyConfig&) override { return true; }  // stateless
 };
 
 /// Shared body of the gated built-ins — they differ only in what a
@@ -74,6 +75,12 @@ class GatedPolicy final : public UpdatePolicy {
       ++consecutive_saves_;
     }
     return d;
+  }
+
+  bool reset(const PolicyConfig& cfg) override {
+    cfg_ = cfg;
+    consecutive_saves_ = 0;
+    return true;
   }
 
  private:

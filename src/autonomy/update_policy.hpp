@@ -122,6 +122,18 @@ class UpdatePolicy {
 
   /// Decides what the measurement stage does with this frame.
   virtual UpdateDecision decide(const FrameSignals& signals) = 0;
+
+  /// Re-arms this instance for a fresh run under `config`, returning
+  /// true — or returns false if the policy cannot be reset in place
+  /// (the default), in which case the caller must make a new instance.
+  /// The built-ins support it; session pools (fleet::FleetEngine) use
+  /// it to reuse policy instances without re-entering the registry.
+  /// A successful reset must leave the instance indistinguishable from
+  /// make_update_policy(name(), config).
+  virtual bool reset(const PolicyConfig& config) {
+    (void)config;
+    return false;
+  }
 };
 
 /// Creates a fresh per-run policy instance by registry name; throws

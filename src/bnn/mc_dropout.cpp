@@ -42,13 +42,45 @@ class VectorStats {
 };
 
 /// Mask-site widths of `net`: the input site (when input-site dropout is
-/// on), then every hidden layer.
-std::vector<int> mask_site_widths(const nn::CimMlp& net) {
-  std::vector<int> widths;
+/// on), then every hidden layer. Fills `widths` reusing its capacity.
+void mask_site_widths(const nn::CimMlp& net, std::vector<int>& widths) {
+  widths.clear();
   if (net.dropout_on_input()) widths.push_back(net.macro(0).n_in());
   for (int l = 0; l + 1 < net.layer_count(); ++l)
     widths.push_back(net.macro(l).n_out());
+}
+
+std::vector<int> mask_site_widths(const nn::CimMlp& net) {
+  std::vector<int> widths;
+  mask_site_widths(net, widths);
   return widths;
+}
+
+/// Serial Welford reduction of one frame's iteration outputs into `pred`
+/// in place (pred.variance doubles as the M2 accumulator until the final
+/// scale). Exactly VectorStats' arithmetic in the same order, so results
+/// are bit-identical to the add/finish path — but without allocating once
+/// pred's vectors are warm.
+void reduce_outputs(const std::vector<nn::Vector>& outs, std::size_t n_out,
+                    McPrediction& pred) {
+  pred.mean.assign(n_out, 0.0);
+  pred.variance.assign(n_out, 0.0);
+  std::size_t n = 0;
+  for (const auto& v : outs) {
+    ++n;
+    for (std::size_t i = 0; i < n_out; ++i) {
+      const double delta = v[i] - pred.mean[i];
+      pred.mean[i] += delta / static_cast<double>(n);
+      pred.variance[i] += delta * (v[i] - pred.mean[i]);
+    }
+  }
+  if (n > 1) {
+    for (std::size_t i = 0; i < n_out; ++i)
+      pred.variance[i] /= static_cast<double>(n - 1);
+  } else {
+    pred.variance.assign(n_out, 0.0);
+  }
+  pred.samples = static_cast<int>(n);
 }
 
 /// Draws `iterations` mask sets into `sets` (resized in place, reusing
@@ -250,103 +282,155 @@ std::vector<McPrediction> mc_predict_cim_window(
     McWorkload* workload, std::size_t side_items,
     const std::function<void(std::size_t)>& side_item,
     std::vector<McWorkload>* frame_workloads) {
-  CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
+  if (frame_workloads != nullptr) frame_workloads->assign(xs.size(),
+                                                          McWorkload{});
+  std::vector<McPrediction> preds(xs.size());
+  McWindowJob job;
+  job.xs = xs.data();
+  job.n_frames = xs.size();
+  job.options = options;
+  job.masks = &masks;
+  job.analog_rng = &analog_rng;
+  job.preds = preds.data();
+  job.frame_workloads =
+      frame_workloads != nullptr ? frame_workloads->data() : nullptr;
+  job.workload = workload;
+  mc_predict_cim_jobs(net, &job, 1, options.pool, side_items, side_item);
+  return preds;
+}
+
+std::size_t mc_predict_cim_jobs(
+    const nn::CimMlp& net, McWindowJob* jobs, std::size_t n_jobs,
+    core::ThreadPool* pool, std::size_t side_items,
+    const std::function<void(std::size_t)>& side_item) {
+  // Partition: dense jobs share ONE forward_window (one pooled macro
+  // dispatch per layer over every (job, frame, iteration) item); jobs
+  // with compute_reuse/order_samples fall back to their frame-serial
+  // path after the shared dispatch — their delta chains are frame-local,
+  // and their own mask/rng sources keep them exact regardless of order
+  // relative to other jobs.
+  constexpr std::size_t kFallback = static_cast<std::size_t>(-1);
+  thread_local std::vector<int> widths_tls;
+  thread_local std::vector<std::vector<std::vector<nn::Mask>>> sets_tls;
+  thread_local std::vector<nn::CimMlp::FrameBatch> frames_tls;
+  thread_local std::vector<std::size_t> first_frame_tls;
+  std::vector<int>& widths = widths_tls;
+  std::vector<nn::CimMlp::FrameBatch>& frames = frames_tls;
+  std::vector<std::size_t>& first_frame = first_frame_tls;
+  mask_site_widths(net, widths);
+
+  std::size_t total_dense = 0;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    CIMNAV_REQUIRE(jobs[j].options.iterations >= 1,
+                   "need at least one iteration");
+    if (!(jobs[j].options.compute_reuse || jobs[j].options.order_samples))
+      total_dense += jobs[j].n_frames;
+  }
+  // Grow-only resize keeps every warm inner mask buffer alive.
+  if (sets_tls.size() < total_dense) sets_tls.resize(total_dense);
+  frames.clear();
+  first_frame.clear();
+
+  // Per dense job, in job order: draw each frame's mask sets then its
+  // noise root — the exact per-source consumption of a serial
+  // single-session window over the same frames.
+  bool any_tracking = false;
+  std::size_t dense_jobs = 0;
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    McWindowJob& job = jobs[j];
+    if (job.options.compute_reuse || job.options.order_samples ||
+        job.n_frames == 0) {
+      first_frame.push_back(kFallback);
+      continue;
+    }
+    first_frame.push_back(frames.size());
+    ++dense_jobs;
+    const bool track =
+        job.workload != nullptr || job.frame_workloads != nullptr;
+    any_tracking = any_tracking || track;
+    for (std::size_t f = 0; f < job.n_frames; ++f) {
+      auto& mask_sets = sets_tls[frames.size()];
+      const std::uint64_t frame_bits =
+          draw_mask_sets(widths, job.options.iterations,
+                         job.options.dropout_p, *job.masks, mask_sets);
+      std::uint64_t frame_flips = 0;
+      if (track && !widths.empty()) {
+        for (std::size_t t = 1; t < mask_sets.size(); ++t)
+          frame_flips +=
+              hamming_distance(mask_sets[t - 1][0], mask_sets[t][0]);
+      }
+      if (job.workload != nullptr) {
+        job.workload->mask_bits_drawn += frame_bits;
+        job.workload->input_mask_flips += frame_flips;
+      }
+      if (job.frame_workloads != nullptr) {
+        job.frame_workloads[f] = McWorkload{};
+        job.frame_workloads[f].mask_bits_drawn = frame_bits;
+        job.frame_workloads[f].input_mask_flips = frame_flips;
+      }
+      nn::CimMlp::FrameBatch fb;
+      fb.x = job.xs[f];
+      fb.mask_sets = &mask_sets;
+      fb.noise_root = (*job.analog_rng)();
+      frames.push_back(fb);
+    }
+  }
+
   const auto run_side_inline = [&] {
     for (std::size_t k = 0; k < side_items; ++k) side_item(k);
   };
-  if (frame_workloads != nullptr) {
-    frame_workloads->assign(xs.size(), McWorkload{});
-  }
-  if (xs.empty()) {  // drain tick: only side work left in flight
+  if (frames.empty()) {
+    // Drain tick: only side work (and possibly fallback jobs) in flight.
     run_side_inline();
-    return {};
+  } else {
+    thread_local nn::CimMlp::WindowScratch scratch_tls;
+    thread_local std::vector<std::vector<nn::Vector>> outs_tls;
+    thread_local std::vector<cimsram::MacroStats> frame_stats_tls;
+    std::vector<std::vector<nn::Vector>>& outs = outs_tls;
+    std::vector<cimsram::MacroStats>& frame_stats = frame_stats_tls;
+    net.forward_window(frames, pool, scratch_tls, outs, side_items,
+                       side_item, any_tracking ? &frame_stats : nullptr);
+
+    // Welford reduction stays serial and in (job, frame, iteration)
+    // order, so the final moments are bit-exact at any thread count.
+    const std::size_t n_out =
+        static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out());
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      McWindowJob& job = jobs[j];
+      if (first_frame[j] == kFallback) continue;
+      const std::size_t base = first_frame[j];
+      for (std::size_t f = 0; f < job.n_frames; ++f) {
+        reduce_outputs(outs[base + f], n_out, job.preds[f]);
+        // Exact per-item macro attribution from inside forward_window;
+        // a job's entries sum to what its own window would have metered.
+        if (job.frame_workloads != nullptr)
+          job.frame_workloads[f].macro += frame_stats[base + f];
+        if (job.workload != nullptr)
+          job.workload->macro += frame_stats[base + f];
+      }
+    }
   }
-  if (options.compute_reuse || options.order_samples) {
-    // The delta-accumulator chains are frame-local, so the per-frame path
-    // already is the batched execution; side work runs up front (it must
-    // not depend on this window's predictions either way).
-    run_side_inline();
-    std::vector<McPrediction> preds;
-    preds.reserve(xs.size());
-    const bool track = workload != nullptr || frame_workloads != nullptr;
-    for (std::size_t f = 0; f < xs.size(); ++f) {
+
+  // Fallback jobs: frame-serial, exactly mc_predict_cim_window's
+  // reuse/order path (side work has already run either way).
+  for (std::size_t j = 0; j < n_jobs; ++j) {
+    McWindowJob& job = jobs[j];
+    if (first_frame[j] != kFallback ||
+        !(job.options.compute_reuse || job.options.order_samples))
+      continue;
+    McOptions opt = job.options;
+    opt.pool = pool;
+    const bool track =
+        job.workload != nullptr || job.frame_workloads != nullptr;
+    for (std::size_t f = 0; f < job.n_frames; ++f) {
       McWorkload wl;
-      preds.push_back(mc_predict_cim(net, *xs[f], options, masks, analog_rng,
-                                     track ? &wl : nullptr));
-      if (workload != nullptr) *workload += wl;
-      if (frame_workloads != nullptr) (*frame_workloads)[f] = wl;
+      job.preds[f] = mc_predict_cim(net, *job.xs[f], opt, *job.masks,
+                                    *job.analog_rng, track ? &wl : nullptr);
+      if (job.workload != nullptr) *job.workload += wl;
+      if (job.frame_workloads != nullptr) job.frame_workloads[f] = wl;
     }
-    return preds;
   }
-
-  const cimsram::MacroStats before = net.total_stats();
-  const std::vector<int> widths = mask_site_widths(net);
-
-  // Draw every frame's mask sets and noise root in frame order — the
-  // exact MaskSource / analog_rng consumption of serial per-frame calls.
-  std::uint64_t bits_drawn = 0;
-  std::uint64_t locus_flips = 0;
-  const bool track = workload != nullptr || frame_workloads != nullptr;
-  thread_local std::vector<std::vector<std::vector<nn::Mask>>> sets_tls;
-  std::vector<std::vector<std::vector<nn::Mask>>>& frame_sets = sets_tls;
-  frame_sets.resize(xs.size());
-  std::vector<nn::CimMlp::FrameBatch> frames(xs.size());
-  for (std::size_t f = 0; f < xs.size(); ++f) {
-    auto& mask_sets = frame_sets[f];
-    const std::uint64_t frame_bits = draw_mask_sets(
-        widths, options.iterations, options.dropout_p, masks, mask_sets);
-    bits_drawn += frame_bits;
-    std::uint64_t frame_flips = 0;
-    if (track && !widths.empty()) {
-      for (std::size_t t = 1; t < mask_sets.size(); ++t)
-        frame_flips +=
-            hamming_distance(mask_sets[t - 1][0], mask_sets[t][0]);
-      locus_flips += frame_flips;
-    }
-    if (frame_workloads != nullptr) {
-      (*frame_workloads)[f].mask_bits_drawn = frame_bits;
-      (*frame_workloads)[f].input_mask_flips = frame_flips;
-    }
-    frames[f].x = xs[f];
-    frames[f].mask_sets = &mask_sets;
-    frames[f].noise_root = analog_rng();
-  }
-
-  thread_local nn::CimMlp::WindowScratch scratch_tls;
-  thread_local std::vector<std::vector<nn::Vector>> outs_tls;
-  thread_local std::vector<cimsram::MacroStats> frame_stats_tls;
-  std::vector<std::vector<nn::Vector>>& outs = outs_tls;
-  std::vector<cimsram::MacroStats>& frame_stats = frame_stats_tls;
-  net.forward_window(frames, options.pool, scratch_tls, outs, side_items,
-                     side_item,
-                     frame_workloads != nullptr ? &frame_stats : nullptr);
-
-  // Welford accumulation stays serial and in (frame, iteration) order, so
-  // the final moments are bit-exact for any thread count.
-  std::vector<McPrediction> preds;
-  preds.reserve(xs.size());
-  const std::size_t n_out =
-      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out());
-  for (std::size_t f = 0; f < xs.size(); ++f) {
-    VectorStats stats(n_out);
-    for (const auto& out : outs[f]) stats.add(out);
-    preds.push_back(stats.finish());
-  }
-
-  if (track) {
-    const cimsram::MacroStats window_delta = net.total_stats() - before;
-    if (workload != nullptr) {
-      workload->macro += window_delta;
-      workload->mask_bits_drawn += bits_drawn;
-      workload->input_mask_flips += locus_flips;
-    }
-    // Exact per-frame attribution, captured item-by-item inside
-    // forward_window; the entries sum to window_delta by construction.
-    if (frame_workloads != nullptr)
-      for (std::size_t f = 0; f < xs.size(); ++f)
-        (*frame_workloads)[f].macro += frame_stats[f];
-  }
-  return preds;
+  return dense_jobs;
 }
 
 }  // namespace cimnav::bnn

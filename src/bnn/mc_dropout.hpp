@@ -124,6 +124,46 @@ std::vector<McPrediction> mc_predict_cim_window(
     const std::function<void(std::size_t)>& side_item = {},
     std::vector<McWorkload>* frame_workloads = nullptr);
 
+/// One session's frame window inside a cross-session batched dispatch
+/// (mc_predict_cim_jobs). Each job carries its *own* mask source and
+/// analog-rng stream — the determinism anchor of the fleet engine: a
+/// session's draws depend only on its own sources and its own frame
+/// order, never on which other sessions share the dispatch.
+struct McWindowJob {
+  const nn::Vector* const* xs = nullptr;  ///< n_frames input pointers
+  std::size_t n_frames = 0;
+  McOptions options;                      ///< per-job T / dropout / reuse
+  MaskSource* masks = nullptr;            ///< this session's mask stream
+  core::Rng* analog_rng = nullptr;        ///< this session's noise roots
+  McPrediction* preds = nullptr;          ///< n_frames results, written in
+                                          ///< place (capacity reused)
+  McWorkload* frame_workloads = nullptr;  ///< optional n_frames per-frame
+                                          ///< deltas (overwritten)
+  McWorkload* workload = nullptr;         ///< optional aggregate (+=)
+};
+
+/// Cross-session MC-Dropout: batches the frame windows of many
+/// independent sessions (jobs) through ONE CimMlp::forward_window — one
+/// pooled macro dispatch per layer across every (job, frame, iteration)
+/// item. This is the fleet engine's stage B.
+///
+/// Determinism: per job, masks and per-frame noise roots are drawn from
+/// that job's own sources in frame order, and every item's analog-noise
+/// stream is keyed on (frame noise root, iteration) — so each job's
+/// predictions are bit-identical to running mc_predict_cim_window on it
+/// alone, at any job count, thread count and window partition. Jobs with
+/// compute_reuse/order_samples fall back to their frame-serial path
+/// (run after the shared dispatch; their own sources keep them exact).
+///
+/// Steady-state allocation-free for dense jobs once warm (per-thread
+/// scratch; callers own preds/frame_workloads storage). Returns the
+/// number of jobs that took the dense batched path — the fleet bench's
+/// dispatch accounting: one forward_window replaced that many.
+std::size_t mc_predict_cim_jobs(
+    const nn::CimMlp& net, McWindowJob* jobs, std::size_t n_jobs,
+    core::ThreadPool* pool, std::size_t side_items = 0,
+    const std::function<void(std::size_t)>& side_item = {});
+
 /// Greedy nearest-neighbour tour over mask sets, keyed by the Hamming
 /// distance of the *input-site* mask (the reuse locus). Returns the
 /// visiting order of the T mask sets.

@@ -218,20 +218,31 @@ std::vector<std::vector<double>> ShardedMacro::run_batch(
   // Phase 2: fan (sample x shard) items over the pool into per-(sample,
   // row-shard) partial buffers. Column shards of one row shard write
   // disjoint ranges, so items never race.
+  //
+  // Shard-affine schedule: the index space is *shard-major* and the
+  // chunk grain is the sample count, so one chunk = one shard across
+  // every sample — a worker streams all samples through one weight
+  // slice before moving on, instead of re-touching a different shard's
+  // conductance array (and evicting the last one) on every item. The
+  // per-item noise stream stays keyed on the ORIGINAL sample-major item
+  // index, so the schedule change is invisible to results: bit-identical
+  // at any pool size, including the old ordering.
   const std::size_t rr = static_cast<std::size_t>(grid_rows());
   const std::size_t cc = static_cast<std::size_t>(grid_cols());
   const std::size_t n_shards = rr * cc;
+  const std::size_t n_samples = xs.size();
   const std::size_t out_stride = static_cast<std::size_t>(n_out_);
   std::vector<double> partials(xs.size() * rr * out_stride);
   const auto run_items = [&](std::size_t begin, std::size_t end, int) {
     MacroWorkspace& ws = tls_workspace();
-    for (std::size_t item = begin; item < end; ++item) {
-      const std::size_t s = item / n_shards;
-      const std::size_t r = (item % n_shards) / cc;
-      const std::size_t c = item % cc;
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t shard_idx = k / n_samples;
+      const std::size_t s = k % n_samples;
+      const std::size_t r = shard_idx / cc;
+      const std::size_t c = shard_idx % cc;
       const std::size_t word_off = static_cast<std::size_t>(row_off_[r] / 64);
       const int c0 = col_off_[c];
-      const CimMacro& sh = shards_[r * cc + c];
+      const CimMacro& sh = shards_[shard_idx];
       double* dst = partials.data() + (s * rr + r) * out_stride +
                     static_cast<std::size_t>(c0);
       if (ideal) {
@@ -240,7 +251,8 @@ std::vector<std::vector<double>> ShardedMacro::run_batch(
                     mask == nullptr ? nullptr : mask + c0, /*ideal=*/true,
                     /*unit_scale=*/true, nullptr, ws, dst);
       } else {
-        core::Rng item_rng = core::Rng::stream(noise_root, item);
+        core::Rng item_rng =
+            core::Rng::stream(noise_root, s * n_shards + shard_idx);
         sh.run_view(enc_all.data() + s * plane_words + word_off, stride,
                     gate.data() + word_off,
                     mask == nullptr ? nullptr : mask + c0, /*ideal=*/false,
@@ -270,8 +282,17 @@ std::vector<std::vector<double>> ShardedMacro::run_batch(
   };
 
   if (pool != nullptr) {
+    // Keep chunks shard-affine (grain divides the per-shard sample run,
+    // so no chunk straddles a shard boundary) while exposing at least
+    // ~4 chunks per worker when the grid is small.
+    std::size_t grain = n_samples;
+    const std::size_t target_chunks =
+        static_cast<std::size_t>(pool->thread_count()) * 4;
+    while (grain > 1 && grain % 2 == 0 &&
+           (xs.size() * n_shards) / grain < target_chunks)
+      grain /= 2;
     pool->parallel_for(xs.size(), 1, encode_range);
-    pool->parallel_for(xs.size() * n_shards, 1, run_items);
+    pool->parallel_for(xs.size() * n_shards, grain, run_items);
     pool->parallel_for(xs.size(), 1, reduce_range);
   } else {
     encode_range(0, xs.size(), 0);

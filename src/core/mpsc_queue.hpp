@@ -1,0 +1,121 @@
+// Bounded lock-free queue for cross-thread submission (the fleet
+// engine's admission path).
+//
+// Dmitry Vyukov's bounded MPMC ring: every cell carries a sequence
+// number that encodes which lap of the ring it belongs to, so producers
+// and consumers claim cells with one fetch_add + one CAS-free publish
+// each, without locks and without unbounded spinning. The fleet uses it
+// MPSC (many submitters, one scheduler thread), but the algorithm is
+// safe for multiple consumers too — the free-list of pooled completion
+// states is recycled through a second instance from arbitrary releasing
+// threads.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// all cells are allocated up front: try_push / try_pop never touch the
+// heap, which is what lets steady-state session admission and
+// retirement stay allocation-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace cimnav::core {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// `capacity` >= 1; rounded up to the next power of two.
+  explicit MpscQueue(std::size_t capacity) {
+    CIMNAV_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    head_.store(0, std::memory_order_relaxed);
+    tail_.store(0, std::memory_order_relaxed);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Enqueues `v`; returns false when the ring is full. Safe from any
+  /// number of threads; never allocates.
+  bool try_push(const T& v) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // the cell still holds last lap's value: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = v;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into `out`; returns false when the ring is empty. Safe
+  /// from any number of threads; never allocates.
+  bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // the cell is from this lap's producers: empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = cell->value;
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Instantaneous occupancy (racy; diagnostics only).
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  /// Producers claim from tail_, consumers from head_. Padded apart so
+  /// the two cursors do not false-share one line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+};
+
+}  // namespace cimnav::core

@@ -137,14 +137,19 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<std::size_t> idx;
+  permutation_into(n, idx);
+  return idx;
+}
+
+void Rng::permutation_into(std::size_t n, std::vector<std::size_t>& out) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = n; i > 1; --i) {
     const auto j = static_cast<std::size_t>(
         uniform_int(0, static_cast<std::int64_t>(i) - 1));
-    std::swap(idx[i - 1], idx[j]);
+    std::swap(out[i - 1], out[j]);
   }
-  return idx;
 }
 
 Rng Rng::split() { return Rng((*this)()); }

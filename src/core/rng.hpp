@@ -114,6 +114,11 @@ class Rng {
   /// Fisher-Yates shuffle of indices [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 
+  /// Allocation-reusing variant: fills `out` (resized to n, capacity
+  /// kept) with the same draws — and hence the same permutation — as
+  /// permutation(n).
+  void permutation_into(std::size_t n, std::vector<std::size_t>& out);
+
   /// Derives an independently-seeded child generator; useful for giving
   /// each subsystem its own stream while keeping one experiment seed.
   Rng split();

@@ -17,13 +17,14 @@ GmmLikelihood::GmmLikelihood(prob::Gmm gmm, double beta)
 double GmmLikelihood::log_likelihood(const core::Pose& pose,
                                      const vision::DepthScan& scan,
                                      core::Rng& /*rng*/) const {
+  // Per-pixel back-projection (vision::pixel_to_world) instead of a
+  // materialized point vector: likelihoods run once per particle per
+  // frame, and this loop must not touch the heap.
   double ll = 0.0;
-  std::uint64_t points = 0;
-  for (const auto& p : vision::scan_to_world(scan, pose)) {
-    ll += gmm_.log_pdf(p);
-    ++points;
-  }
-  evaluations_.fetch_add(points, std::memory_order_relaxed);
+  const core::Mat3 rot = core::Mat3::rotation_z(pose.yaw);
+  for (const auto& px : scan.pixels)
+    ll += gmm_.log_pdf(vision::pixel_to_world(scan, rot, pose.position, px));
+  evaluations_.fetch_add(scan.pixels.size(), std::memory_order_relaxed);
   return beta_ * ll;
 }
 
@@ -41,12 +42,10 @@ double HmgmLikelihood::log_likelihood(const core::Pose& pose,
                                       const vision::DepthScan& scan,
                                       core::Rng& /*rng*/) const {
   double ll = 0.0;
-  std::uint64_t points = 0;
-  for (const auto& p : vision::scan_to_world(scan, pose)) {
-    ll += hmgm_.log_pdf(p);
-    ++points;
-  }
-  evaluations_.fetch_add(points, std::memory_order_relaxed);
+  const core::Mat3 rot = core::Mat3::rotation_z(pose.yaw);
+  for (const auto& px : scan.pixels)
+    ll += hmgm_.log_pdf(vision::pixel_to_world(scan, rot, pose.position, px));
+  evaluations_.fetch_add(scan.pixels.size(), std::memory_order_relaxed);
   return beta_ * ll;
 }
 
@@ -93,9 +92,11 @@ double CimHmgmLikelihood::log_likelihood(const core::Pose& pose,
                                          const vision::DepthScan& scan,
                                          core::Rng& rng) const {
   double ll = 0.0;
-  for (const auto& p : vision::scan_to_world(scan, pose)) {
-    const core::Vec3 v = mapping_.point_to_voltage(p);
-    ll += array_->read_log_likelihood(v, rng);
+  const core::Mat3 rot = core::Mat3::rotation_z(pose.yaw);
+  for (const auto& px : scan.pixels) {
+    const core::Vec3 p =
+        vision::pixel_to_world(scan, rot, pose.position, px);
+    ll += array_->read_log_likelihood(mapping_.point_to_voltage(p), rng);
   }
   return beta_ * gain_ * ll;
 }

@@ -260,6 +260,13 @@ LocalizationScenario::LocalizationScenario(const ScenarioConfig& config)
 }
 
 vision::DepthScan LocalizationScenario::render_scan(std::size_t step) const {
+  vision::DepthScan out;
+  render_scan_into(step, out);
+  return out;
+}
+
+void LocalizationScenario::render_scan_into(std::size_t step,
+                                            vision::DepthScan& out) const {
   CIMNAV_REQUIRE(step < trajectory_.controls.size(), "step out of range");
   core::Rng rng = core::Rng::stream(config_.seed + 4, step);
   const auto intr = vision::CameraIntrinsics::kinect_like(64, 48);
@@ -270,10 +277,13 @@ vision::DepthScan LocalizationScenario::render_scan(std::size_t step) const {
   const auto raycast = [this](const core::Vec3& o, const core::Vec3& d) {
     return scene_.raycast(o, d);
   };
-  const auto scan = vision::render_depth_scan(
-      intr, trajectory_.poses[step + 1], raycast, opt, &rng);
-  return vision::subsample_scan(
-      scan, static_cast<std::size_t>(config_.scan_pixels), rng);
+  // Full-resolution render lands in a warm per-thread scratch scan; only
+  // the subsampled result is written to the caller's slot.
+  thread_local vision::DepthScan full;
+  vision::render_depth_scan_into(intr, trajectory_.poses[step + 1], raycast,
+                                 opt, &rng, full);
+  vision::subsample_scan_into(
+      full, static_cast<std::size_t>(config_.scan_pixels), rng, out);
 }
 
 std::unique_ptr<MeasurementModel> LocalizationScenario::make_gmm_backend()

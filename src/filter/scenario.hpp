@@ -138,6 +138,13 @@ class LocalizationScenario {
   /// needs to render scans one window ahead. Works in either mode.
   vision::DepthScan render_scan(std::size_t step) const;
 
+  /// Allocation-reusing variant of render_scan: renders into `out`
+  /// (pixel capacity kept across calls via a thread-local full-resolution
+  /// scratch scan). Identical draws and pixels to render_scan — the fleet
+  /// engine's stage A uses this to fill per-session scan slots without
+  /// touching the heap in steady state.
+  void render_scan_into(std::size_t step, vision::DepthScan& out) const;
+
  private:
   ScenarioConfig config_;
   map::Scene scene_;

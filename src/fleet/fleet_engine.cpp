@@ -1,0 +1,304 @@
+#include "fleet/fleet_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace cimnav::fleet {
+
+// ------------------------------------------------------------ handles
+
+SessionHandle::SessionHandle(const SessionHandle& o) : state_(o.state_) {
+  if (state_ != nullptr) state_->completion.add_ref();
+}
+
+SessionHandle& SessionHandle::operator=(const SessionHandle& o) {
+  if (this == &o) return *this;
+  SessionState* incoming = o.state_;
+  if (incoming != nullptr) incoming->completion.add_ref();
+  reset();
+  state_ = incoming;
+  return *this;
+}
+
+SessionHandle::SessionHandle(SessionHandle&& o) noexcept : state_(o.state_) {
+  o.state_ = nullptr;
+}
+
+SessionHandle& SessionHandle::operator=(SessionHandle&& o) noexcept {
+  if (this == &o) return *this;
+  reset();
+  state_ = o.state_;
+  o.state_ = nullptr;
+  return *this;
+}
+
+SessionHandle::~SessionHandle() { reset(); }
+
+bool SessionHandle::poll() const {
+  return state_ != nullptr && state_->completion.done();
+}
+
+const vo::ClosedLoopRun& SessionHandle::wait() const {
+  CIMNAV_REQUIRE(state_ != nullptr, "wait() on an invalid session handle");
+  return state_->completion.wait();
+}
+
+void SessionHandle::reset() {
+  if (state_ == nullptr) return;
+  SessionState* s = state_;
+  state_ = nullptr;
+  if (s->completion.release() == 0) s->engine->recycle(s->index);
+}
+
+// ------------------------------------------------------------- engine
+
+FleetEngine::FleetEngine(const FleetConfig& config)
+    : config_(config),
+      states_(config.max_sessions + config.queue_capacity),
+      free_states_(config.max_sessions + config.queue_capacity),
+      submissions_(config.queue_capacity),
+      slots_(config.max_sessions) {
+  CIMNAV_REQUIRE(config.window >= 1, "fleet window must be >= 1");
+  CIMNAV_REQUIRE(config.max_sessions >= 1, "fleet needs >= 1 session slot");
+  for (std::uint32_t i = 0; i < states_.size(); ++i) {
+    states_[i].engine = this;
+    states_[i].index = i;
+    free_states_.try_push(i);
+  }
+  // Bound once: parallel_for takes `const ForBody&`, so a per-tick
+  // lambda would re-construct a std::function every tick. The body
+  // captures only `this`; the item list lives in items_.
+  stage_a_body_ = [this](std::size_t begin, std::size_t end, int) {
+    for (std::size_t k = begin; k < end; ++k) {
+      Slot& s = slots_[items_[k].first];
+      const int off = static_cast<int>(items_[k].second);
+      s.session.make_input(s.next_frame + off,
+                           s.inputs[static_cast<std::size_t>(off)]);
+    }
+  };
+}
+
+FleetEngine::~FleetEngine() {
+  stop();
+  // Drain stragglers so no handle blocks on a run that will never come.
+  run_until_idle();
+}
+
+std::size_t FleetEngine::add_workload(
+    const filter::LocalizationScenario& scenario, const vo::VoPipeline& vo,
+    const nn::CimMlp& net, const filter::MeasurementModel& model) {
+  workloads_.push_back(Workload{&scenario, &vo, &net, &model});
+  return workloads_.size() - 1;
+}
+
+SessionHandle FleetEngine::try_submit(const SessionSpec& spec) {
+  CIMNAV_REQUIRE(spec.workload < workloads_.size(),
+                 "session references an unregistered workload");
+  std::uint32_t idx = 0;
+  if (!free_states_.try_pop(idx)) return SessionHandle{};
+  SessionState& st = states_[idx];
+  st.completion.reset();
+  st.spec = spec;
+  // Two references: the returned handle and the engine (held until the
+  // run is published at retirement). Taken before the push so the
+  // scheduler can never observe an unreferenced live state.
+  st.completion.add_ref(2);
+  if (!submissions_.try_push(idx)) {
+    st.completion.release();
+    if (st.completion.release() == 0) recycle(idx);
+    return SessionHandle{};
+  }
+  cv_.notify_one();
+  return SessionHandle{&st};
+}
+
+void FleetEngine::admit_locked() {
+  std::uint32_t idx = 0;
+  while (active_count_ < slots_.size() && submissions_.try_pop(idx)) {
+    Slot* slot = nullptr;
+    for (Slot& s : slots_)
+      if (!s.active) {
+        slot = &s;
+        break;
+      }
+    SessionState& st = states_[idx];
+    const Workload& w = workloads_[st.spec.workload];
+    // The fleet owns execution resources; everything else (seeds,
+    // policy, MC options, KLD adaptation) is the session's own.
+    vo::ClosedLoopConfig cfg = st.spec.loop;
+    cfg.pool = config_.pool;
+    slot->session.begin(*w.scenario, *w.vo, *w.net, *w.model, cfg);
+    slot->state = &st;
+    slot->net = w.net;
+    slot->next_frame = 0;
+    slot->window_frames = 0;
+    slot->active = true;
+    const auto win = static_cast<std::size_t>(config_.window);
+    slot->inputs.resize(win);
+    slot->xs.resize(win);
+    for (std::size_t i = 0; i < win; ++i) slot->xs[i] = &slot->inputs[i];
+    slot->preds.resize(win);
+    slot->frame_workloads.resize(win);
+    ++active_count_;
+    ++stats_.sessions_admitted;
+  }
+}
+
+void FleetEngine::retire_locked(Slot& slot) {
+  vo::ClosedLoopRun& run = slot.session.finish();
+  // Book the fleet ledger before complete() swaps the run's buffers
+  // into the completion slot.
+  stats_.completed_frames += run.steps.size();
+  stats_.vo_energy_j += run.vo_energy_j;
+  stats_.update_energy_j += run.update_energy_j;
+  stats_.total_energy_j += run.total_energy_j;
+  stats_.likelihood_evals += run.likelihood_evals;
+  stats_.particle_frames +=
+      run.mean_particles * static_cast<double>(run.steps.size());
+  SessionState* st = slot.state;
+  st->completion.complete(run);
+  slot.state = nullptr;
+  slot.active = false;
+  --active_count_;
+  ++stats_.sessions_completed;
+  if (st->completion.release() == 0) recycle(st->index);
+}
+
+bool FleetEngine::tick_locked() {
+  ++stats_.ticks;
+  const std::uint64_t admitted_before = stats_.sessions_admitted;
+  admit_locked();
+  const bool admitted = stats_.sessions_admitted != admitted_before;
+
+  // Stage A: fan every (session, frame-offset) item of this tick's
+  // windows over the pool. make_input is a pure function of the frame
+  // index per session, so items are independent.
+  items_.clear();
+  for (std::uint32_t si = 0; si < slots_.size(); ++si) {
+    Slot& s = slots_[si];
+    if (!s.active) continue;
+    s.window_frames = std::min(config_.window,
+                               s.session.frame_count() - s.next_frame);
+    for (int off = 0; off < s.window_frames; ++off)
+      items_.emplace_back(si, static_cast<std::uint32_t>(off));
+  }
+  if (config_.pool != nullptr && items_.size() > 1) {
+    config_.pool->parallel_for(items_.size(), 1, stage_a_body_);
+  } else {
+    stage_a_body_(0, items_.size(), 0);
+  }
+  stats_.frames_dispatched += items_.size();
+
+  // Stage B: one cross-session batched dispatch per distinct network.
+  // Slot-index order keys nothing (each job draws only from its own
+  // sources) but keeps the accounting deterministic.
+  nets_.clear();
+  for (const Slot& s : slots_) {
+    if (!s.active || s.window_frames == 0) continue;
+    if (std::find(nets_.begin(), nets_.end(), s.net) == nets_.end())
+      nets_.push_back(s.net);
+  }
+  for (const nn::CimMlp* net : nets_) {
+    jobs_.clear();
+    for (Slot& s : slots_) {
+      if (!s.active || s.window_frames == 0 || s.net != net) continue;
+      bnn::McWindowJob job;
+      job.xs = s.xs.data();
+      job.n_frames = static_cast<std::size_t>(s.window_frames);
+      job.options = s.session.config().mc;
+      job.masks = &s.session.mask_source();
+      job.analog_rng = &s.session.analog_rng();
+      job.preds = s.preds.data();
+      job.frame_workloads = s.frame_workloads.data();
+      jobs_.push_back(job);
+    }
+    const std::size_t dense =
+        bnn::mc_predict_cim_jobs(*net, jobs_.data(), jobs_.size(),
+                                 config_.pool);
+    const auto layers = static_cast<std::uint64_t>(net->layer_count());
+    if (dense > 0) {
+      stats_.pooled_layer_dispatches += layers;
+      stats_.serial_layer_dispatches += dense * layers;
+    }
+  }
+
+  // Stage C: strictly frame-serial per session; sessions in slot order
+  // (arbitrary but fixed — sessions are independent here too).
+  for (Slot& s : slots_) {
+    if (!s.active || s.window_frames == 0) continue;
+    for (int off = 0; off < s.window_frames; ++off) {
+      const int f = s.next_frame + off;
+      const auto o = static_cast<std::size_t>(off);
+      s.session.consume(f, s.preds[o]);
+      s.session.record_frame_macro(f, s.frame_workloads[o].macro);
+    }
+    s.next_frame += s.window_frames;
+  }
+
+  // Retire finished sessions (including zero-frame ones).
+  bool retired = false;
+  for (Slot& s : slots_) {
+    if (!s.active || s.next_frame < s.session.frame_count()) continue;
+    retire_locked(s);
+    retired = true;
+  }
+  return admitted || !items_.empty() || retired;
+}
+
+bool FleetEngine::tick() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tick_locked();
+}
+
+void FleetEngine::run_until_idle() {
+  for (;;) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool worked = tick_locked();
+    if (!worked && active_count_ == 0 && submissions_.size_approx() == 0)
+      return;
+  }
+}
+
+bool FleetEngine::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_count_ == 0 && submissions_.size_approx() == 0;
+}
+
+void FleetEngine::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (scheduler_running_) return;
+  stop_flag_ = false;
+  scheduler_running_ = true;
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+void FleetEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!scheduler_running_) return;
+    stop_flag_ = true;
+  }
+  cv_.notify_all();
+  scheduler_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  scheduler_running_ = false;
+}
+
+void FleetEngine::scheduler_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_flag_) {
+    const bool worked = tick_locked();
+    if (!worked)
+      cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+FleetStats FleetEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cimnav::fleet

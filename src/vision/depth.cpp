@@ -9,11 +9,20 @@ namespace cimnav::vision {
 DepthScan render_depth_scan(const CameraIntrinsics& k, const core::Pose& pose,
                             const RaycastFn& raycast,
                             const DepthRenderOptions& opt, core::Rng* rng) {
+  DepthScan scan;
+  render_depth_scan_into(k, pose, raycast, opt, rng, scan);
+  return scan;
+}
+
+void render_depth_scan_into(const CameraIntrinsics& k, const core::Pose& pose,
+                            const RaycastFn& raycast,
+                            const DepthRenderOptions& opt, core::Rng* rng,
+                            DepthScan& scan) {
   CIMNAV_REQUIRE(opt.pixel_stride >= 1, "pixel stride must be >= 1");
   CIMNAV_REQUIRE(opt.max_range_m > 0.0, "max range must be positive");
   CIMNAV_REQUIRE(opt.noise_sigma_m == 0.0 || rng != nullptr,
                  "noisy rendering needs an rng");
-  DepthScan scan;
+  scan.pixels.clear();
   scan.intrinsics = k;
   scan.mount_pitch_rad = opt.mount_pitch_rad;
   for (int v = 0; v < k.height; v += opt.pixel_stride) {
@@ -33,7 +42,6 @@ DepthScan render_depth_scan(const CameraIntrinsics& k, const core::Pose& pose,
       scan.pixels.push_back(DepthPixel{u, v, depth});
     }
   }
-  return scan;
 }
 
 std::vector<core::Vec3> scan_to_world(const DepthScan& scan,
@@ -41,24 +49,33 @@ std::vector<core::Vec3> scan_to_world(const DepthScan& scan,
   std::vector<core::Vec3> world;
   world.reserve(scan.pixels.size());
   const core::Mat3 rot = core::Mat3::rotation_z(pose.yaw);
-  for (const auto& px : scan.pixels) {
-    const core::Vec3 cam = back_project(scan.intrinsics, px);
-    world.push_back(
-        rot * apply_mount_pitch(camera_to_body(cam), scan.mount_pitch_rad) +
-        pose.position);
-  }
+  for (const auto& px : scan.pixels)
+    world.push_back(pixel_to_world(scan, rot, pose.position, px));
   return world;
 }
 
 DepthScan subsample_scan(const DepthScan& scan, std::size_t n,
                          core::Rng& rng) {
-  if (scan.pixels.size() <= n) return scan;
-  DepthScan out = scan;
+  DepthScan out;
+  subsample_scan_into(scan, n, rng, out);
+  return out;
+}
+
+void subsample_scan_into(const DepthScan& scan, std::size_t n, core::Rng& rng,
+                         DepthScan& out) {
+  out.intrinsics = scan.intrinsics;
+  out.mount_pitch_rad = scan.mount_pitch_rad;
+  if (scan.pixels.size() <= n) {
+    out.pixels = scan.pixels;  // copy-assign reuses out's capacity
+    return;
+  }
   out.pixels.clear();
-  const auto perm = rng.permutation(scan.pixels.size());
+  // Keyed scratch: the permutation indices are consumed immediately, so
+  // one warm buffer per thread keeps the hot path allocation-free.
+  thread_local std::vector<std::size_t> perm;
+  rng.permutation_into(scan.pixels.size(), perm);
   out.pixels.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.pixels.push_back(scan.pixels[perm[i]]);
-  return out;
 }
 
 }  // namespace cimnav::vision

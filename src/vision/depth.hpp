@@ -42,13 +42,40 @@ DepthScan render_depth_scan(const CameraIntrinsics& k, const core::Pose& pose,
                             const RaycastFn& raycast,
                             const DepthRenderOptions& opt, core::Rng* rng);
 
+/// Allocation-reusing variant: renders into `scan` (pixel capacity kept
+/// across calls — the per-session scan slots of the fleet engine).
+/// Identical draws and pixels to render_depth_scan.
+void render_depth_scan_into(const CameraIntrinsics& k, const core::Pose& pose,
+                            const RaycastFn& raycast,
+                            const DepthRenderOptions& opt, core::Rng* rng,
+                            DepthScan& scan);
+
+/// Back-projects one scan pixel into world coordinates for a pose whose
+/// rotation has been hoisted (`rot` = Mat3::rotation_z(pose.yaw)) — the
+/// allocation-free inner step of every likelihood evaluation. The math
+/// is exactly scan_to_world's per-pixel expression.
+inline core::Vec3 pixel_to_world(const DepthScan& scan, const core::Mat3& rot,
+                                 const core::Vec3& position,
+                                 const DepthPixel& px) {
+  const core::Vec3 cam = back_project(scan.intrinsics, px);
+  return rot * apply_mount_pitch(camera_to_body(cam), scan.mount_pitch_rad) +
+         position;
+}
+
 /// Back-projects all scan pixels into world coordinates for a *hypothetical*
-/// pose — the projection step of the likelihood evaluation.
+/// pose — the projection step of the likelihood evaluation. Hot paths use
+/// pixel_to_world per pixel instead (this materializes a fresh vector).
 std::vector<core::Vec3> scan_to_world(const DepthScan& scan,
                                       const core::Pose& pose);
 
 /// Randomly keeps at most `n` pixels of a scan (likelihood decimation).
 DepthScan subsample_scan(const DepthScan& scan, std::size_t n,
                          core::Rng& rng);
+
+/// Allocation-reusing variant: writes the subsampled scan into `out`
+/// (capacity kept; `out` must not alias `scan`). Identical draws and
+/// pixel selection to subsample_scan.
+void subsample_scan_into(const DepthScan& scan, std::size_t n, core::Rng& rng,
+                         DepthScan& out);
 
 }  // namespace cimnav::vision

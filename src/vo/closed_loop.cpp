@@ -1,13 +1,8 @@
 #include "vo/closed_loop.hpp"
 
-#include <cmath>
-
-#include "bnn/mask_source.hpp"
 #include "core/error.hpp"
-#include "core/stats.hpp"
-#include "energy/macro_energy.hpp"
 #include "vo/frame_pipeline.hpp"
-#include "vo/trajectory.hpp"
+#include "vo/odometry_session.hpp"
 
 namespace cimnav::vo {
 
@@ -34,194 +29,32 @@ ClosedLoopRun run_odometry_loop(const filter::LocalizationScenario& scenario,
                                 const VoPipeline& vo, const nn::CimMlp& net,
                                 const filter::MeasurementModel& model,
                                 const ClosedLoopConfig& config) {
-  const auto& poses = scenario.trajectory().poses;
-  const auto& controls = scenario.trajectory().controls;
-  const int frames = static_cast<int>(controls.size());
-  filter::ParticleFilterConfig pf_cfg = scenario.config().filter;
-  if (config.tempering_ess_floor >= 0.0)
-    pf_cfg.tempering_ess_floor = config.tempering_ess_floor;
-  const filter::MotionNoise base_noise = pf_cfg.motion_noise;
-  const bool closed = config.mode == OdometryMode::kClosedLoop;
-
-  // The wake-up policy: one fresh instance per run (policies keep
-  // per-run state). Created before any rng is touched and never handed
-  // one — "always" therefore consumes exactly the pre-policy loop's
-  // draws, which is the bit-identity contract bench_fig5_wakeup probes.
-  const auto policy =
-      autonomy::make_update_policy(config.policy, config.policy_cfg);
-
-  ClosedLoopRun run;
-  run.mode_label = closed ? "closed-loop" : "open-loop";
-  run.policy_label = std::string(policy->name());
-  run.steps.resize(static_cast<std::size_t>(frames));
-
-  filter::ParticleFilter pf(pf_cfg);
-  core::Rng run_rng(config.run_seed);
-  if (scenario.config().global_init) {
-    // Kidnapped drone: no prior on the pose — uniform over the interior,
-    // full heading uncertainty.
-    pf.init_uniform(scenario.scene().interior_min(),
-                    scenario.scene().interior_max(), run_rng);
-  } else {
-    // Tracking init displaced from the truth (the Fig. 2f-h convention).
-    const core::Pose& start = poses.front();
-    const core::Pose noisy_start{
-        start.position +
-            core::Vec3{run_rng.normal(0.0, config.init_sigma_m),
-                       run_rng.normal(0.0, config.init_sigma_m),
-                       run_rng.normal(0.0, config.init_sigma_m * 0.5)},
-        start.yaw + run_rng.normal(0.0, config.init_sigma_yaw)};
-    pf.init_gaussian(noisy_start,
-                     {config.init_sigma_m + 0.05, config.init_sigma_m + 0.05,
-                      config.init_sigma_m * 0.5 + 0.03},
-                     config.init_sigma_yaw + 0.03, run_rng);
-  }
-  const double n_particles = static_cast<double>(pf.size());
-
-  // Stage A: pure function of the frame index (keyed rng streams) — the
-  // FramePipeline purity contract. Scans park in a side buffer until the
-  // frame's stage C runs.
-  std::vector<vision::DepthScan> scans(static_cast<std::size_t>(frames));
-  const auto make_input = [&](int f) {
-    const auto fi = static_cast<std::size_t>(f);
-    scans[fi] = scenario.render_scan(fi);
-    core::Rng feat_rng =
-        core::Rng::stream(config.feature_seed, static_cast<std::uint64_t>(f));
-    return vo.frame_feature(poses[fi], poses[fi + 1], feat_rng);
-  };
-
-  // Policy signal state, advanced in frame order by stage C.
-  double sigma_sum = 0.0;
-  int sigma_count = 0;
-  double last_ess_fraction = 1.0;
-  double full_update_equivalents = 0.0;
-
-  // Stage C, in strict frame order: the posterior becomes the control
-  // (closed loop), then the policy decides how much measurement compute
-  // this frame gets; the ledger snapshots the model's evaluation counter
-  // around whatever ran.
-  const auto consume = [&](int f, const bnn::McPrediction& pred) {
-    const auto fi = static_cast<std::size_t>(f);
-    if (closed) {
-      pf.predict(posterior_control(pred),
-                 posterior_noise(pred, base_noise, config.inflation),
-                 run_rng);
-    } else {
-      pf.predict(controls[fi], base_noise, run_rng);
-    }
-
-    const double vo_sigma = std::sqrt(pred.scalar_variance());
-    autonomy::FrameSignals signals;
-    signals.step = f;
-    signals.total_frames = frames;
-    signals.vo_sigma = vo_sigma;
-    signals.vo_sigma_mean =
-        sigma_count > 0 ? sigma_sum / static_cast<double>(sigma_count) : 0.0;
-    signals.ess_fraction = last_ess_fraction;
-    signals.full_update_equivalents = full_update_equivalents;
-    autonomy::UpdateDecision decision = policy->decide(signals);
-    sigma_sum += vo_sigma;
-    ++sigma_count;
-
-    // The ledger books what actually runs, not what was requested:
-    // update_decimated rounds the fraction to a stride, and stride 1 IS
-    // a full update — account (and label) it as one.
-    std::size_t stride = 1;
-    if (decision.action == autonomy::UpdateAction::kDecimated) {
-      stride =
-          filter::ParticleFilter::decimation_stride(decision.particle_fraction);
-      if (stride <= 1) decision.action = autonomy::UpdateAction::kFull;
-    }
-
-    ClosedLoopStep& rec = run.steps[fi];
-    const std::uint64_t evals_before = model.evaluation_count();
-    switch (decision.action) {
-      case autonomy::UpdateAction::kFull:
-        pf.update(scans[fi], model, run_rng, config.pool);
-        full_update_equivalents += 1.0;
-        ++run.full_updates;
-        rec.update_beta = pf.last_update_beta();
-        break;
-      case autonomy::UpdateAction::kDecimated:
-        pf.update_decimated(scans[fi], model, decision.particle_fraction,
-                            run_rng, config.pool);
-        full_update_equivalents += 1.0 / static_cast<double>(stride);
-        ++run.decimated_updates;
-        rec.update_beta = pf.last_update_beta();
-        break;
-      case autonomy::UpdateAction::kSkip:
-        ++run.skipped_updates;
-        break;
-    }
-    rec.update_action = decision.action;
-    rec.likelihood_evals = model.evaluation_count() - evals_before;
-    rec.update_energy_j = static_cast<double>(rec.likelihood_evals) *
-                          model.evaluation_energy_j();
-
-    const filter::PoseEstimate est = pf.estimate();
-    const core::Pose& truth = poses[fi + 1];
-    const core::Pose truth_delta = relative_delta(poses[fi], poses[fi + 1]);
-    rec.step = f + 1;
-    rec.position_error_m = est.pose.position_error(truth);
-    rec.yaw_error_rad = est.pose.yaw_error(truth);
-    // Skipped frames keep the weights of the last update, so the live
-    // ESS is the right degeneracy readout either way.
-    rec.ess_fraction =
-        decision.action == autonomy::UpdateAction::kSkip
-            ? pf.effective_sample_size() / n_particles
-            : pf.last_update_ess() / n_particles;
-    last_ess_fraction = rec.ess_fraction;
-    rec.position_spread_m = (est.position_stddev.x + est.position_stddev.y +
-                             est.position_stddev.z) /
-                            3.0;
-    rec.vo_delta_error_m =
-        (core::Vec3{pred.mean[0], pred.mean[1], pred.mean[2]} -
-         truth_delta.position)
-            .norm();
-    rec.vo_sigma = vo_sigma;
-  };
+  // The whole per-run state machine lives in OdometrySession (shared
+  // with the fleet engine, which schedules many of them); this runner
+  // just streams one session through its own three-stage FramePipeline.
+  OdometrySession session;
+  session.begin(scenario, vo, net, model, config);
 
   FramePipelineConfig pipe_cfg;
   pipe_cfg.window = config.window;
   pipe_cfg.pool = config.pool;
   pipe_cfg.mc = config.mc;
   FramePipeline pipe(net, pipe_cfg);
-  bnn::SoftwareMaskSource masks(core::Rng{config.mask_seed});
-  core::Rng analog_rng(config.analog_seed);
   std::vector<bnn::McWorkload> frame_workloads;
-  pipe.run(frames, make_input, consume, masks, analog_rng, nullptr,
-           &frame_workloads);
+  pipe.run(
+      session.frame_count(),
+      [&session](int f) {
+        nn::Vector x;
+        session.make_input(f, x);
+        return x;
+      },
+      [&session](int f, const bnn::McPrediction& p) { session.consume(f, p); },
+      session.mask_source(), session.analog_rng(), nullptr, &frame_workloads);
 
-  // Ledger epilogue: price each frame's stage-B macro activity (the VO
-  // pass runs for every frame regardless of the policy) and total the
-  // run. The measurement side was measured in-flight via the model's
-  // evaluation counter.
-  const int vo_adc_bits = net.macro(0).config().adc_bits;
-  std::vector<double> err2;
-  err2.reserve(run.steps.size());
-  for (std::size_t fi = 0; fi < run.steps.size(); ++fi) {
-    ClosedLoopStep& s = run.steps[fi];
-    s.vo_energy_j =
-        energy::macro_stats_energy_j(frame_workloads[fi].macro, vo_adc_bits);
-    s.energy_j = s.vo_energy_j + s.update_energy_j;
-    run.vo_energy_j += s.vo_energy_j;
-    run.update_energy_j += s.update_energy_j;
-    run.likelihood_evals += s.likelihood_evals;
-    err2.push_back(s.position_error_m * s.position_error_m);
-    run.mean_spread_m += s.position_spread_m;
-    run.mean_vo_sigma += s.vo_sigma;
-    run.mean_vo_delta_error_m += s.vo_delta_error_m;
-  }
-  run.total_energy_j = run.vo_energy_j + run.update_energy_j;
-  if (!run.steps.empty()) {
-    const double n = static_cast<double>(run.steps.size());
-    run.rmse_m = std::sqrt(core::mean(err2));
-    run.final_error_m = run.steps.back().position_error_m;
-    run.mean_spread_m /= n;
-    run.mean_vo_sigma /= n;
-    run.mean_vo_delta_error_m /= n;
-  }
-  return run;
+  for (int f = 0; f < session.frame_count(); ++f)
+    session.record_frame_macro(
+        f, frame_workloads[static_cast<std::size_t>(f)].macro);
+  return session.finish();
 }
 
 }  // namespace cimnav::vo

@@ -40,6 +40,7 @@
 #include "autonomy/update_policy.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "core/thread_pool.hpp"
+#include "filter/kld.hpp"
 #include "filter/measurement.hpp"
 #include "filter/motion.hpp"
 #include "filter/scenario.hpp"
@@ -99,6 +100,16 @@ struct ClosedLoopConfig {
   std::uint64_t feature_seed = 55;  ///< stage-A VO feature noise streams
   std::uint64_t mask_seed = 17;     ///< dropout mask source
   std::uint64_t analog_seed = 101;  ///< macro analog-noise roots
+  /// KLD-adaptive cloud sizing (Fox's bound, filter/kld.hpp): after each
+  /// frame whose measurement update actually ran, shrink the cloud to
+  /// the KLD-required particle count when the belief's occupied-bin
+  /// support says fewer suffice — a kidnapped-drone run starts with its
+  /// big global cloud and tracks with a fraction of it once converged.
+  /// Shrink-only (never grows past the initial count), drawing the
+  /// resample from run_seed's stream. Off by default: runs stay
+  /// bit-identical to the fixed-cloud loop.
+  bool kld_adapt = false;
+  filter::KldConfig kld;
 };
 
 /// Per-frame record of a run, including the frame's energy ledger.
@@ -123,6 +134,9 @@ struct ClosedLoopStep {
   double update_energy_j = 0.0;
   double vo_energy_j = 0.0;
   double energy_j = 0.0;
+  /// Cloud size after this frame (constant unless kld_adapt shrank it) —
+  /// the per-frame particle cost the fleet bench reports per session.
+  int particle_count = 0;
 };
 
 /// One full flight through the scenario in one mode.
@@ -144,6 +158,10 @@ struct ClosedLoopRun {
   int full_updates = 0;
   int decimated_updates = 0;
   int skipped_updates = 0;
+  /// Particle-cost ledger: mean per-frame cloud size and the final size
+  /// (equal to the configured count unless kld_adapt shrank the cloud).
+  double mean_particles = 0.0;
+  int final_particles = 0;
 };
 
 /// Streams the scenario's whole trajectory through the three-stage

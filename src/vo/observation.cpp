@@ -40,6 +40,13 @@ ObservationModel::ObservationModel(std::vector<core::Vec3> landmarks,
 nn::Vector ObservationModel::observe(const core::Pose& pose,
                                      core::Rng& rng) const {
   nn::Vector f;
+  observe_into(pose, rng, f);
+  return f;
+}
+
+void ObservationModel::observe_into(const core::Pose& pose, core::Rng& rng,
+                                    nn::Vector& f) const {
+  f.clear();
   f.reserve(static_cast<std::size_t>(feature_size()));
   for (const auto& lm : landmarks_) {
     core::Vec3 body = pose.inverse_transform(lm);
@@ -61,7 +68,6 @@ nn::Vector ObservationModel::observe(const core::Pose& pose,
     f.push_back(squash(body.y, kSoftness));
     f.push_back(squash(body.z, kSoftness));
   }
-  return f;
 }
 
 nn::Vector ObservationModel::observe_clean(const core::Pose& pose) const {

@@ -43,6 +43,12 @@ class ObservationModel {
   /// into (0,1), with additive Gaussian noise before squashing.
   nn::Vector observe(const core::Pose& pose, core::Rng& rng) const;
 
+  /// Allocation-reusing variant: writes the observation into `out`
+  /// (capacity kept across calls). Identical draws and values to
+  /// observe().
+  void observe_into(const core::Pose& pose, core::Rng& rng,
+                    nn::Vector& out) const;
+
   /// Noise-free observation (tests).
   nn::Vector observe_clean(const core::Pose& pose) const;
 

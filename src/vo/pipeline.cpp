@@ -222,6 +222,20 @@ nn::Vector VoPipeline::frame_feature(const core::Pose& a,
                       observations_.observe(b, rng));
 }
 
+void VoPipeline::frame_feature_into(const core::Pose& a, const core::Pose& b,
+                                    core::Rng& rng, nn::Vector& out) const {
+  // Warm per-thread observation scratch: stage A of the fleet engine
+  // calls this from pool workers, once per (session, frame) item.
+  thread_local nn::Vector oa, ob;
+  observations_.observe_into(a, rng, oa);
+  observations_.observe_into(b, rng, ob);
+  out.clear();
+  out.reserve(2 * oa.size());
+  out.insert(out.end(), oa.begin(), oa.end());
+  for (std::size_t i = 0; i < oa.size(); ++i)
+    out.push_back(core::clamp(0.5 + kDiffGain * (ob[i] - oa[i]), 0.0, 1.0));
+}
+
 VoRun VoPipeline::run_cim_mc_streamed(const cimsram::CimMacroConfig& macro,
                                       const bnn::McOptions& options,
                                       bnn::MaskSource& masks,

@@ -164,6 +164,12 @@ class VoPipeline {
   nn::Vector frame_feature(const core::Pose& a, const core::Pose& b,
                            core::Rng& rng) const;
 
+  /// Allocation-reusing variant of frame_feature: writes the feature into
+  /// `out` (capacity kept across calls; observation scratch is per-thread).
+  /// Identical draws and values to frame_feature.
+  void frame_feature_into(const core::Pose& a, const core::Pose& b,
+                          core::Rng& rng, nn::Vector& out) const;
+
  private:
   VoRun evaluate(const std::string& label,
                  const std::function<nn::Vector(const nn::Vector&, double*)>&

@@ -21,6 +21,7 @@
 #include "circuit/array.hpp"
 #include "cimsram/backend.hpp"
 #include "cimsram/cim_macro.hpp"
+#include "cimsram/conformance.hpp"
 #include "cimsram/sharded_macro.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/particle_filter.hpp"
@@ -779,6 +780,51 @@ int main() {
           "%.2fx frames/s (8 threads), %.2fx (1 thread)\n\n",
           kWindow, speedup8, speedup1);
     }
+  }
+
+  {  // Conformance harness: per-(backend x family) case timing + the
+     // quick-tier sweep itself. A backend registered via register_backend
+     // joins these rows and the pass count automatically, so the tracked
+     // conformance_cases_passed summary can only grow with new backends.
+    namespace conf = cimsram::conformance;
+    const auto names = cimsram::backend_names();
+    int passed = 0, total = 0;
+    for (const std::string& be : names) {
+      for (auto family : conf::families()) {
+        // One representative deterministic case per (backend, family):
+        // ragged odd-row monolithic geometry, single ideal dispatch.
+        conf::CaseSpec spec;
+        spec.backend = be;
+        spec.geom = {149, 37, 0, 0};
+        spec.family = family;
+        spec.mode = conf::NoiseMode::kIdeal;
+        spec.dispatch = conf::Dispatch::kSingle;
+        spec.seed = 0xBE11C;
+        const auto macro = conf::make_case_macro(spec, be);
+        std::vector<double> x;
+        std::vector<std::uint8_t> im, om;
+        conf::make_case_input(spec, 0, x, im, om);
+        suite.run(std::string("conformance_case/") +
+                      conf::to_string(family) + "/" + be,
+                  1, static_cast<double>(spec.geom.n_in) * spec.geom.n_out,
+                  "macs", [&] { macro->matvec_ideal(x, im, om); });
+      }
+      for (const auto& c : conf::cases_for(be, conf::Tier::kQuick)) {
+        ++total;
+        const auto r = conf::run_case(c);
+        if (r.pass)
+          ++passed;
+        else
+          std::printf("conformance FAIL: %s\n", r.failure.c_str());
+      }
+    }
+    std::printf("\nconformance quick sweep: %d/%d cases passed over %zu "
+                "backends\n\n",
+                passed, total, names.size());
+    suite.add_summary("conformance_cases_passed",
+                      static_cast<double>(passed));
+    suite.add_summary("conformance_cases_total", static_cast<double>(total));
+    suite.add_summary("backends_swept", static_cast<double>(names.size()));
   }
 
   suite.write_json();

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "cimsram/sram_rng.hpp"
+#include "core/stat_tolerances.hpp"
 #include "core/stats.hpp"
 #include "core/table.hpp"
 
@@ -53,9 +54,11 @@ int main() {
   calib.print(std::cout);
 
   std::printf("\nStatistical quality vs the LFSR baseline "
-              "(100k bits each):\n");
+              "(100k bits each; tolerances from core/stat_tolerances.hpp, "
+              "the same constants the unit tests and the conformance "
+              "harness enforce):\n");
   core::Table quality({"source", "bias", "lag-1 autocorr",
-                       "longest run"});
+                       "longest run", "within tol"});
   quality.set_precision(4);
   auto analyze = [&](const std::string& name, auto&& next_bit) {
     const int n = 100000;
@@ -77,9 +80,13 @@ int main() {
     }
     std::vector<double> a(bits.begin(), bits.end() - 1);
     std::vector<double> c(bits.begin() + 1, bits.end());
-    quality.add_row({name, static_cast<double>(ones) / n,
-                     core::pearson_correlation(a, c),
-                     static_cast<double>(longest)});
+    const double bias = static_cast<double>(ones) / n;
+    const double autocorr = core::pearson_correlation(a, c);
+    const bool ok =
+        std::abs(bias - 0.5) <= core::tol::kBitBiasCalibratedTol &&
+        std::abs(autocorr) <= core::tol::kAutocorrTol;
+    quality.add_row({name, bias, autocorr, static_cast<double>(longest),
+                     std::string(ok ? "yes" : "NO")});
   };
   {
     cimsram::SramRngParams p;

@@ -49,6 +49,11 @@ TRACKED = {
         # Shard-affine pooled dispatch must keep producing the same bits
         # as the serial sample-major schedule (rng keys preserved).
         "sharded_batch_affinity_bit_identity": "stable",
+        # Conformance sweep embedded in bench_micro (quick tier): every
+        # case must pass, and dropping a registered backend from the
+        # sweep is a regression.
+        "conformance_cases_passed": "higher",
+        "backends_swept": "higher",
     },
     "BENCH_compute_reuse.json": {
         "wordline_pulses_dense": "lower",

@@ -10,6 +10,11 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# Backend conformance sweep depth (tests/conformance/): "quick" is the CI
+# tier; nightly jobs export CIMNAV_CONFORMANCE_TIER=full for the larger
+# geometry set and more statistical reps.
+export CIMNAV_CONFORMANCE_TIER="${CIMNAV_CONFORMANCE_TIER:-quick}"
+
 cmake -B build -S . "$@"
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure --no-tests=error -j"${JOBS}"

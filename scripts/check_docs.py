@@ -13,6 +13,8 @@ Fails when:
   * any update policy registered under src/autonomy/ (add_policy or
     register_policy with a string-literal name) is not mentioned in the
     docs (the wake-up policy suite must stay documented);
+  * the backend conformance harness is undocumented: docs/conformance.md
+    must exist and the docs must mention tests/conformance;
   * a required doc file is missing.
 
 Usage:
@@ -29,7 +31,14 @@ DOC_FILES = [
     "README.md",
     os.path.join("docs", "architecture.md"),
     os.path.join("docs", "closed_loop.md"),
+    os.path.join("docs", "conformance.md"),
     os.path.join("docs", "fleet.md"),
+]
+
+# Test trees whose existence the docs must acknowledge (harnesses with
+# their own entry points, beyond the plain tests/test_*.cpp files).
+TEST_TREES = [
+    "tests/conformance",
 ]
 
 # Subsystems whose documentation must live in a dedicated doc file, not
@@ -120,6 +129,14 @@ def main():
             failures.append(
                 f"registered scenario '{name}' is not mentioned in the "
                 f"docs ({' / '.join(DOC_FILES)})")
+
+    for tree in TEST_TREES:
+        if not os.path.isdir(os.path.join(root, tree)):
+            failures.append(f"documented test tree '{tree}' is missing")
+        if tree not in docs_text:
+            failures.append(
+                f"test tree '{tree}' is not mentioned in the docs "
+                f"({' / '.join(DOC_FILES)})")
 
     policies = registered_policies(root)
     if not policies:

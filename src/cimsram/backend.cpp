@@ -527,6 +527,10 @@ bool cpu_has_avx2_fma() {
 class ReferenceBackend final : public ComputeBackend {
  public:
   std::string_view name() const override { return "reference"; }
+  BackendCaps caps() const override {
+    // The reference IS the draw-sequential noise contract.
+    return {.draw_compatible_noise = true, .vectorized = false};
+  }
   void run_columns(const MacroView& v, const std::uint64_t* gated_planes,
                    std::uint64_t active_rows, const std::uint8_t* out_mask,
                    int col_begin, int col_end, bool ideal, core::Rng* rng,
@@ -539,6 +543,16 @@ class ReferenceBackend final : public ComputeBackend {
 class BitSlicedBackend final : public ComputeBackend {
  public:
   std::string_view name() const override { return "bitsliced"; }
+  BackendCaps caps() const override {
+    // Noise comes from a lane-parallel ziggurat keyed off one caller
+    // draw: distribution-matched, not draw-for-draw comparable.
+#if CIMNAV_X86
+    return {.draw_compatible_noise = false,
+            .vectorized = cpu_has_avx2_fma()};
+#else
+    return {.draw_compatible_noise = false, .vectorized = false};
+#endif
+  }
   void run_columns(const MacroView& v, const std::uint64_t* gated_planes,
                    std::uint64_t active_rows, const std::uint8_t* out_mask,
                    int col_begin, int col_end, bool ideal, core::Rng* rng,

@@ -56,6 +56,19 @@ struct MacroView {
   double input_scale = 1.0;
 };
 
+/// Capability flags a backend declares about itself. The conformance
+/// harness (conformance.hpp) reads these to pick the strictest check a
+/// backend can satisfy; they are descriptive, never behavioral.
+struct BackendCaps {
+  /// The noisy path consumes the caller's rng stream draw-for-draw like
+  /// the reference kernel (one Rng::normal_fast per cycle in cycle
+  /// order), so noisy outputs are bitwise-comparable against
+  /// "reference", not merely distribution-matched.
+  bool draw_compatible_noise = false;
+  /// The kernel uses SIMD on this host (informational, for bench rows).
+  bool vectorized = false;
+};
+
 /// Column-kernel interface. Implementations must be stateless and
 /// thread-safe: one instance serves every macro concurrently.
 class ComputeBackend {
@@ -64,6 +77,11 @@ class ComputeBackend {
 
   /// Registry key ("reference", "bitsliced", ...).
   virtual std::string_view name() const = 0;
+
+  /// Self-declared capabilities (see BackendCaps). The conservative
+  /// default claims nothing: new backends inherit the statistical noisy
+  /// check until they opt into the stricter draw-compatible tier.
+  virtual BackendCaps caps() const { return {}; }
 
   /// Evaluates columns [col_begin, col_end). `gated_planes` holds
   /// input_bits x words packed words (encoding & row gate); `out_mask`

@@ -165,6 +165,18 @@ void encode_input_planes(const std::vector<double>& x, int n_in,
                          int input_bits, double inv_input_scale,
                          EncodedInput& enc);
 
+/// Physical-geometry snapshot of one logical layer, surfaced so the
+/// conformance harness can enumerate and label cases (repro strings)
+/// without downcasting to the concrete macro type.
+struct MacroGeometry {
+  int n_in = 0;
+  int n_out = 0;
+  int words = 0;      ///< packed gate words per bit plane
+  int planes = 0;     ///< weight magnitude planes (weight_bits - 1)
+  int grid_rows = 1;  ///< physical shard grid (1 x 1 = monolithic)
+  int grid_cols = 1;
+};
+
 /// The consumer-facing surface of one logical CIM layer. Implemented by
 /// the monolithic CimMacro and by ShardedMacro (a grid of CimMacros);
 /// everything downstream of the macro — CimMlp, bnn::mc_predict_cim,
@@ -180,6 +192,8 @@ class MacroLike {
   virtual int gate_words() const = 0;
   virtual double input_scale() const = 0;
   virtual const CimMacroConfig& config() const = 0;
+  /// Physical geometry (shard grid dimensions for composite macros).
+  virtual MacroGeometry geometry() const = 0;
 
   /// Quantizes and bit-plane-expands `x` once; the encoding can then be
   /// replayed against any number of row gates / output masks.
@@ -266,6 +280,9 @@ class CimMacro final : public MacroLike {
   double weight_scale() const { return weight_scale_; }
   double input_scale() const override { return input_scale_; }
   const CimMacroConfig& config() const override { return config_; }
+  MacroGeometry geometry() const override {
+    return {n_in_, n_out_, words_, planes_, 1, 1};
+  }
 
   std::vector<double> matvec(const std::vector<double>& x,
                              const std::vector<std::uint8_t>& in_mask,

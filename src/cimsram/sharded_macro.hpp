@@ -55,6 +55,10 @@ class ShardedMacro final : public MacroLike {
   int grid_rows() const { return static_cast<int>(row_off_.size()) - 1; }
   int grid_cols() const { return static_cast<int>(col_off_.size()) - 1; }
   const CimMacro& shard(int r, int c) const;
+  MacroGeometry geometry() const override {
+    return {n_in_, n_out_, words_, config_.weight_bits - 1, grid_rows(),
+            grid_cols()};
+  }
 
   void encode_input(const std::vector<double>& x,
                     EncodedInput& enc) const override;

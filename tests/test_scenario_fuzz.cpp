@@ -1,0 +1,172 @@
+// Seeded randomized scenario fuzzing for the closed-loop runner: ~20
+// small configs drawn from one keyed rng sweep the scenario registry,
+// trajectory lengths, filter sizes, wake-up policies, window sizes and
+// both odometry modes. Each run gates the invariants that hold for ANY
+// configuration:
+//
+//   * every reported float (errors, spreads, ESS, sigmas, energies) is
+//     finite — no NaN poses or collapsed weight normalizations leak out;
+//   * the energy ledger is conserved: per-frame joules are exactly
+//     vo + update, and the run totals are exactly the per-frame sums
+//     (same accumulation order as the runner, so bitwise equality);
+//   * likelihood-eval counters are conserved the same way;
+//   * the run-level error summaries (RMSE, final error) are finite.
+//
+// The VO stack (training is the expensive part) is built once and shared;
+// each config builds its own small scenario + CIM measurement backend.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autonomy/update_policy.hpp"
+#include "core/rng.hpp"
+#include "filter/scenario.hpp"
+#include "vo/closed_loop.hpp"
+#include "vo/pipeline.hpp"
+
+namespace cimnav {
+namespace {
+
+using core::Rng;
+
+constexpr int kFuzzConfigs = 20;
+constexpr std::uint64_t kFuzzRoot = 0xF022ull;
+
+class ScenarioFuzz : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vo::VoPipelineConfig vo_cfg;
+    vo_cfg.landmark_count = 8;
+    vo_cfg.hidden_sizes = {24, 12};
+    vo_cfg.train_samples = 600;
+    vo_cfg.train.epochs = 25;
+    vo_cfg.test_steps = 8;
+    vo_ = new vo::VoPipeline(vo_cfg);
+    cimsram::CimMacroConfig macro;
+    macro.input_bits = 6;
+    macro.weight_bits = 6;
+    macro.adc_bits = 6;
+    net_ = vo_->make_cim_network(macro).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete vo_;
+    net_ = nullptr;
+    vo_ = nullptr;
+  }
+
+  static vo::VoPipeline* vo_;
+  static nn::CimMlp* net_;
+};
+
+vo::VoPipeline* ScenarioFuzz::vo_ = nullptr;
+nn::CimMlp* ScenarioFuzz::net_ = nullptr;
+
+/// One randomized (scenario, loop) configuration, fully determined by
+/// the fuzz index.
+struct FuzzDraw {
+  filter::ScenarioConfig scenario;
+  vo::ClosedLoopConfig loop;
+  std::string label;
+};
+
+FuzzDraw draw_config(int index) {
+  Rng rng = Rng::stream(kFuzzRoot, static_cast<std::uint64_t>(index));
+  const auto scenarios = filter::scenario_names();
+  const auto policies = autonomy::policy_names();
+
+  FuzzDraw d;
+  const auto& name =
+      scenarios[static_cast<std::size_t>(index) % scenarios.size()];
+  d.scenario = filter::make_scenario_config(name);
+  d.scenario.trajectory_steps =
+      4 + static_cast<int>(rng.uniform_int(0, 4));
+  d.scenario.map_cloud_points =
+      450 + static_cast<int>(rng.uniform_int(0, 300));
+  d.scenario.mixture_components =
+      8 + static_cast<int>(rng.uniform_int(0, 4));
+  d.scenario.scan_pixels = 24 + 8 * static_cast<int>(rng.uniform_int(0, 1));
+  d.scenario.filter.particle_count =
+      40 + 20 * static_cast<int>(rng.uniform_int(0, 3));
+  d.scenario.cim_columns = 80 + 40 * static_cast<int>(rng.uniform_int(0, 2));
+  d.scenario.seed = rng();
+
+  d.loop.mode = (index % 2 == 0) ? vo::OdometryMode::kClosedLoop
+                                 : vo::OdometryMode::kOpenLoop;
+  d.loop.window = 1 + static_cast<int>(rng.uniform_int(0, 3));
+  d.loop.policy =
+      policies[static_cast<std::size_t>(index) % policies.size()];
+  d.loop.mc.iterations = 3 + static_cast<int>(rng.uniform_int(0, 3));
+  d.loop.mc.dropout_p = 0.1 + 0.1 * rng.uniform();
+  d.loop.kld_adapt = (index % 5 == 4);
+  d.loop.run_seed = rng();
+  d.loop.feature_seed = rng();
+  d.loop.mask_seed = rng();
+  d.loop.analog_seed = rng();
+
+  d.label = name + "/" + d.loop.policy + "/steps=" +
+            std::to_string(d.scenario.trajectory_steps) +
+            "/idx=" + std::to_string(index);
+  return d;
+}
+
+void check_invariants(const vo::ClosedLoopRun& run, const FuzzDraw& d) {
+  SCOPED_TRACE(d.label);
+  ASSERT_EQ(run.steps.size(),
+            static_cast<std::size_t>(d.scenario.trajectory_steps));
+
+  double vo_sum = 0.0, update_sum = 0.0;
+  std::uint64_t evals = 0;
+  for (const auto& s : run.steps) {
+    EXPECT_TRUE(std::isfinite(s.position_error_m)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.yaw_error_rad)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.ess_fraction)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.position_spread_m)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.vo_delta_error_m)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.vo_sigma)) << "step " << s.step;
+    EXPECT_TRUE(std::isfinite(s.update_beta)) << "step " << s.step;
+    EXPECT_GE(s.ess_fraction, 0.0);
+    EXPECT_GE(s.position_spread_m, 0.0);
+    EXPECT_GT(s.particle_count, 0);
+    // Per-frame ledger: the frame's joules are exactly its components.
+    EXPECT_EQ(s.energy_j, s.vo_energy_j + s.update_energy_j)
+        << "step " << s.step;
+    vo_sum += s.vo_energy_j;
+    update_sum += s.update_energy_j;
+    evals += s.likelihood_evals;
+  }
+  // Run totals accumulate the per-frame values in step order, so the
+  // sums match bitwise — conservation, not approximation.
+  EXPECT_EQ(run.vo_energy_j, vo_sum);
+  EXPECT_EQ(run.update_energy_j, update_sum);
+  EXPECT_EQ(run.total_energy_j, run.vo_energy_j + run.update_energy_j);
+  EXPECT_EQ(run.likelihood_evals, evals);
+
+  EXPECT_TRUE(std::isfinite(run.rmse_m));
+  EXPECT_TRUE(std::isfinite(run.final_error_m));
+  EXPECT_TRUE(std::isfinite(run.mean_spread_m));
+  EXPECT_TRUE(std::isfinite(run.mean_vo_sigma));
+  EXPECT_GE(run.rmse_m, 0.0);
+  EXPECT_GT(run.mean_particles, 0.0);
+  EXPECT_EQ(run.full_updates + run.decimated_updates + run.skipped_updates,
+            static_cast<int>(run.steps.size()));
+}
+
+TEST_F(ScenarioFuzz, RandomizedConfigsKeepLedgerAndPosesFinite) {
+  for (int i = 0; i < kFuzzConfigs; ++i) {
+    const FuzzDraw d = draw_config(i);
+    SCOPED_TRACE(d.label);
+    const filter::LocalizationScenario scenario(d.scenario);
+    const auto model = scenario.make_cim_backend();
+    const auto run =
+        vo::run_odometry_loop(scenario, *vo_, *net_, *model, d.loop);
+    check_invariants(run, d);
+  }
+}
+
+}  // namespace
+}  // namespace cimnav

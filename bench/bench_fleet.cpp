@@ -253,6 +253,123 @@ int main() {
   }
   table.print(std::cout);
 
+  // ---- QoS admission sweep: six tenants contend for a two-seat
+  // working set (a synthetic 3x overload), swept across every
+  // registered admission policy. All gated quantities are
+  // deterministic: deadline-hit fractions come from tick counting and
+  // per-policy batching ratios from the dispatch ledger, and every
+  // scheduled session must stay bit-identical to its standalone run —
+  // QoS picks WHICH sessions batch, never what they compute.
+  {
+    filter::ScenarioConfig qcfg =
+        filter::make_scenario_config("corridor_dropout");
+    qcfg.trajectory_steps = 8;
+    qcfg.map_cloud_points = 1200;
+    qcfg.mixture_components = 20;
+    qcfg.scan_pixels = 40;
+    qcfg.filter.particle_count = 100;
+    qcfg.cim_columns = 120;
+    const filter::LocalizationScenario qscenario(qcfg);
+    const auto qmodel = qscenario.make_cim_backend();
+
+    constexpr int kTenants = 6;
+    constexpr int kQosWindow = 2;
+    // Alternating urgent/background tenants: tight deadlines ride the
+    // high class. With 2 seats x window 2, a tenant needs 4 scheduled
+    // ticks; fifo serves admission order (completions at ticks 4, 8,
+    // 12), so the tight targets are only reachable by priority/EDF.
+    const int priorities[kTenants] = {3, 1, 3, 1, 3, 1};
+    const int targets[kTenants] = {6, 12, 6, 12, 6, 12};
+    const auto qspec_for = [](int i) {
+      vo::ClosedLoopConfig cfg;
+      cfg.window = kQosWindow;
+      cfg.mc.iterations = 5;
+      cfg.run_seed = 61 + static_cast<std::uint64_t>(i);
+      return cfg;
+    };
+
+    std::vector<vo::ClosedLoopRun> refs;
+    double ref_energy_j = 0.0;
+    for (int i = 0; i < kTenants; ++i) {
+      refs.push_back(vo::run_odometry_loop(qscenario, vo, *cim, *qmodel,
+                                           qspec_for(i)));
+      ref_energy_j += refs.back().total_energy_j;
+    }
+    const double frames_total =
+        static_cast<double>(kTenants) * static_cast<double>(qcfg.trajectory_steps);
+    const double j_per_frame = ref_energy_j / frames_total;
+    // A full 2-seat tick costs ~4 frames; 70% of that forces the
+    // energy_aware policy to shed the low class some of the time.
+    const double tick_budget_j = 0.7 * 2.0 * kQosWindow * j_per_frame;
+
+    bool qos_identical = true;
+    core::Table qtable({"policy", "at-target", "misses", "queue ticks",
+                        "dispatch ratio", "shed"});
+    qtable.set_precision(3);
+    const char* policies[4] = {"fifo", "priority", "deadline",
+                               "energy_aware"};
+    for (const char* policy : policies) {
+      fleet::FleetConfig qf;
+      qf.pool = nullptr;
+      qf.window = kQosWindow;
+      qf.max_sessions = kTenants;
+      qf.queue_capacity = kTenants;
+      qf.admission = policy;
+      qf.working_set = 2;
+      if (std::string(policy) == "energy_aware")
+        qf.tick_energy_budget_j = tick_budget_j;
+      fleet::FleetEngine qengine(qf);
+      const std::size_t qw =
+          qengine.add_workload(qscenario, vo, *cim, *qmodel);
+      std::vector<fleet::SessionHandle> qhandles;
+      for (int i = 0; i < kTenants; ++i) {
+        fleet::SessionSpec spec;
+        spec.workload = qw;
+        spec.loop = qspec_for(i);
+        spec.qos.priority = priorities[i];
+        spec.qos.target_latency_ticks = targets[i];
+        qhandles.push_back(qengine.try_submit(spec));
+      }
+      qengine.run_until_idle();
+      for (int i = 0; i < kTenants; ++i)
+        qos_identical =
+            qos_identical &&
+            same_runs(refs[static_cast<std::size_t>(i)],
+                      qhandles[static_cast<std::size_t>(i)].wait());
+      const fleet::QosReport report = qengine.qos_report();
+      const fleet::FleetStats qst = qengine.stats();
+      const double qratio =
+          qst.pooled_layer_dispatches > 0
+              ? static_cast<double>(qst.serial_layer_dispatches) /
+                    static_cast<double>(qst.pooled_layer_dispatches)
+              : 0.0;
+      const double at_target =
+          report.deadline_sessions > 0
+              ? static_cast<double>(report.sessions_at_target_latency) /
+                    static_cast<double>(report.deadline_sessions)
+              : 1.0;
+      qtable.add_row({policy, at_target,
+                      static_cast<double>(report.deadline_misses),
+                      static_cast<double>(report.queue_ticks), qratio,
+                      static_cast<double>(report.shed_events)});
+      const std::string prefix = "fleet_qos_" + std::string(policy);
+      suite.add_summary(prefix + "_at_target_fraction", at_target);
+      suite.add_summary(prefix + "_dispatch_ratio", qratio);
+      if (std::string(policy) == "energy_aware")
+        suite.add_summary(prefix + "_shed_events",
+                          static_cast<double>(report.shed_events));
+    }
+    std::printf("QoS sweep: %d tenants, 2-seat working set, window %d "
+                "(deadline targets in scheduler ticks):\n",
+                kTenants, kQosWindow);
+    qtable.print(std::cout);
+    std::printf("  bit-identical to standalone runs under every policy: "
+                "%s\n\n",
+                qos_identical ? "yes" : "NO (bug!)");
+    suite.add_summary("fleet_qos_bit_identity", qos_identical ? 1.0 : 0.0);
+    suite.add_summary("fleet_qos_policy_count", 4.0);
+  }
+
   // ---- steady-state allocation probe: a small warmed engine (state
   // pool sized so warm-up cycles it fully) must run whole admit -> run
   // -> retire cycles without touching the heap.

@@ -110,6 +110,32 @@ TRACKED = {
         # KLD-adaptive particle cost: fraction of the configured
         # kidnapped_drone cloud the adaptive session sheds.
         "fleet_kld_particle_savings": "higher",
+        # QoS sweep (6 tenants, 2-seat working set, synthetic 3x
+        # overload): deterministic tick-count fractions and dispatch
+        # ledger ratios — portable like every other fleet gate. Every
+        # session must stay bit-identical to standalone under every
+        # admission policy.
+        "fleet_qos_bit_identity": "stable",
+        # Dropping a registered admission policy from the sweep is a
+        # regression.
+        "fleet_qos_policy_count": "stable",
+        # Deadline-hit fractions: fifo is the 2/3 baseline the smarter
+        # policies must beat; priority (strict classes + round-robin)
+        # and EDF must keep their edge.
+        "fleet_qos_fifo_at_target_fraction": "stable",
+        "fleet_qos_priority_at_target_fraction": "higher",
+        "fleet_qos_deadline_at_target_fraction": "higher",
+        # Per-policy batching ratios from the dispatch ledger: a 2-seat
+        # working set batches 2 sessions per tick; energy_aware trades
+        # some batching for the budget (sheds below 2.0).
+        "fleet_qos_fifo_dispatch_ratio": "stable",
+        "fleet_qos_priority_dispatch_ratio": "stable",
+        "fleet_qos_deadline_dispatch_ratio": "stable",
+        "fleet_qos_energy_aware_dispatch_ratio": "stable",
+        # The tight budget must keep actually shedding (the policy's
+        # point); the count is deterministic because the budget is
+        # priced from the same measured per-frame energies.
+        "fleet_qos_energy_aware_shed_events": "stable",
     },
 }
 

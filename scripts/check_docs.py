@@ -13,6 +13,10 @@ Fails when:
   * any update policy registered under src/autonomy/ (add_policy or
     register_policy with a string-literal name) is not mentioned in the
     docs (the wake-up policy suite must stay documented);
+  * any admission policy registered under src/fleet/
+    (add_admission_policy or register_admission_policy with a
+    string-literal name) is not mentioned in the docs, or docs/fleet.md
+    lacks a QoS section (the fleet QoS layer must stay documented);
   * the backend conformance harness is undocumented: docs/conformance.md
     must exist and the docs must mention tests/conformance;
   * a required doc file is missing.
@@ -53,6 +57,14 @@ SCENARIO_RE = re.compile(
 POLICY_RE = re.compile(
     r'(?:add_policy|register_policy)\(\s*"([A-Za-z0-9_]+)"')
 
+ADMISSION_RE = re.compile(
+    r'(?:add_admission_policy|register_admission_policy)'
+    r'\(\s*"([A-Za-z0-9_]+)"')
+
+# docs/fleet.md must keep a dedicated QoS section (a heading mentioning
+# QoS), not just scattered mentions of the policy names.
+QOS_SECTION_RE = re.compile(r"^#{2,}\s.*\bQoS\b", re.MULTILINE)
+
 
 def registered_names(root, subdir, pattern):
     names = []
@@ -69,6 +81,10 @@ def registered_scenarios(root):
 
 def registered_policies(root):
     return registered_names(root, "autonomy", POLICY_RE)
+
+
+def registered_admission_policies(root):
+    return registered_names(root, "fleet", ADMISSION_RE)
 
 
 def main():
@@ -149,11 +165,30 @@ def main():
                 f"registered update policy '{name}' is not mentioned in "
                 f"the docs ({' / '.join(DOC_FILES)})")
 
+    admissions = registered_admission_policies(root)
+    if not admissions:
+        failures.append(
+            "no registered admission policies found under src/fleet/ "
+            "(wrong --repo-root, or the registry moved?)")
+    for name in admissions:
+        if name not in docs_text:
+            failures.append(
+                f"registered admission policy '{name}' is not mentioned "
+                f"in the docs ({' / '.join(DOC_FILES)})")
+    fleet_doc = os.path.join(root, "docs", "fleet.md")
+    if os.path.exists(fleet_doc):
+        with open(fleet_doc, encoding="utf-8") as f:
+            if not QOS_SECTION_RE.search(f.read()):
+                failures.append(
+                    "docs/fleet.md must keep a QoS section (a heading "
+                    "mentioning QoS)")
+
     print(f"[check_docs] {len(fig_benches)} figure benches, "
           f"{len(subsystems)} src subsystems, "
           f"{len(scenarios)} registered scenarios, "
-          f"{len(policies)} registered policies checked against "
-          f"{' + '.join(DOC_FILES)}: {len(failures)} failure(s)")
+          f"{len(policies)} registered policies, "
+          f"{len(admissions)} registered admission policies checked "
+          f"against {' + '.join(DOC_FILES)}: {len(failures)} failure(s)")
     for f in failures:
         print(f"[check_docs] FAILURE: {f}", file=sys.stderr)
     return 1 if failures else 0

@@ -46,6 +46,15 @@ const vo::ClosedLoopRun& SessionHandle::wait() const {
   return state_->completion.wait();
 }
 
+const SessionQosRecord& SessionHandle::qos() const {
+  CIMNAV_REQUIRE(state_ != nullptr, "qos() on an invalid session handle");
+  // done() is the acquire that orders the scheduler's pre-complete()
+  // record write before this read.
+  CIMNAV_REQUIRE(state_->completion.done(),
+                 "qos() before the session completed (poll()/wait() first)");
+  return state_->qos;
+}
+
 void SessionHandle::reset() {
   if (state_ == nullptr) return;
   SessionState* s = state_;
@@ -63,6 +72,17 @@ FleetEngine::FleetEngine(const FleetConfig& config)
       slots_(config.max_sessions) {
   CIMNAV_REQUIRE(config.window >= 1, "fleet window must be >= 1");
   CIMNAV_REQUIRE(config.max_sessions >= 1, "fleet needs >= 1 session slot");
+  CIMNAV_REQUIRE(config.starvation_bound_ticks >= 1,
+                 "fleet starvation bound must be >= 1");
+  // Resolve the admission policy up front: an unknown name fails loudly
+  // at construction (listing the registered names), not mid-flight.
+  policy_ = make_admission_policy(config_.admission);
+  qos_.admission = std::string(policy_->name());
+  views_.reserve(config.max_sessions);
+  policy_views_.reserve(config.max_sessions);
+  forced_.reserve(config.max_sessions);
+  selected_.reserve(config.max_sessions);
+  qos_.classes.reserve(config.max_sessions);
   for (std::uint32_t i = 0; i < states_.size(); ++i) {
     states_[i].engine = this;
     states_[i].index = i;
@@ -97,6 +117,10 @@ std::size_t FleetEngine::add_workload(
 SessionHandle FleetEngine::try_submit(const SessionSpec& spec) {
   CIMNAV_REQUIRE(spec.workload < workloads_.size(),
                  "session references an unregistered workload");
+  CIMNAV_REQUIRE(spec.qos.target_latency_ticks >= 0,
+                 "QosSpec::target_latency_ticks must be >= 0");
+  CIMNAV_REQUIRE(spec.qos.energy_budget_j >= 0.0,
+                 "QosSpec::energy_budget_j must be >= 0");
   std::uint32_t idx = 0;
   if (!free_states_.try_pop(idx)) return SessionHandle{};
   SessionState& st = states_[idx];
@@ -136,6 +160,24 @@ void FleetEngine::admit_locked() {
     slot->next_frame = 0;
     slot->window_frames = 0;
     slot->active = true;
+    // QoS bookkeeping: admit_tick is the current tick (admission runs
+    // after the tick counter advances), so a target of 1 means
+    // "complete within the admission tick".
+    slot->qos = st.spec.qos;
+    slot->admit_seq = next_admit_seq_++;
+    slot->admit_tick = stats_.ticks;
+    slot->deadline_tick =
+        st.spec.qos.target_latency_ticks > 0
+            ? static_cast<std::int64_t>(stats_.ticks) +
+                  st.spec.qos.target_latency_ticks - 1
+            : -1;
+    slot->last_scheduled_tick = 0;
+    slot->queue_ticks_row = 0;
+    slot->queue_ticks_total = 0;
+    slot->scheduled_ticks = 0;
+    slot->scheduled = false;
+    slot->vo_energy_spent_j = 0.0;
+    slot->update_energy_spent_j = 0.0;
     const auto win = static_cast<std::size_t>(config_.window);
     slot->inputs.resize(win);
     slot->xs.resize(win);
@@ -144,6 +186,134 @@ void FleetEngine::admit_locked() {
     slot->frame_workloads.resize(win);
     ++active_count_;
     ++stats_.sessions_admitted;
+  }
+}
+
+QosClassLedger& FleetEngine::class_ledger_locked(int priority) {
+  for (QosClassLedger& c : qos_.classes)
+    if (c.priority == priority) return c;
+  qos_.classes.emplace_back();
+  qos_.classes.back().priority = priority;
+  return qos_.classes.back();
+}
+
+void FleetEngine::select_locked() {
+  // One view per runnable session, slot order.
+  views_.clear();
+  for (std::uint32_t si = 0; si < slots_.size(); ++si) {
+    Slot& s = slots_[si];
+    if (!s.active) continue;
+    s.scheduled = false;
+    SessionView v;
+    v.slot = si;
+    v.admit_seq = s.admit_seq;
+    v.admit_tick = s.admit_tick;
+    v.priority = s.qos.priority;
+    v.deadline_tick = s.deadline_tick;
+    v.last_scheduled_tick = s.last_scheduled_tick;
+    v.queue_ticks = s.queue_ticks_row;
+    v.frames_left = s.session.frame_count() - s.next_frame;
+    v.energy_spent_j = s.vo_energy_spent_j + s.update_energy_spent_j;
+    if (s.next_frame > 0 && v.frames_left > 0) {
+      const double mean =
+          v.energy_spent_j / static_cast<double>(s.next_frame);
+      v.projected_tick_energy_j =
+          mean * static_cast<double>(std::min(config_.window, v.frames_left));
+    }
+    v.over_session_budget = s.qos.energy_budget_j > 0.0 &&
+                            v.energy_spent_j > s.qos.energy_budget_j;
+    views_.push_back(v);
+  }
+  selected_.clear();
+  if (views_.empty()) return;
+
+  const std::size_t limit =
+      config_.working_set == 0
+          ? views_.size()
+          : std::min(config_.working_set, views_.size());
+
+  // Starvation guard: anything passed over for the bound's worth of
+  // consecutive ticks runs now, oldest admissions first, ahead of the
+  // policy — no-starvation is structural, not per policy.
+  forced_.clear();
+  for (const SessionView& v : views_)
+    if (v.queue_ticks >= config_.starvation_bound_ticks)
+      forced_.push_back(v.slot);
+  if (!forced_.empty()) {
+    std::sort(forced_.begin(), forced_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                return slots_[a].admit_seq < slots_[b].admit_seq;
+              });
+    if (forced_.size() > limit) forced_.resize(limit);
+    qos_.starvation_overrides += forced_.size();
+    for (std::uint32_t sl : forced_) selected_.push_back(sl);
+  }
+
+  // The policy fills the remaining seats from the non-forced views.
+  if (selected_.size() < limit) {
+    const std::size_t room = limit - selected_.size();
+    SelectContext ctx;
+    ctx.tick = stats_.ticks;
+    ctx.tick_energy_budget_j = config_.tick_energy_budget_j;
+    const SessionView* pv = views_.data();
+    std::size_t pn = views_.size();
+    if (!forced_.empty()) {
+      policy_views_.clear();
+      for (const SessionView& v : views_)
+        if (std::find(forced_.begin(), forced_.end(), v.slot) ==
+            forced_.end())
+          policy_views_.push_back(v);
+      pv = policy_views_.data();
+      pn = policy_views_.size();
+    }
+    if (pn > 0) {
+      const std::size_t before = selected_.size();
+      policy_->select(pv, pn, room, ctx, selected_);
+      if (selected_.size() > limit) selected_.resize(limit);
+      // Seats the policy left empty while sessions were runnable are
+      // shed work (only "energy_aware" sheds among the built-ins).
+      qos_.shed_events += std::min(pn, room) - (selected_.size() - before);
+    }
+  }
+
+  // Progress guarantee: some session always runs (a custom policy that
+  // returns nothing must not wedge run_until_idle).
+  if (selected_.empty()) {
+    std::uint32_t oldest = views_.front().slot;
+    for (const SessionView& v : views_)
+      if (v.admit_seq < slots_[oldest].admit_seq) oldest = v.slot;
+    selected_.push_back(oldest);
+  }
+
+  for (std::uint32_t sl : selected_) slots_[sl].scheduled = true;
+
+  // Book the tick for every runnable session (scheduled or queued) and
+  // record the dispatch trace.
+  for (const SessionView& v : views_) {
+    Slot& s = slots_[v.slot];
+    if (s.scheduled) {
+      s.last_scheduled_tick = stats_.ticks;
+      s.queue_ticks_row = 0;
+      ++s.scheduled_ticks;
+      ++class_ledger_locked(s.qos.priority).scheduled_ticks;
+    } else {
+      ++s.queue_ticks_row;
+      ++s.queue_ticks_total;
+      ++qos_.queue_ticks;
+      ++class_ledger_locked(s.qos.priority).queue_ticks;
+    }
+    if (config_.record_dispatch) {
+      DispatchEvent e;
+      e.tick = stats_.ticks;
+      e.admit_seq = v.admit_seq;
+      e.priority = v.priority;
+      e.deadline_tick = v.deadline_tick;
+      e.scheduled = s.scheduled;
+      e.starvation_override =
+          s.scheduled && std::find(forced_.begin(), forced_.end(),
+                                   v.slot) != forced_.end();
+      dispatch_trace_.push_back(e);
+    }
   }
 }
 
@@ -159,6 +329,37 @@ void FleetEngine::retire_locked(Slot& slot) {
   stats_.particle_frames +=
       run.mean_particles * static_cast<double>(run.steps.size());
   SessionState* st = slot.state;
+  // The QoS record must be fully written before complete(): done()'s
+  // release/acquire pair is what makes it readable through
+  // SessionHandle::qos() without a lock.
+  SessionQosRecord& q = st->qos;
+  q.spec = slot.qos;
+  q.admit_seq = slot.admit_seq;
+  q.admit_tick = slot.admit_tick;
+  q.complete_tick = stats_.ticks;
+  q.ticks_to_completion = stats_.ticks - slot.admit_tick + 1;
+  q.scheduled_ticks = slot.scheduled_ticks;
+  q.queue_ticks = slot.queue_ticks_total;
+  q.had_deadline = slot.qos.target_latency_ticks > 0;
+  q.deadline_hit =
+      q.had_deadline &&
+      q.ticks_to_completion <=
+          static_cast<std::uint64_t>(slot.qos.target_latency_ticks);
+  q.vo_energy_j = slot.vo_energy_spent_j;
+  q.update_energy_j = slot.update_energy_spent_j;
+  QosClassLedger& cls = class_ledger_locked(slot.qos.priority);
+  ++cls.sessions_completed;
+  if (q.had_deadline) {
+    ++qos_.deadline_sessions;
+    if (q.deadline_hit) {
+      ++qos_.sessions_at_target_latency;
+      ++cls.deadline_hits;
+    } else {
+      ++qos_.deadline_misses;
+      ++cls.deadline_misses;
+    }
+  }
+  qos_.max_queue_ticks = std::max(qos_.max_queue_ticks, q.queue_ticks);
   st->completion.complete(run);
   slot.state = nullptr;
   slot.active = false;
@@ -173,6 +374,11 @@ bool FleetEngine::tick_locked() {
   admit_locked();
   const bool admitted = stats_.sessions_admitted != admitted_before;
 
+  // QoS working-set selection: which runnable sessions advance this
+  // tick. Selection only gates window_frames below — nothing about a
+  // session's own computation depends on it.
+  select_locked();
+
   // Stage A: fan every (session, frame-offset) item of this tick's
   // windows over the pool. make_input is a pure function of the frame
   // index per session, so items are independent.
@@ -180,8 +386,13 @@ bool FleetEngine::tick_locked() {
   for (std::uint32_t si = 0; si < slots_.size(); ++si) {
     Slot& s = slots_[si];
     if (!s.active) continue;
-    s.window_frames = std::min(config_.window,
-                               s.session.frame_count() - s.next_frame);
+    s.window_frames =
+        s.scheduled ? std::min(config_.window,
+                               s.session.frame_count() - s.next_frame)
+                    : 0;
+    if (s.window_frames > 0)
+      class_ledger_locked(s.qos.priority).frames_dispatched +=
+          static_cast<std::uint64_t>(s.window_frames);
     for (int off = 0; off < s.window_frames; ++off)
       items_.emplace_back(si, static_cast<std::uint32_t>(off));
   }
@@ -234,6 +445,11 @@ bool FleetEngine::tick_locked() {
       const auto o = static_cast<std::size_t>(off);
       s.session.consume(f, s.preds[o]);
       s.session.record_frame_macro(f, s.frame_workloads[o].macro);
+      // In-flight QoS ledger, frame order — the same pricing and
+      // accumulation order finish() uses, so the record's totals are
+      // bitwise equal to the published run's.
+      s.vo_energy_spent_j += s.session.frame_vo_energy_j(f);
+      s.update_energy_spent_j += s.session.frame_update_energy_j(f);
     }
     s.next_frame += s.window_frames;
   }
@@ -299,6 +515,16 @@ void FleetEngine::scheduler_loop() {
 FleetStats FleetEngine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+QosReport FleetEngine::qos_report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QosReport r = qos_;
+  std::sort(r.classes.begin(), r.classes.end(),
+            [](const QosClassLedger& a, const QosClassLedger& b) {
+              return a.priority > b.priority;
+            });
+  return r;
 }
 
 }  // namespace cimnav::fleet

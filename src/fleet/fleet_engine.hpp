@@ -13,6 +13,14 @@
 //   admit     pop submissions into free slots, OdometrySession::begin
 //             (filters, policies and buffers are recycled in place —
 //             steady-state admission performs no heap allocation);
+//   select    the QoS working set: the admission policy
+//             (FleetConfig::admission, fleet/qos.hpp) picks which
+//             runnable sessions advance this tick (at most
+//             FleetConfig::working_set; 0 = all), after the engine's
+//             starvation guard force-includes anything passed over for
+//             starvation_bound_ticks consecutive ticks. "fifo" with an
+//             unbounded working set selects everyone — the pre-QoS
+//             scheduler bit-for-bit;
 //   stage A   fan (session, frame) scan/feature items over the pool;
 //   stage B   ONE bnn::mc_predict_cim_jobs call per distinct network:
 //             every (session, frame, iteration) item of the tick shares
@@ -30,18 +38,25 @@
 // (per-frame root, iteration). A session's ClosedLoopRun is therefore
 // bit-identical to a serial vo::run_odometry_loop with the same config
 // — at any session count, pool size, fleet window and submission order.
+// QoS extends, and cannot weaken, that contract: the working set
+// decides which sessions advance a tick, never a session's rng keys or
+// frame order, so the guarantee holds under every admission policy
+// (pinned by tests/test_fleet_fuzz.cpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/completion.hpp"
 #include "core/mpsc_queue.hpp"
 #include "core/thread_pool.hpp"
+#include "fleet/qos.hpp"
 #include "vo/closed_loop.hpp"
 #include "vo/odometry_session.hpp"
 
@@ -56,6 +71,10 @@ class FleetEngine;
 struct SessionSpec {
   std::size_t workload = 0;
   vo::ClosedLoopConfig loop;
+  /// Quality-of-service contract (priority class, latency target,
+  /// energy budget). The default spec is what every pre-QoS session
+  /// implicitly had.
+  QosSpec qos;
 };
 
 /// Shared state behind a SessionHandle. Pooled inside the engine; users
@@ -64,6 +83,10 @@ struct SessionSpec {
 struct SessionState {
   core::Completion<vo::ClosedLoopRun> completion;
   SessionSpec spec;
+  /// Written by the scheduler before the completion publishes; read
+  /// through SessionHandle::qos() only after poll() (the completion's
+  /// release/acquire pair orders the accesses).
+  SessionQosRecord qos;
   FleetEngine* engine = nullptr;
   std::uint32_t index = 0;
 };
@@ -88,6 +111,9 @@ class SessionHandle {
   /// Blocks until published; the reference stays valid until this
   /// handle (and its copies) release the slot.
   const vo::ClosedLoopRun& wait() const;
+  /// The session's QoS outcome (queue ticks, deadline hit/miss, energy
+  /// ledger). Requires poll() — the record publishes with the run.
+  const SessionQosRecord& qos() const;
   /// Releases the reference early (the handle becomes invalid).
   void reset();
 
@@ -111,6 +137,23 @@ struct FleetConfig {
   std::size_t max_sessions = 16;
   /// Submission ring capacity (rounded up to a power of two).
   std::size_t queue_capacity = 64;
+  /// Admission policy name (fleet/qos.hpp registry). The default,
+  /// "fifo" with working_set 0, reproduces the pre-QoS scheduler
+  /// bit-for-bit. Resolved (and validated) at construction.
+  std::string admission = "fifo";
+  /// Max sessions the working set advances per tick; 0 = unbounded
+  /// (every runnable session, the pre-QoS behavior).
+  std::size_t working_set = 0;
+  /// Fleet J/tick budget for "energy_aware" (0 = unlimited).
+  double tick_energy_budget_j = 0.0;
+  /// Engine-side starvation guard: a runnable session passed over for
+  /// this many consecutive ticks is force-included ahead of the
+  /// policy's picks (>= 1).
+  std::uint64_t starvation_bound_ticks = 64;
+  /// Record a per-(session, tick) DispatchEvent trace for the property
+  /// tests / diagnostics. Recording grows a vector — leave off when
+  /// probing the zero-steady-state-allocation contract.
+  bool record_dispatch = false;
 };
 
 /// Scheduler counters and the fleet-level ledger (sums over completed
@@ -186,6 +229,15 @@ class FleetEngine {
   void stop();
 
   FleetStats stats() const;
+  /// Fleet-wide QoS counters over completed sessions (classes sorted by
+  /// priority, descending).
+  QosReport qos_report() const;
+  /// The recorded dispatch trace (FleetConfig::record_dispatch). Only
+  /// meaningful while the engine is quiescent (no background thread,
+  /// no concurrent tick()).
+  const std::vector<DispatchEvent>& dispatch_trace() const {
+    return dispatch_trace_;
+  }
   const FleetConfig& config() const { return config_; }
   std::size_t workload_count() const { return workloads_.size(); }
 
@@ -212,11 +264,31 @@ class FleetEngine {
     int next_frame = 0;
     int window_frames = 0;  ///< frames this tick advances
     bool active = false;
+    // QoS bookkeeping, reset at admission.
+    QosSpec qos;
+    std::uint64_t admit_seq = 0;
+    std::uint64_t admit_tick = 0;
+    std::int64_t deadline_tick = -1;      ///< absolute; -1 = none
+    std::uint64_t last_scheduled_tick = 0;
+    std::uint64_t queue_ticks_row = 0;    ///< consecutive pass-overs
+    std::uint64_t queue_ticks_total = 0;
+    std::uint64_t scheduled_ticks = 0;
+    bool scheduled = false;               ///< in this tick's working set
+    /// In-flight energy ledger, accumulated frame-by-frame in stage C —
+    /// bitwise equal to the published run's totals (same pricing, same
+    /// accumulation order).
+    double vo_energy_spent_j = 0.0;
+    double update_energy_spent_j = 0.0;
   };
 
   bool tick_locked();
   void admit_locked();
+  /// QoS working-set selection: starvation guard, then the admission
+  /// policy, then the >= 1 progress fallback. Sets Slot::scheduled and
+  /// books queue/scheduled tick counters and the dispatch trace.
+  void select_locked();
   void retire_locked(Slot& slot);
+  QosClassLedger& class_ledger_locked(int priority);
   void scheduler_loop();
   /// Last handle released: the state slot returns to the free ring.
   void recycle(std::uint32_t index) { free_states_.try_push(index); }
@@ -235,6 +307,16 @@ class FleetEngine {
   std::vector<bnn::McWindowJob> jobs_;
   core::ThreadPool::ForBody stage_a_body_;  ///< bound once (no per-tick
                                             ///< std::function churn)
+
+  // QoS scheduling state + per-tick selection scratch.
+  std::unique_ptr<AdmissionPolicy> policy_;
+  std::uint64_t next_admit_seq_ = 1;
+  std::vector<SessionView> views_;         ///< all runnable, slot order
+  std::vector<SessionView> policy_views_;  ///< minus forced inclusions
+  std::vector<std::uint32_t> forced_;      ///< starvation-guard picks
+  std::vector<std::uint32_t> selected_;    ///< this tick's working set
+  QosReport qos_;                          ///< completed-session ledger
+  std::vector<DispatchEvent> dispatch_trace_;
 
   FleetStats stats_;
 

@@ -1,8 +1,8 @@
 // Error-path contracts, in two parameterized suites:
 //
-// RegistryContract — shared by the three name registries (cimsram
-// compute backends, filter scenarios, autonomy update policies), one
-// probe per registry:
+// RegistryContract — shared by the four name registries (cimsram
+// compute backends, filter scenarios, autonomy update policies, fleet
+// admission policies), one probe per registry:
 //
 //   * looking up an unknown name throws std::invalid_argument whose
 //     message names the offender AND lists every registered name;
@@ -94,6 +94,18 @@ RegistryProbe policy_probe() {
           }};
 }
 
+RegistryProbe admission_probe() {
+  return {"admission",
+          {"fifo", "priority", "deadline", "energy_aware"},
+          [](const std::string& n) { fleet::make_admission_policy(n); },
+          [] { return fleet::admission_policy_names(); },
+          [](const std::string& n) {
+            return fleet::register_admission_policy(
+                n, "probe",
+                [] { return fleet::make_admission_policy("fifo"); });
+          }};
+}
+
 class RegistryContract : public ::testing::TestWithParam<RegistryProbe> {};
 
 TEST_P(RegistryContract, UnknownNameThrowsListingKnownNames) {
@@ -137,7 +149,8 @@ TEST_P(RegistryContract, DuplicateRegistrationRejected) {
 
 INSTANTIATE_TEST_SUITE_P(AllRegistries, RegistryContract,
                          ::testing::Values(scenario_probe(), backend_probe(),
-                                           policy_probe()),
+                                           policy_probe(),
+                                           admission_probe()),
                          [](const auto& info) {
                            return std::string(info.param.label);
                          });

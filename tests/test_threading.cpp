@@ -5,14 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "bnn/mask_source.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "cimsram/cim_macro.hpp"
+#include "core/completion.hpp"
+#include "core/mpsc_queue.hpp"
 #include "core/rng.hpp"
 #include "core/thread_pool.hpp"
 #include "filter/particle_filter.hpp"
@@ -243,6 +247,121 @@ TEST_F(McDeterminismTest, DenseAndReuseAgreeStatistically) {
   for (std::size_t i = 0; i < dense.mean.size(); ++i)
     EXPECT_NEAR(dense.mean[i], reuse.mean[i],
                 0.25 * (1.0 + std::abs(dense.mean[i])));
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free primitive torture — the fleet admission path under real
+// contention. These are the tests the ThreadSanitizer CI job exists
+// for: a tiny ring forces constant full/empty churn, so producers and
+// the consumer hammer the same cells' seq counters from different
+// threads, and any missing acquire/release pair in MpscQueue or
+// Completion shows up as a TSan race (and, usually, as lost or
+// reordered items here).
+// ---------------------------------------------------------------------------
+
+TEST(MpscQueueTorture, BurstProducersAgainstConsumingScheduler) {
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 5000;
+  // Deliberately tiny: bursts overrun capacity immediately, so pushes
+  // spin on "full" while the consumer races the same cells.
+  core::MpscQueue<std::uint64_t> queue(8);
+
+  std::vector<std::vector<std::uint64_t>> consumed_per_producer(kProducers);
+  std::thread consumer([&] {
+    std::uint64_t got = 0, v = 0;
+    while (got < kProducers * kPerProducer) {
+      if (!queue.try_pop(v)) {
+        std::this_thread::yield();
+        continue;
+      }
+      consumed_per_producer[v / kPerProducer].push_back(v % kPerProducer);
+      ++got;
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&queue, p] {
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(p) * kPerProducer;
+      for (std::uint64_t i = 0; i < kPerProducer; ++i)
+        while (!queue.try_push(base + i)) std::this_thread::yield();
+    });
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  // Every item exactly once, and per-producer FIFO order survived (a
+  // single consumer pops claimed cells in ring order, so each
+  // producer's own sequence may interleave with others but never
+  // reorder against itself).
+  for (int p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(consumed_per_producer[p].size(), kPerProducer)
+        << "producer " << p;
+    for (std::uint64_t i = 0; i < kPerProducer; ++i)
+      ASSERT_EQ(consumed_per_producer[p][i], i)
+          << "producer " << p << " item " << i;
+  }
+  EXPECT_EQ(queue.size_approx(), 0u);
+}
+
+TEST(CompletionTorture, PooledPublishPollReleaseCycles) {
+  // The fleet's lifecycle, compressed: reset -> add_ref(2) -> producer
+  // complete()s a payload -> a consumer thread spins on done() and
+  // reads -> both sides release, last one recycles. The done() acquire
+  // must order the payload (and the QoS-record analog, written before
+  // complete()) for the polling thread.
+  struct Payload {
+    std::uint64_t value = 0;
+    std::uint64_t shadow = 0;  ///< written pre-complete, read post-poll
+  };
+  constexpr int kSlots = 4;
+  constexpr std::uint64_t kCycles = 3000;
+  core::Completion<Payload> slots[kSlots];
+  std::uint64_t pre_complete_shadow[kSlots] = {0, 0, 0, 0};
+  core::MpscQueue<std::uint32_t> free_ring(kSlots);
+  core::MpscQueue<std::uint32_t> published(kSlots);
+  for (std::uint32_t i = 0; i < kSlots; ++i) free_ring.try_push(i);
+
+  std::atomic<std::uint64_t> checked{0};
+  std::thread consumer([&] {
+    std::uint32_t idx = 0;
+    std::uint64_t got = 0;
+    while (got < kCycles) {
+      if (!published.try_pop(idx)) {
+        std::this_thread::yield();
+        continue;
+      }
+      core::Completion<Payload>& c = slots[idx];
+      while (!c.done()) std::this_thread::yield();
+      // Both the swapped-in payload and the plain side-band write that
+      // happened before complete() must be visible after done().
+      // (EXPECT, not ASSERT: an early return here would wedge the
+      // cycle count and hang the test on failure.)
+      EXPECT_EQ(c.value().shadow, c.value().value + 1);
+      EXPECT_EQ(pre_complete_shadow[idx], c.value().value);
+      checked.fetch_add(1, std::memory_order_relaxed);
+      if (c.release() == 0)
+        while (!free_ring.try_push(idx)) std::this_thread::yield();
+      ++got;
+    }
+  });
+
+  for (std::uint64_t cycle = 0; cycle < kCycles; ++cycle) {
+    std::uint32_t idx = 0;
+    while (!free_ring.try_pop(idx)) std::this_thread::yield();
+    core::Completion<Payload>& c = slots[idx];
+    c.reset();
+    c.add_ref(2);  // producer + consumer, the engine's split
+    Payload p;
+    p.value = cycle;
+    p.shadow = cycle + 1;
+    pre_complete_shadow[idx] = cycle;  // ordered by complete()'s release
+    c.complete(p);
+    while (!published.try_push(idx)) std::this_thread::yield();
+    if (c.release() == 0)
+      while (!free_ring.try_push(idx)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(checked.load(), kCycles);
 }
 
 TEST(ParticleFilterThreading, UpdateBitExactAcrossThreadCounts) {

@@ -13,6 +13,7 @@
 #include "bnn/mask_source.hpp"
 #include "bnn/mc_dropout.hpp"
 #include "core/table.hpp"
+#include "core/thread_pool.hpp"
 #include "nn/cim_mlp.hpp"
 #include "nn/mlp.hpp"
 
@@ -120,10 +121,16 @@ int main() {
 
   // Machine-readable perf record: wall-clock of the three execution modes
   // at the reference operating point (T=30, p=0.5) plus the measured
-  // word-line workload ratios, tracked across PRs via BENCH_*.json.
+  // word-line workload ratios, tracked across PRs via BENCH_*.json. Each
+  // timed row carries its measured word-line pulses as the items metric,
+  // so the JSON exposes pulses/s alongside ns/op.
   std::printf("\n=== timed modes (T=30, p=0.5) ===\n");
   bench::Suite suite("compute_reuse");
-  const auto timed = [&](const char* name, bool reuse, bool order) {
+  const auto dense_wl = measure(30, 0.5, false, false);
+  const auto reuse_wl = measure(30, 0.5, true, false);
+  const auto both_wl = measure(30, 0.5, true, true);
+  const auto timed = [&](const char* name, bool reuse, bool order,
+                         const bnn::McWorkload& wl) {
     bnn::SoftwareMaskSource masks(core::Rng{11});
     bnn::McOptions opt;
     opt.iterations = 30;
@@ -132,17 +139,75 @@ int main() {
     opt.order_samples = order;
     core::Rng arng(13);
     cim.reset_stats();
-    suite.run(name, 1, 0, "", [&] {
+    return suite.run(name, 1,
+                     static_cast<double>(wl.macro.wordline_pulses),
+                     "wl_pulses", [&] {
       bnn::mc_predict_cim(cim, x, opt, masks, arng);
     });
   };
-  timed("mc_predict/dense", false, false);
-  timed("mc_predict/reuse", true, false);
-  timed("mc_predict/reuse+order", true, true);
+  const auto dense_t = timed("mc_predict/dense", false, false, dense_wl);
+  const auto reuse_t = timed("mc_predict/reuse", true, false, reuse_wl);
+  timed("mc_predict/reuse+order", true, true, both_wl);
 
-  const auto dense_wl = measure(30, 0.5, false, false);
-  const auto reuse_wl = measure(30, 0.5, true, false);
-  const auto both_wl = measure(30, 0.5, true, true);
+  // The pooled reuse engine: one window of frames, every refresh chain
+  // advancing step-synchronously over the pool. Dispatch accounting runs
+  // through mc_predict_cim_jobs with 8 lock-step reuse sessions: the
+  // ratio is how many serial-equivalent jobs shared the tick's single
+  // pooled dispatch set (the frame-serial fallback used to pin it ~1).
+  core::ThreadPool pool(8);
+  {
+    constexpr int kFrames = 8;
+    std::vector<nn::Vector> frames;
+    for (int f = 0; f < kFrames; ++f) {
+      nn::Vector v(144);
+      for (auto& e : v) e = rng.uniform();
+      frames.push_back(std::move(v));
+    }
+    std::vector<const nn::Vector*> xs;
+    for (const auto& v : frames) xs.push_back(&v);
+    bnn::McOptions opt;
+    opt.iterations = 30;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = true;
+    suite.run("mc_predict_window8/reuse+pooled", 8,
+              static_cast<double>(kFrames) *
+                  static_cast<double>(reuse_wl.macro.wordline_pulses),
+              "wl_pulses", [&] {
+                bnn::SoftwareMaskSource masks(core::Rng{11});
+                core::Rng arng(13);
+                bnn::mc_predict_cim_window(cim, xs, opt, masks, arng);
+              });
+  }
+  double pooled_reuse_dispatch_ratio = 0.0;
+  {
+    constexpr std::size_t kSessions = 8;
+    nn::Vector frame = x;
+    std::vector<bnn::SoftwareMaskSource> masks;
+    std::vector<core::Rng> arngs;
+    for (std::size_t sidx = 0; sidx < kSessions; ++sidx) {
+      masks.emplace_back(core::Rng{11 + static_cast<std::uint64_t>(sidx)});
+      arngs.emplace_back(13 + static_cast<std::uint64_t>(sidx));
+    }
+    std::vector<bnn::McPrediction> preds(kSessions);
+    bnn::McOptions opt;
+    opt.iterations = 30;
+    opt.dropout_p = 0.5;
+    opt.compute_reuse = true;
+    std::vector<bnn::McWindowJob> jobs(kSessions);
+    const nn::Vector* xp = &frame;
+    for (std::size_t sidx = 0; sidx < kSessions; ++sidx) {
+      jobs[sidx].xs = &xp;
+      jobs[sidx].n_frames = 1;
+      jobs[sidx].options = opt;
+      jobs[sidx].masks = &masks[sidx];
+      jobs[sidx].analog_rng = &arngs[sidx];
+      jobs[sidx].preds = &preds[sidx];
+    }
+    const std::size_t batched =
+        bnn::mc_predict_cim_jobs(cim, jobs.data(), jobs.size(), &pool);
+    pooled_reuse_dispatch_ratio = static_cast<double>(batched);
+  }
+
   suite.add_summary("wordline_pulses_dense",
                     static_cast<double>(dense_wl.macro.wordline_pulses));
   suite.add_summary("wordline_pulses_reuse",
@@ -153,6 +218,14 @@ int main() {
                     1.0 - static_cast<double>(reuse_wl.macro.wordline_pulses) /
                               static_cast<double>(
                                   dense_wl.macro.wordline_pulses));
+  // Within-run wall-clock ratio (machine-portable): the differential
+  // delta engine must keep reuse at or below dense at T=30.
+  suite.add_summary("reuse_wallclock_ratio",
+                    reuse_t.ns_per_op / dense_t.ns_per_op);
+  // 8 lock-step reuse sessions sharing one pooled dispatch set -> 8.0;
+  // a frame-serial fallback would collapse this toward 1.
+  suite.add_summary("pooled_reuse_dispatch_ratio",
+                    pooled_reuse_dispatch_ratio);
   suite.write_json();
   std::printf("\n");
   return 0;

@@ -208,6 +208,67 @@ int main() {
                     dispatch_ratio >= 4.0 ? 1.0 : 0.0);
   suite.add_summary("fleet_over_serial_runtime_ratio", overhead_ratio);
 
+  // ---- reuse tenants: the same 8 lock-step sessions with Sec. III-C
+  // compute reuse on. Reuse refresh chains advance step-synchronously
+  // through the chain-parallel engine, sharing the tick's pooled delta
+  // dispatches with every other session — no frame-serial fallback —
+  // so the dispatch-count ratio must hold the same >= 4x gate while
+  // each session stays bit-identical to its standalone reuse run.
+  {
+    const auto rspec_for = [&](std::uint64_t seed) {
+      vo::ClosedLoopConfig cfg = spec_for(seed);
+      cfg.mc.compute_reuse = true;
+      cfg.mc.order_samples = true;
+      return cfg;
+    };
+    std::vector<vo::ClosedLoopRun> reuse_serial;
+    for (int i = 0; i < kSessions; ++i)
+      reuse_serial.push_back(vo::run_odometry_loop(
+          scenario, vo, *cim, *model,
+          rspec_for(31 + static_cast<std::uint64_t>(i))));
+
+    fleet::FleetConfig rcfg;
+    rcfg.pool = nullptr;
+    rcfg.window = kWindow;
+    rcfg.max_sessions = kSessions;
+    rcfg.queue_capacity = kSessions;
+    fleet::FleetEngine rengine(rcfg);
+    const std::size_t rworkload =
+        rengine.add_workload(scenario, vo, *cim, *model);
+    std::vector<fleet::SessionHandle> rhandles;
+    for (int i = 0; i < kSessions; ++i) {
+      fleet::SessionSpec spec;
+      spec.workload = rworkload;
+      spec.loop = rspec_for(31 + static_cast<std::uint64_t>(i));
+      rhandles.push_back(rengine.try_submit(spec));
+    }
+    rengine.run_until_idle();
+
+    bool reuse_identical = true;
+    for (int i = 0; i < kSessions; ++i)
+      reuse_identical =
+          reuse_identical &&
+          same_runs(reuse_serial[static_cast<std::size_t>(i)],
+                    rhandles[static_cast<std::size_t>(i)].wait());
+    const fleet::FleetStats rst = rengine.stats();
+    const double reuse_ratio =
+        rst.pooled_layer_dispatches > 0
+            ? static_cast<double>(rst.serial_layer_dispatches) /
+                  static_cast<double>(rst.pooled_layer_dispatches)
+            : 0.0;
+
+    std::printf("8 reuse sessions, window %d, single-threaded:\n", kWindow);
+    std::printf("  bit-identical to serial runs : %s\n",
+                reuse_identical ? "yes" : "NO (bug!)");
+    std::printf("  dispatch ratio               : %.2fx (gate >= 4x)\n\n",
+                reuse_ratio);
+
+    suite.add_summary("fleet_reuse_bit_identity", reuse_identical ? 1.0 : 0.0);
+    suite.add_summary("fleet_reuse_dispatch_ratio_8s", reuse_ratio);
+    suite.add_summary("fleet_reuse_dispatch_criterion_met",
+                      reuse_ratio >= 4.0 ? 1.0 : 0.0);
+  }
+
   // ---- KLD-adaptive particle cost: the kidnapped-drone 900-particle
   // global-init cloud sheds particles once the belief's support
   // collapses (Fox's bound, shrink-only). Per-session cost reported
@@ -406,10 +467,27 @@ int main() {
     g_count_heap.store(false, std::memory_order_relaxed);
     const auto allocs = g_heap_allocs.load(std::memory_order_relaxed);
     std::printf("steady-state admit->run->retire heap allocations: %llu "
-                "(gate: 0)\n\n",
+                "(gate: 0)\n",
                 static_cast<unsigned long long>(allocs));
     suite.add_summary("fleet_zero_steady_state_alloc",
                       allocs == 0 ? 1.0 : 0.0);
+
+    // Same probe with compute reuse on: the pooled reuse path keeps its
+    // chain/delta scratch in per-thread pools sized on first use, so a
+    // warmed engine must stay off the heap there too.
+    spec.loop.mc.compute_reuse = true;
+    spec.loop.mc.order_samples = true;
+    for (int i = 0; i < 3; ++i) cycle();
+    g_heap_allocs.store(0, std::memory_order_relaxed);
+    g_count_heap.store(true, std::memory_order_relaxed);
+    for (int i = 0; i < 3; ++i) cycle();
+    g_count_heap.store(false, std::memory_order_relaxed);
+    const auto reuse_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+    std::printf("steady-state reuse-path heap allocations: %llu "
+                "(gate: 0)\n\n",
+                static_cast<unsigned long long>(reuse_allocs));
+    suite.add_summary("fleet_reuse_zero_steady_state_alloc",
+                      reuse_allocs == 0 ? 1.0 : 0.0);
   }
 
   suite.write_json();

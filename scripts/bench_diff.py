@@ -49,6 +49,9 @@ TRACKED = {
         # Shard-affine pooled dispatch must keep producing the same bits
         # as the serial sample-major schedule (rng keys preserved).
         "sharded_batch_affinity_bit_identity": "stable",
+        # Same invisibility gate for the pooled DeltaItem fan-out
+        # (compute-reuse dispatch shape) on the sharded grid.
+        "sharded_delta_affinity_bit_identity": "stable",
         # Conformance sweep embedded in bench_micro (quick tier): every
         # case must pass, and dropping a registered backend from the
         # sweep is a regression.
@@ -60,6 +63,12 @@ TRACKED = {
         "wordline_pulses_reuse": "lower",
         "wordline_pulses_reuse_order": "lower",
         "reuse_saving": "higher",
+        # Reuse wall clock over the dense engine at T=30 (within-run
+        # ratio). PR acceptance: <= 1.0 — reuse must not be slower.
+        "reuse_wallclock_ratio": "lower",
+        # 8 lock-step single-frame reuse jobs sharing one pooled
+        # dispatch set: deterministic batched-job count (8.0).
+        "pooled_reuse_dispatch_ratio": "stable",
     },
     "BENCH_closed_loop.json": {
         # The determinism probe must stay exactly 1 (any drift fails).
@@ -107,6 +116,14 @@ TRACKED = {
         "fleet_over_serial_runtime_ratio": "lower",
         # Steady-state admit -> run -> retire must not touch the heap.
         "fleet_zero_steady_state_alloc": "stable",
+        # Reuse tenants: 8 lock-step compute-reuse sessions must batch
+        # through the same pooled dispatch sets (no frame-serial
+        # fallback), hold the >= 4x gate, stay bit-identical to their
+        # standalone runs, and keep the warmed reuse path off the heap.
+        "fleet_reuse_bit_identity": "stable",
+        "fleet_reuse_dispatch_ratio_8s": "higher",
+        "fleet_reuse_dispatch_criterion_met": "stable",
+        "fleet_reuse_zero_steady_state_alloc": "stable",
         # KLD-adaptive particle cost: fraction of the configured
         # kidnapped_drone cloud the adaptive session sheds.
         "fleet_kld_particle_savings": "higher",

@@ -65,6 +65,12 @@ ADMISSION_RE = re.compile(
 # QoS), not just scattered mentions of the policy names.
 QOS_SECTION_RE = re.compile(r"^#{2,}\s.*\bQoS\b", re.MULTILINE)
 
+# docs/architecture.md must keep a dedicated compute-reuse section (a
+# heading mentioning compute reuse) documenting the delta dispatch and
+# the chain-parallel engine.
+REUSE_SECTION_RE = re.compile(r"^#{2,}\s.*\b[Cc]ompute reuse\b",
+                              re.MULTILINE)
+
 
 def registered_names(root, subdir, pattern):
     names = []
@@ -182,6 +188,13 @@ def main():
                 failures.append(
                     "docs/fleet.md must keep a QoS section (a heading "
                     "mentioning QoS)")
+    arch_doc = os.path.join(root, "docs", "architecture.md")
+    if os.path.exists(arch_doc):
+        with open(arch_doc, encoding="utf-8") as f:
+            if not REUSE_SECTION_RE.search(f.read()):
+                failures.append(
+                    "docs/architecture.md must keep a compute-reuse "
+                    "section (a heading mentioning compute reuse)")
 
     print(f"[check_docs] {len(fig_benches)} figure benches, "
           f"{len(subsystems)} src subsystems, "

@@ -50,12 +50,6 @@ void mask_site_widths(const nn::CimMlp& net, std::vector<int>& widths) {
     widths.push_back(net.macro(l).n_out());
 }
 
-std::vector<int> mask_site_widths(const nn::CimMlp& net) {
-  std::vector<int> widths;
-  mask_site_widths(net, widths);
-  return widths;
-}
-
 /// Serial Welford reduction of one frame's iteration outputs into `pred`
 /// in place (pred.variance doubles as the M2 accumulator until the final
 /// scale). Exactly VectorStats' arithmetic in the same order, so results
@@ -103,6 +97,39 @@ std::uint64_t draw_mask_sets(const std::vector<int>& widths, int iterations,
     }
   }
   return bits_drawn;
+}
+
+/// Rewrites order[begin..end) — currently the identity slice — into the
+/// greedy min-Hamming tour over those visiting positions' locus masks
+/// (mask site 0). Same algorithm and tie-breaks as
+/// greedy_min_hamming_order on the sub-range, but in place and
+/// allocation-free once `used` is warm. Chains order independently, so a
+/// position never migrates across a refresh boundary.
+void greedy_order_chain(const std::vector<std::vector<nn::Mask>>& sets,
+                        std::size_t begin, std::size_t end,
+                        std::vector<std::size_t>& order,
+                        std::vector<std::uint8_t>& used) {
+  const std::size_t n = end - begin;
+  if (n <= 2) return;  // the greedy tour from element 0 is the identity
+  used.assign(n, 0);
+  std::size_t current = begin;
+  used[0] = 1;
+  order[begin] = begin;
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t best = end;
+    std::uint64_t best_d = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t j = begin; j < end; ++j) {
+      if (used[j - begin]) continue;
+      const std::uint64_t d = hamming_distance(sets[current][0], sets[j][0]);
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    order[begin + step] = best;
+    used[best - begin] = 1;
+    current = best;
+  }
 }
 
 }  // namespace
@@ -181,99 +208,21 @@ std::uint64_t total_hamming(const std::vector<nn::Mask>& input_masks,
 McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
                             const McOptions& options, MaskSource& masks,
                             core::Rng& analog_rng, McWorkload* workload) {
-  CIMNAV_REQUIRE(options.iterations >= 1, "need at least one iteration");
-  const cimsram::MacroStats before = net.total_stats();
-  const std::vector<int> widths = mask_site_widths(net);
-
-  // Pre-draw all T mask sets (the ordering optimization needs them all).
-  // Buffers are thread_local so the MC hot path stops allocating after
-  // the first prediction of each shape.
-  // NB: pool-worker lambdas below must see the *caller's* instance, so
-  // the thread_local is reached through a captured local reference.
-  thread_local std::vector<std::vector<nn::Mask>> mask_sets_tls;
-  std::vector<std::vector<nn::Mask>>& mask_sets = mask_sets_tls;
-  const std::uint64_t bits_drawn = draw_mask_sets(
-      widths, options.iterations, options.dropout_p, masks, mask_sets);
-
-  // The reuse locus is always mask site 0: the input mask when input-site
-  // dropout is on, the first hidden mask otherwise. The locus copies are
-  // only needed by the ordering optimization and the flip accounting.
-  std::vector<std::size_t> order(mask_sets.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::vector<nn::Mask> locus_masks;
-  if (!widths.empty() && (options.order_samples || workload != nullptr)) {
-    locus_masks.reserve(mask_sets.size());
-    for (const auto& set : mask_sets) locus_masks.push_back(set[0]);
-    if (options.order_samples)
-      order = greedy_min_hamming_order(locus_masks);
-  }
-
-  // One root draw seeds every per-iteration / per-chain noise stream, so
-  // the prediction is a pure function of (inputs, seeds) regardless of how
-  // the pool partitions the work.
-  const std::uint64_t noise_root = analog_rng();
-  const std::size_t t_total = order.size();
-
-  const bool can_reuse =
-      options.compute_reuse &&
-      (net.dropout_on_input() || net.layer_count() >= 2) && !widths.empty();
-  thread_local std::vector<nn::Vector> outputs_tls;
-  std::vector<nn::Vector>& outputs = outputs_tls;
-  if (!can_reuse) {
-    // Dense path: every iteration is independent; fan them all out. The
-    // visiting order is the identity unless sample ordering was requested
-    // (it only pays off with reuse), so the common case avoids copying
-    // the mask sets into visiting order.
-    if (options.order_samples && !locus_masks.empty()) {
-      std::vector<std::vector<nn::Mask>> ordered_sets;
-      ordered_sets.reserve(t_total);
-      for (std::size_t k = 0; k < t_total; ++k)
-        ordered_sets.push_back(mask_sets[order[k]]);
-      net.forward_batch(x, ordered_sets, noise_root, options.pool, outputs);
-    } else {
-      net.forward_batch(x, mask_sets, noise_root, options.pool, outputs);
-    }
-  } else {
-    // Reuse path: the delta accumulator chains iterations sequentially,
-    // but a periodic dense refresh (bounding the noise random-walk of the
-    // accumulator) cuts the sequence into independent chains — those run
-    // concurrently.
-    const std::size_t chain_len =
-        options.reuse_refresh_interval > 0
-            ? static_cast<std::size_t>(options.reuse_refresh_interval)
-            : t_total;
-    const std::size_t n_chains = (t_total + chain_len - 1) / chain_len;
-    outputs.resize(t_total);
-    const auto run_chains = [&](std::size_t begin, std::size_t end, int) {
-      for (std::size_t c = begin; c < end; ++c) {
-        core::Rng chain_rng = core::Rng::stream(noise_root, c);
-        nn::CimMlp::ReuseState reuse;
-        const std::size_t k_end = std::min((c + 1) * chain_len, t_total);
-        for (std::size_t k = c * chain_len; k < k_end; ++k)
-          outputs[k] = net.forward_with_reuse(x, mask_sets[order[k]], reuse,
-                                              chain_rng);
-      }
-    };
-    if (options.pool != nullptr) {
-      options.pool->parallel_for(n_chains, 1, run_chains);
-    } else {
-      run_chains(0, n_chains, 0);
-    }
-  }
-
-  VectorStats stats(
-      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out()));
-  // Welford accumulation stays serial and in visiting order, so the final
-  // moments are bit-exact for any thread count.
-  for (const auto& out : outputs) stats.add(out);
-
-  if (workload != nullptr) {
-    workload->macro += net.total_stats() - before;
-    workload->mask_bits_drawn += bits_drawn;
-    workload->input_mask_flips +=
-        locus_masks.empty() ? 0 : total_hamming(locus_masks, order);
-  }
-  return stats.finish();
+  // One-frame window: the jobs engine below is the single execution path
+  // for every MC variant (dense, reuse, ordered), so standalone, windowed
+  // and fleet-batched calls are bit-identical by construction.
+  McPrediction pred;
+  const nn::Vector* xs[1] = {&x};
+  McWindowJob job;
+  job.xs = xs;
+  job.n_frames = 1;
+  job.options = options;
+  job.masks = &masks;
+  job.analog_rng = &analog_rng;
+  job.preds = &pred;
+  job.workload = workload;
+  mc_predict_cim_jobs(net, &job, 1, options.pool);
+  return pred;
 }
 
 std::vector<McPrediction> mc_predict_cim_window(
@@ -303,61 +252,136 @@ std::size_t mc_predict_cim_jobs(
     const nn::CimMlp& net, McWindowJob* jobs, std::size_t n_jobs,
     core::ThreadPool* pool, std::size_t side_items,
     const std::function<void(std::size_t)>& side_item) {
-  // Partition: dense jobs share ONE forward_window (one pooled macro
-  // dispatch per layer over every (job, frame, iteration) item); jobs
-  // with compute_reuse/order_samples fall back to their frame-serial
-  // path after the shared dispatch — their delta chains are frame-local,
-  // and their own mask/rng sources keep them exact regardless of order
-  // relative to other jobs.
-  constexpr std::size_t kFallback = static_cast<std::size_t>(-1);
+  // Every job batches: dense jobs share ONE forward_window (one pooled
+  // macro dispatch per layer over every (job, frame, iteration) item) and
+  // compute-reuse jobs share ONE forward_reuse_window (their refresh
+  // chains advance step-synchronously across every (job, frame), with the
+  // per-step delta matvecs pooled into one sparse batch). Per job, masks
+  // and noise roots are drawn from that job's own sources in frame order,
+  // so each job's predictions depend only on its own sources — never on
+  // which other sessions share the dispatch.
   thread_local std::vector<int> widths_tls;
   thread_local std::vector<std::vector<std::vector<nn::Mask>>> sets_tls;
-  thread_local std::vector<nn::CimMlp::FrameBatch> frames_tls;
+  thread_local std::vector<std::vector<std::vector<nn::Mask>>> ordered_tls;
+  thread_local std::vector<std::vector<std::size_t>> orders_tls;
+  thread_local std::vector<std::uint8_t> used_tls;
+  thread_local std::vector<nn::CimMlp::FrameBatch> dense_frames_tls;
+  thread_local std::vector<nn::CimMlp::ReuseFrame> reuse_frames_tls;
+  thread_local std::vector<std::vector<nn::Vector>> reuse_outs_tls;
+  thread_local std::vector<cimsram::MacroStats> reuse_stats_tls;
   thread_local std::vector<std::size_t> first_frame_tls;
+  thread_local std::vector<std::uint8_t> job_reuse_tls;
   std::vector<int>& widths = widths_tls;
-  std::vector<nn::CimMlp::FrameBatch>& frames = frames_tls;
+  std::vector<nn::CimMlp::FrameBatch>& dense_frames = dense_frames_tls;
+  std::vector<nn::CimMlp::ReuseFrame>& reuse_frames = reuse_frames_tls;
   std::vector<std::size_t>& first_frame = first_frame_tls;
+  std::vector<std::uint8_t>& job_reuse = job_reuse_tls;
   mask_site_widths(net, widths);
 
-  std::size_t total_dense = 0;
+  std::size_t total_frames = 0, total_reuse = 0, batched = 0;
+  job_reuse.clear();
   for (std::size_t j = 0; j < n_jobs; ++j) {
     CIMNAV_REQUIRE(jobs[j].options.iterations >= 1,
                    "need at least one iteration");
-    if (!(jobs[j].options.compute_reuse || jobs[j].options.order_samples))
-      total_dense += jobs[j].n_frames;
+    // The reuse engine needs a locus: input-site dropout, or a hidden
+    // layer whose mask gates layer 1. Jobs without one run dense (sample
+    // ordering still applies there — it permutes the visiting order).
+    const bool can_reuse =
+        jobs[j].options.compute_reuse &&
+        (net.dropout_on_input() || net.layer_count() >= 2) &&
+        !widths.empty();
+    job_reuse.push_back(can_reuse ? 1 : 0);
+    total_frames += jobs[j].n_frames;
+    if (can_reuse) total_reuse += jobs[j].n_frames;
+    if (jobs[j].n_frames > 0) ++batched;
   }
-  // Grow-only resize keeps every warm inner mask buffer alive.
-  if (sets_tls.size() < total_dense) sets_tls.resize(total_dense);
-  frames.clear();
+  // Grow-only resizes, done before any views are taken so FrameBatch /
+  // ReuseFrame pointers stay stable; warm inner buffers stay alive.
+  if (sets_tls.size() < total_frames) sets_tls.resize(total_frames);
+  if (ordered_tls.size() < total_frames) ordered_tls.resize(total_frames);
+  if (orders_tls.size() < total_frames) orders_tls.resize(total_frames);
+  if (reuse_outs_tls.size() < total_reuse) reuse_outs_tls.resize(total_reuse);
+  if (reuse_stats_tls.size() < total_reuse)
+    reuse_stats_tls.resize(total_reuse);
+  dense_frames.clear();
+  reuse_frames.clear();
   first_frame.clear();
 
-  // Per dense job, in job order: draw each frame's mask sets then its
-  // noise root — the exact per-source consumption of a serial
-  // single-session window over the same frames.
-  bool any_tracking = false;
-  std::size_t dense_jobs = 0;
+  // Per job, in job order: draw each frame's mask sets then its noise
+  // root — the exact per-source consumption of a serial single-session
+  // window over the same frames, on both the dense and the reuse path.
+  bool any_dense_tracking = false;
+  std::size_t slot = 0;
   for (std::size_t j = 0; j < n_jobs; ++j) {
     McWindowJob& job = jobs[j];
-    if (job.options.compute_reuse || job.options.order_samples ||
-        job.n_frames == 0) {
-      first_frame.push_back(kFallback);
-      continue;
-    }
-    first_frame.push_back(frames.size());
-    ++dense_jobs;
+    const bool can_reuse = job_reuse[j] != 0;
     const bool track =
         job.workload != nullptr || job.frame_workloads != nullptr;
-    any_tracking = any_tracking || track;
+    first_frame.push_back(can_reuse ? reuse_frames.size()
+                                    : dense_frames.size());
+    any_dense_tracking = any_dense_tracking || (!can_reuse && track);
     for (std::size_t f = 0; f < job.n_frames; ++f) {
-      auto& mask_sets = sets_tls[frames.size()];
+      auto& mask_sets = sets_tls[slot];
       const std::uint64_t frame_bits =
           draw_mask_sets(widths, job.options.iterations,
                          job.options.dropout_p, *job.masks, mask_sets);
+      const std::size_t t_total = mask_sets.size();
       std::uint64_t frame_flips = 0;
-      if (track && !widths.empty()) {
-        for (std::size_t t = 1; t < mask_sets.size(); ++t)
-          frame_flips +=
-              hamming_distance(mask_sets[t - 1][0], mask_sets[t][0]);
+      if (can_reuse) {
+        // Refresh chains slice the visiting positions; the greedy
+        // min-Hamming tour (and the flip metric it minimizes) is
+        // per-chain — deltas never cross a dense refresh.
+        const std::size_t chain_len =
+            job.options.reuse_refresh_interval > 0
+                ? static_cast<std::size_t>(job.options.reuse_refresh_interval)
+                : t_total;
+        auto& order = orders_tls[slot];
+        order.resize(t_total);
+        for (std::size_t k = 0; k < t_total; ++k) order[k] = k;
+        for (std::size_t b = 0; b < t_total; b += chain_len) {
+          const std::size_t e = std::min(b + chain_len, t_total);
+          if (job.options.order_samples)
+            greedy_order_chain(mask_sets, b, e, order, used_tls);
+          if (track) {
+            for (std::size_t k = b + 1; k < e; ++k)
+              frame_flips += hamming_distance(mask_sets[order[k - 1]][0],
+                                              mask_sets[order[k]][0]);
+          }
+        }
+        nn::CimMlp::ReuseFrame rf;
+        rf.x = job.xs[f];
+        rf.mask_sets = &mask_sets;
+        rf.order = order.data();
+        rf.chain_len = chain_len;
+        rf.noise_root = (*job.analog_rng)();
+        rf.outs = &reuse_outs_tls[reuse_frames.size()];
+        rf.stats = track ? &reuse_stats_tls[reuse_frames.size()] : nullptr;
+        reuse_frames.push_back(rf);
+      } else {
+        const std::vector<std::vector<nn::Mask>>* use_sets = &mask_sets;
+        if (job.options.order_samples && !widths.empty() && t_total > 1) {
+          // Ordering without reuse: permute the whole window's visiting
+          // order (one tour, no chains) and run it dense.
+          auto& order = orders_tls[slot];
+          order.resize(t_total);
+          for (std::size_t k = 0; k < t_total; ++k) order[k] = k;
+          greedy_order_chain(mask_sets, 0, t_total, order, used_tls);
+          auto& ordered = ordered_tls[slot];
+          ordered.resize(t_total);
+          for (std::size_t k = 0; k < t_total; ++k)
+            ordered[k] = mask_sets[order[k]];
+          use_sets = &ordered;
+        }
+        if (track && !widths.empty()) {
+          for (std::size_t t = 1; t < use_sets->size(); ++t)
+            frame_flips += hamming_distance((*use_sets)[t - 1][0],
+                                            (*use_sets)[t][0]);
+        }
+        nn::CimMlp::FrameBatch fb;
+        fb.x = job.xs[f];
+        fb.mask_sets = use_sets;
+        fb.noise_root = (*job.analog_rng)();
+        dense_frames.push_back(fb);
       }
       if (job.workload != nullptr) {
         job.workload->mask_bits_drawn += frame_bits;
@@ -368,69 +392,56 @@ std::size_t mc_predict_cim_jobs(
         job.frame_workloads[f].mask_bits_drawn = frame_bits;
         job.frame_workloads[f].input_mask_flips = frame_flips;
       }
-      nn::CimMlp::FrameBatch fb;
-      fb.x = job.xs[f];
-      fb.mask_sets = &mask_sets;
-      fb.noise_root = (*job.analog_rng)();
-      frames.push_back(fb);
+      ++slot;
     }
   }
 
-  const auto run_side_inline = [&] {
+  // Side work rides the widest dispatch: the dense window's layer-0 fan
+  // when dense frames exist, the reuse engine's first pooled phase
+  // otherwise, inline on a drain tick.
+  thread_local nn::CimMlp::WindowScratch scratch_tls;
+  thread_local std::vector<std::vector<nn::Vector>> outs_tls;
+  thread_local std::vector<cimsram::MacroStats> frame_stats_tls;
+  thread_local nn::CimMlp::ReuseScratch reuse_scratch_tls;
+  std::vector<std::vector<nn::Vector>>& outs = outs_tls;
+  std::vector<cimsram::MacroStats>& frame_stats = frame_stats_tls;
+  const bool side_on_dense = !dense_frames.empty();
+  if (!dense_frames.empty()) {
+    net.forward_window(dense_frames, pool, scratch_tls, outs,
+                       side_on_dense ? side_items : 0, side_item,
+                       any_dense_tracking ? &frame_stats : nullptr);
+  }
+  if (!reuse_frames.empty()) {
+    net.forward_reuse_window(reuse_frames, pool, reuse_scratch_tls,
+                             side_on_dense ? 0 : side_items, side_item);
+  }
+  if (dense_frames.empty() && reuse_frames.empty()) {
     for (std::size_t k = 0; k < side_items; ++k) side_item(k);
-  };
-  if (frames.empty()) {
-    // Drain tick: only side work (and possibly fallback jobs) in flight.
-    run_side_inline();
-  } else {
-    thread_local nn::CimMlp::WindowScratch scratch_tls;
-    thread_local std::vector<std::vector<nn::Vector>> outs_tls;
-    thread_local std::vector<cimsram::MacroStats> frame_stats_tls;
-    std::vector<std::vector<nn::Vector>>& outs = outs_tls;
-    std::vector<cimsram::MacroStats>& frame_stats = frame_stats_tls;
-    net.forward_window(frames, pool, scratch_tls, outs, side_items,
-                       side_item, any_tracking ? &frame_stats : nullptr);
-
-    // Welford reduction stays serial and in (job, frame, iteration)
-    // order, so the final moments are bit-exact at any thread count.
-    const std::size_t n_out =
-        static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out());
-    for (std::size_t j = 0; j < n_jobs; ++j) {
-      McWindowJob& job = jobs[j];
-      if (first_frame[j] == kFallback) continue;
-      const std::size_t base = first_frame[j];
-      for (std::size_t f = 0; f < job.n_frames; ++f) {
-        reduce_outputs(outs[base + f], n_out, job.preds[f]);
-        // Exact per-item macro attribution from inside forward_window;
-        // a job's entries sum to what its own window would have metered.
-        if (job.frame_workloads != nullptr)
-          job.frame_workloads[f].macro += frame_stats[base + f];
-        if (job.workload != nullptr)
-          job.workload->macro += frame_stats[base + f];
-      }
-    }
   }
 
-  // Fallback jobs: frame-serial, exactly mc_predict_cim_window's
-  // reuse/order path (side work has already run either way).
+  // Welford reduction stays serial and in (job, frame, iteration) order,
+  // so the final moments are bit-exact at any thread count. Macro
+  // attribution is exact per frame on both paths (captured per item /
+  // per chain inside the dispatches).
+  const std::size_t n_out =
+      static_cast<std::size_t>(net.macro(net.layer_count() - 1).n_out());
   for (std::size_t j = 0; j < n_jobs; ++j) {
     McWindowJob& job = jobs[j];
-    if (first_frame[j] != kFallback ||
-        !(job.options.compute_reuse || job.options.order_samples))
-      continue;
-    McOptions opt = job.options;
-    opt.pool = pool;
+    const bool can_reuse = job_reuse[j] != 0;
     const bool track =
         job.workload != nullptr || job.frame_workloads != nullptr;
+    const std::size_t base = first_frame[j];
     for (std::size_t f = 0; f < job.n_frames; ++f) {
-      McWorkload wl;
-      job.preds[f] = mc_predict_cim(net, *job.xs[f], opt, *job.masks,
-                                    *job.analog_rng, track ? &wl : nullptr);
-      if (job.workload != nullptr) *job.workload += wl;
-      if (job.frame_workloads != nullptr) job.frame_workloads[f] = wl;
+      reduce_outputs(can_reuse ? reuse_outs_tls[base + f] : outs[base + f],
+                     n_out, job.preds[f]);
+      if (!track) continue;
+      const cimsram::MacroStats& st =
+          can_reuse ? reuse_stats_tls[base + f] : frame_stats[base + f];
+      if (job.frame_workloads != nullptr) job.frame_workloads[f].macro += st;
+      if (job.workload != nullptr) job.workload->macro += st;
     }
   }
-  return dense_jobs;
+  return batched;
 }
 
 }  // namespace cimnav::bnn

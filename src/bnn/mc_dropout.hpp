@@ -54,18 +54,24 @@ struct McOptions {
   /// default trades ~1/8 of the reuse savings for drift-free accuracy.
   int reuse_refresh_interval = 8;
   /// Worker pool for the CIM paths (nullptr = serial). Dense iterations
-  /// fan out individually; with compute_reuse, each refresh-delimited
-  /// chain stays sequential (the delta rule is inherently serial) but
-  /// independent chains run concurrently. Analog-noise streams are keyed
-  /// on iteration/chain indices, so predictions are bit-identical at any
-  /// thread count.
+  /// fan out individually; with compute_reuse, every refresh-delimited
+  /// chain advances step-synchronously through the pooled engine — at
+  /// chain position k one dispatch carries every chain's step-k work —
+  /// while each chain's accumulation stays a serial index-order sum (the
+  /// delta rule is inherently serial *within* a chain). Analog-noise
+  /// streams are keyed on iteration/chain indices, so predictions are
+  /// bit-identical at any thread count.
   core::ThreadPool* pool = nullptr;
 };
 
 /// Workload accounting for one MC-Dropout prediction on CIM.
 struct McWorkload {
-  cimsram::MacroStats macro;           ///< analog activity during the run
-  std::uint64_t input_mask_flips = 0;  ///< sum of consecutive Hamming dists
+  cimsram::MacroStats macro;  ///< analog activity during the run
+  /// Sum of consecutive locus-mask Hamming distances along the visiting
+  /// order — the delta workload the reuse path actually dispatches. With
+  /// compute_reuse the sum is per refresh chain (a chain start re-runs
+  /// dense, so no delta crosses it); dense paths sum the whole window.
+  std::uint64_t input_mask_flips = 0;
   std::uint64_t mask_bits_drawn = 0;
 
   /// Aggregation across predictions (e.g. a whole VO trajectory).
@@ -99,9 +105,11 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
 /// Determinism: dropout masks and per-frame noise roots are drawn from
 /// `masks`/`analog_rng` in frame order, so the consumption — and every
 /// returned prediction — is bit-identical to calling mc_predict_cim
-/// frame-by-frame, at any thread count and any window size. The
-/// compute-reuse / sample-ordering options fall back to exactly that
-/// per-frame path (their delta chains are frame-local).
+/// frame-by-frame, at any thread count and any window size. With
+/// compute_reuse, every frame's refresh chains batch through the
+/// chain-parallel engine (CimMlp::forward_reuse_window): chains are
+/// frame-local, but their step-k delta matvecs pool across the whole
+/// window in one sparse dispatch.
 ///
 /// `side_items`/`side_item` append side work to the window's widest macro
 /// dispatch (layer 0): side_item(k) runs once per k < side_items,
@@ -112,9 +120,9 @@ McPrediction mc_predict_cim(const nn::CimMlp& net, const nn::Vector& x,
 /// `frame_workloads` (optional) receives one McWorkload per frame of the
 /// window (resized to xs.size()) — the per-frame MacroStats deltas the
 /// closed loop's energy ledger prices. Every field is *exact* per frame
-/// on both paths: the compute-reuse path runs frame-by-frame anyway, and
-/// the dense window path captures each (frame, iteration) item's macro
-/// accounting thread-locally inside the layer dispatches
+/// on both paths: each (frame, iteration) item (dense) or refresh chain
+/// (reuse) captures its macro accounting thread-locally inside the
+/// pooled layer dispatches
 /// (cimsram::ScopedStatsCapture), so the per-frame entries sum to the
 /// window's measured counter delta identically — no amortized split.
 std::vector<McPrediction> mc_predict_cim_window(
@@ -152,13 +160,17 @@ struct McWindowJob {
 /// stream is keyed on (frame noise root, iteration) — so each job's
 /// predictions are bit-identical to running mc_predict_cim_window on it
 /// alone, at any job count, thread count and window partition. Jobs with
-/// compute_reuse/order_samples fall back to their frame-serial path
-/// (run after the shared dispatch; their own sources keep them exact).
+/// compute_reuse batch the same way through the chain-parallel reuse
+/// engine (CimMlp::forward_reuse_window): every refresh chain of every
+/// (job, frame) advances step-synchronously, with per-chain noise keyed
+/// on (frame noise root, chain index) exactly like the serial chain
+/// loop — no frame-serial special case remains.
 ///
-/// Steady-state allocation-free for dense jobs once warm (per-thread
-/// scratch; callers own preds/frame_workloads storage). Returns the
-/// number of jobs that took the dense batched path — the fleet bench's
-/// dispatch accounting: one forward_window replaced that many.
+/// Steady-state allocation-free once warm on both paths (per-thread
+/// grow-only scratch; callers own preds/frame_workloads storage).
+/// Returns the number of non-empty jobs that took a batched engine path
+/// (dense window or pooled reuse) — the fleet bench's dispatch
+/// accounting: one pooled dispatch set replaced that many.
 std::size_t mc_predict_cim_jobs(
     const nn::CimMlp& net, McWindowJob* jobs, std::size_t n_jobs,
     core::ThreadPool* pool, std::size_t side_items = 0,

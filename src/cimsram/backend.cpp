@@ -114,14 +114,166 @@ FillCountsFn select_fill_counts(int words) {
   }
 }
 
+// Sparse stage-1 kernel for delta dispatch: per-rail coincidence counts
+// of the differential read. Only the listed packed words can hold set
+// bits in either gate buffer (run_columns_delta contract), so the scan
+// touches n_words words per cycle instead of all of them; added word
+// lines accumulate on the sample rail (`counts_add`), removed ones on
+// the hold rail (`counts_rem`). Either buffer may be null (no flips in
+// that direction) — its rail reads zero. The body is templated on rail
+// presence (hoisting the null checks out of the innermost loop) and,
+// when the flipped words cover the whole plane (any layer up to 256
+// rows has at most 4 words), on the word count itself — that path
+// indexes words directly and unrolls like the dense fill.
+template <int W, bool HasAdd, bool HasRem>
+inline void fill_counts_delta_body(const std::uint64_t* col,
+                                   const std::uint64_t* gated_add,
+                                   const std::uint64_t* gated_rem,
+                                   const std::int32_t* word_list,
+                                   int n_words, int sign_planes,
+                                   int input_bits, std::size_t words,
+                                   double* counts_add, double* counts_rem) {
+  const std::size_t nw =
+      W > 0 ? static_cast<std::size_t>(W) : static_cast<std::size_t>(n_words);
+  int c = 0;
+  for (int sp = 0; sp < sign_planes; ++sp) {
+    const std::uint64_t* plane =
+        col + static_cast<std::size_t>(sp) * words;
+    for (int b = 0; b < input_bits; ++b) {
+      const std::size_t boff = static_cast<std::size_t>(b) * words;
+      int pa = 0, pr = 0;
+      for (std::size_t k = 0; k < nw; ++k) {
+        // W > 0 means full coverage: the listed words are exactly
+        // 0..words-1, so index directly and let the loop unroll.
+        const std::size_t w =
+            W > 0 ? k : static_cast<std::size_t>(word_list[k]);
+        const std::uint64_t pw = plane[w];
+        if constexpr (HasAdd) pa += std::popcount(pw & gated_add[boff + w]);
+        if constexpr (HasRem) pr += std::popcount(pw & gated_rem[boff + w]);
+      }
+      counts_add[c] = static_cast<double>(pa);
+      counts_rem[c] = static_cast<double>(pr);
+      ++c;
+    }
+  }
+}
+
+template <int W, bool HasAdd, bool HasRem>
+void fill_counts_delta(const std::uint64_t* col,
+                       const std::uint64_t* gated_add,
+                       const std::uint64_t* gated_rem,
+                       const std::int32_t* word_list, int n_words,
+                       int sign_planes, int input_bits, std::size_t words,
+                       double* counts_add, double* counts_rem) {
+  fill_counts_delta_body<W, HasAdd, HasRem>(col, gated_add, gated_rem,
+                                            word_list, n_words, sign_planes,
+                                            input_bits, words, counts_add,
+                                            counts_rem);
+}
+
+using FillCountsDeltaFn = void (*)(const std::uint64_t*,
+                                   const std::uint64_t*,
+                                   const std::uint64_t*, const std::int32_t*,
+                                   int, int, int, std::size_t, double*,
+                                   double*);
+
+#if CIMNAV_X86
+template <int W, bool HasAdd, bool HasRem>
+__attribute__((target("popcnt")))
+void fill_counts_delta_hw(const std::uint64_t* col,
+                          const std::uint64_t* gated_add,
+                          const std::uint64_t* gated_rem,
+                          const std::int32_t* word_list, int n_words,
+                          int sign_planes, int input_bits, std::size_t words,
+                          double* counts_add, double* counts_rem) {
+  fill_counts_delta_body<W, HasAdd, HasRem>(col, gated_add, gated_rem,
+                                            word_list, n_words, sign_planes,
+                                            input_bits, words, counts_add,
+                                            counts_rem);
+}
+#endif
+
+// Instantiation tables so the software/hardware-popcount variants share
+// one shape-dispatch routine below.
+template <int W, bool HasAdd, bool HasRem>
+struct FillDeltaSw {
+  static constexpr FillCountsDeltaFn run =
+      &fill_counts_delta<W, HasAdd, HasRem>;
+};
+#if CIMNAV_X86
+template <int W, bool HasAdd, bool HasRem>
+struct FillDeltaHw {
+  static constexpr FillCountsDeltaFn run =
+      &fill_counts_delta_hw<W, HasAdd, HasRem>;
+};
+#endif
+
+template <template <int, bool, bool> class Fn>
+FillCountsDeltaFn pick_fill_counts_delta(bool full, int words, bool has_add,
+                                         bool has_rem) {
+  // `full` = the list covers every word, so the W-templated direct-index
+  // bodies apply; otherwise the list-indirected generic body (W = 0)
+  // runs. One-sided ops (the common refresh / pure-grow steps) drop the
+  // dead rail entirely.
+  const int w = full && words >= 1 && words <= 4 ? words : 0;
+  if (has_add && has_rem) {
+    switch (w) {
+      case 1: return Fn<1, true, true>::run;
+      case 2: return Fn<2, true, true>::run;
+      case 3: return Fn<3, true, true>::run;
+      case 4: return Fn<4, true, true>::run;
+      default: return Fn<0, true, true>::run;
+    }
+  }
+  if (has_add) {
+    switch (w) {
+      case 1: return Fn<1, true, false>::run;
+      case 2: return Fn<2, true, false>::run;
+      case 3: return Fn<3, true, false>::run;
+      case 4: return Fn<4, true, false>::run;
+      default: return Fn<0, true, false>::run;
+    }
+  }
+  switch (w) {
+    case 1: return Fn<1, false, true>::run;
+    case 2: return Fn<2, false, true>::run;
+    case 3: return Fn<3, false, true>::run;
+    case 4: return Fn<4, false, true>::run;
+    default: return Fn<0, false, true>::run;
+  }
+}
+
+FillCountsDeltaFn select_fill_counts_delta(int n_words, int words,
+                                           bool has_add, bool has_rem) {
+  const bool full = n_words == words;
+#if CIMNAV_X86
+  static const bool kHavePopcnt = __builtin_cpu_supports("popcnt");
+  if (kHavePopcnt)
+    return pick_fill_counts_delta<FillDeltaHw>(full, words, has_add,
+                                               has_rem);
+#endif
+  return pick_fill_counts_delta<FillDeltaSw>(full, words, has_add, has_rem);
+}
+
 // ---------------------------------------------------------------------------
 // Reference kernel: scalar, noise drawn sequentially from the caller's
 // stream in cycle order. This is the pre-backend engine path, preserved
 // bit-for-bit; the ideal branch doubles as the cross-backend ground truth.
 // ---------------------------------------------------------------------------
 
+// `word_list`/`n_words` non-null selects the differential delta read: the
+// stage-1 scan counts gated_planes (add rail) and `gated_rem` (hold rail)
+// over the listed packed words only, and the column ADC performs a
+// correlated double sample — each rail converts through the dense
+// unsigned quantizer, the op emits their signed difference (codes in
+// [-levels, +levels]). The per-rail quantization is bit-for-bit the
+// dense read's, so delta accumulation tracks a dense re-read's lattice.
+// nullptr means the dense full-width unsigned read (`gated_rem`
+// ignored).
 void reference_run_columns(const MacroView& v,
                            const std::uint64_t* gated_planes,
+                           const std::uint64_t* gated_rem,
+                           const std::int32_t* word_list, int n_words,
                            std::uint64_t active_rows,
                            const std::uint8_t* out_mask, int col_begin,
                            int col_end, bool ideal, core::Rng* rng,
@@ -143,6 +295,12 @@ void reference_run_columns(const MacroView& v,
   const int cycles = fill_wtab(v, wtab);
 
   const FillCountsFn fill = select_fill_counts(v.words);
+  const FillCountsDeltaFn dfill =
+      word_list != nullptr
+          ? select_fill_counts_delta(n_words, v.words,
+                                     gated_planes != nullptr,
+                                     gated_rem != nullptr)
+          : nullptr;
   for (int j = col_begin; j < col_end; ++j) {
     if (out_mask != nullptr && !out_mask[static_cast<std::size_t>(j)]) {
       y[j] = 0.0;
@@ -151,12 +309,20 @@ void reference_run_columns(const MacroView& v,
     const std::uint64_t* col =
         v.weight_bits + static_cast<std::size_t>(j) * col_stride;
 
-    // Stage 1: bit-coincidence counts for every cycle of this column.
+    // Stage 1: bit-coincidence counts for every cycle of this column
+    // (per-rail counts on the differential path).
     double counts[kMaxCycles];
-    fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
+    double counts_rem[kMaxCycles];
+    if (dfill != nullptr)
+      dfill(col, gated_planes, gated_rem, word_list, n_words, 2 * v.planes,
+            v.input_bits, words, counts, counts_rem);
+    else
+      fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
 
     // Stage 2: per-cycle analog disturbance (sequential draws, in cycle
-    // order, so the noise stream consumption is well defined).
+    // order, so the noise stream consumption is well defined). On the
+    // differential path the op's single disturbance lands on the sample
+    // rail; its sigma already spans every driven line (active_rows).
     if (noisy) {
       for (int i = 0; i < cycles; ++i)
         counts[i] += noise_sigma * rng->normal_fast();
@@ -165,17 +331,34 @@ void reference_run_columns(const MacroView& v,
     // Stage 3: ADC quantization + shift-add reduction (vectorizable; no
     // branches, no draws). floor(v + 0.5) equals the seed's round() here:
     // they differ only on negative half-integers, which the [0, levels]
-    // clamp maps to 0 either way.
+    // clamp maps to 0 either way. The differential path quantizes each
+    // rail through this same dense quantizer and emits the signed code
+    // difference (correlated double sampling), so a delta accumulation
+    // stays on the dense read's code lattice.
     double acc = 0.0;
     if (!ideal) {
-      for (int i = 0; i < cycles; ++i) {
-        double code = std::floor(counts[i] * inv_adc_step + 0.5);
-        code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
-        acc += wtab[i] * code;
+      if (dfill != nullptr) {
+        for (int i = 0; i < cycles; ++i) {
+          double ca = std::floor(counts[i] * inv_adc_step + 0.5);
+          ca = ca < 0.0 ? 0.0 : (ca > adc_levels ? adc_levels : ca);
+          double cr = std::floor(counts_rem[i] * inv_adc_step + 0.5);
+          cr = cr < 0.0 ? 0.0 : (cr > adc_levels ? adc_levels : cr);
+          acc += wtab[i] * (ca - cr);
+        }
+      } else {
+        for (int i = 0; i < cycles; ++i) {
+          double code = std::floor(counts[i] * inv_adc_step + 0.5);
+          code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
+          acc += wtab[i] * code;
+        }
       }
       acc *= adc_step;
     } else {
-      for (int i = 0; i < cycles; ++i) acc += wtab[i] * counts[i];
+      if (dfill != nullptr)
+        for (int i = 0; i < cycles; ++i)
+          acc += wtab[i] * (counts[i] - counts_rem[i]);
+      else
+        for (int i = 0; i < cycles; ++i) acc += wtab[i] * counts[i];
     }
     y[j] = acc * v.weight_scale * v.input_scale;
   }
@@ -191,6 +374,8 @@ void reference_run_columns(const MacroView& v,
 
 void bitsliced_run_columns_scalar(const MacroView& v,
                                   const std::uint64_t* gated_planes,
+                                  const std::uint64_t* gated_rem,
+                                  const std::int32_t* word_list, int n_words,
                                   std::uint64_t active_rows,
                                   const std::uint8_t* out_mask,
                                   int col_begin, int col_end,
@@ -211,6 +396,12 @@ void bitsliced_run_columns_scalar(const MacroView& v,
   core::Rng noise_rng = core::Rng::stream(noise_root, 0);
 
   const FillCountsFn fill = select_fill_counts(v.words);
+  const FillCountsDeltaFn dfill =
+      word_list != nullptr
+          ? select_fill_counts_delta(n_words, v.words,
+                                     gated_planes != nullptr,
+                                     gated_rem != nullptr)
+          : nullptr;
   for (int j = col_begin; j < col_end; ++j) {
     if (out_mask != nullptr && !out_mask[static_cast<std::size_t>(j)]) {
       y[j] = 0.0;
@@ -219,16 +410,33 @@ void bitsliced_run_columns_scalar(const MacroView& v,
     const std::uint64_t* col =
         v.weight_bits + static_cast<std::size_t>(j) * col_stride;
     double counts[kMaxCycles];
-    fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
+    double counts_rem[kMaxCycles];
+    if (dfill != nullptr)
+      dfill(col, gated_planes, gated_rem, word_list, n_words, 2 * v.planes,
+            v.input_bits, words, counts, counts_rem);
+    else
+      fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
     if (noisy) {
       for (int i = 0; i < cycles; ++i)
         counts[i] += noise_sigma * noise_rng.normal_fast();
     }
     double acc = 0.0;
-    for (int i = 0; i < cycles; ++i) {
-      double code = std::floor(counts[i] * inv_adc_step + 0.5);
-      code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
-      acc += wtab[i] * code;
+    if (dfill != nullptr) {
+      // Correlated double sample: both rails through the dense quantizer,
+      // signed code difference out.
+      for (int i = 0; i < cycles; ++i) {
+        double ca = std::floor(counts[i] * inv_adc_step + 0.5);
+        ca = ca < 0.0 ? 0.0 : (ca > adc_levels ? adc_levels : ca);
+        double cr = std::floor(counts_rem[i] * inv_adc_step + 0.5);
+        cr = cr < 0.0 ? 0.0 : (cr > adc_levels ? adc_levels : cr);
+        acc += wtab[i] * (ca - cr);
+      }
+    } else {
+      for (int i = 0; i < cycles; ++i) {
+        double code = std::floor(counts[i] * inv_adc_step + 0.5);
+        code = code < 0.0 ? 0.0 : (code > adc_levels ? adc_levels : code);
+        acc += wtab[i] * code;
+      }
     }
     acc *= adc_step;
     y[j] = acc * v.weight_scale * v.input_scale;
@@ -434,6 +642,8 @@ void zig_fill(ZigVec& z, double* dst, int n, double sigma) {
 __attribute__((target("avx2,fma")))
 void bitsliced_run_columns_avx2(const MacroView& v,
                                 const std::uint64_t* gated_planes,
+                                const std::uint64_t* gated_rem,
+                                const std::int32_t* word_list, int n_words,
                                 std::uint64_t active_rows,
                                 const std::uint8_t* out_mask, int col_begin,
                                 int col_end, std::uint64_t noise_root,
@@ -482,7 +692,14 @@ void bitsliced_run_columns_avx2(const MacroView& v,
   }
 
   const FillCountsFn fill = select_fill_counts(v.words);
+  const FillCountsDeltaFn dfill =
+      word_list != nullptr
+          ? select_fill_counts_delta(n_words, v.words,
+                                     gated_planes != nullptr,
+                                     gated_rem != nullptr)
+          : nullptr;
   alignas(32) double counts[kMaxCycles];
+  alignas(32) double counts_rem[kMaxCycles];
   const double* noise = noise_all.data();
 
   for (int j = col_begin; j < col_end; ++j) {
@@ -492,7 +709,13 @@ void bitsliced_run_columns_avx2(const MacroView& v,
     }
     const std::uint64_t* col =
         v.weight_bits + static_cast<std::size_t>(j) * col_stride;
-    fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
+    if (dfill != nullptr) {
+      dfill(col, gated_planes, gated_rem, word_list, n_words, 2 * v.planes,
+            v.input_bits, words, counts, counts_rem);
+      for (int i = cycles; i < padded; ++i) counts_rem[i] = 0.0;
+    } else {
+      fill(col, gated_planes, 2 * v.planes, v.input_bits, words, counts);
+    }
     for (int i = cycles; i < padded; ++i) counts[i] = 0.0;
 
     __m256d vacc = _mm256_setzero_pd();
@@ -503,6 +726,14 @@ void bitsliced_run_columns_avx2(const MacroView& v,
       __m256d code =
           _mm256_floor_pd(_mm256_fmadd_pd(cnt, vinv, vhalf));
       code = _mm256_min_pd(_mm256_max_pd(code, vzero), vlev);
+      if (dfill != nullptr) {
+        // Correlated double sample: the hold rail converts through the
+        // same dense quantizer; the op emits the signed code difference.
+        __m256d crm = _mm256_floor_pd(_mm256_fmadd_pd(
+            _mm256_load_pd(counts_rem + i), vinv, vhalf));
+        crm = _mm256_min_pd(_mm256_max_pd(crm, vzero), vlev);
+        code = _mm256_sub_pd(code, crm);
+      }
       vacc = _mm256_fmadd_pd(_mm256_load_pd(wtab + i), code, vacc);
     }
     if (noisy) noise += noise_stride;
@@ -535,9 +766,11 @@ class ReferenceBackend final : public ComputeBackend {
                    std::uint64_t active_rows, const std::uint8_t* out_mask,
                    int col_begin, int col_end, bool ideal, core::Rng* rng,
                    double* y) const override {
-    reference_run_columns(v, gated_planes, active_rows, out_mask, col_begin,
-                          col_end, ideal, rng, y);
+    reference_run_columns(v, gated_planes, nullptr, nullptr, 0, active_rows,
+                          out_mask, col_begin, col_end, ideal, rng, y);
   }
+  // run_columns_delta: inherits the base default, which IS the reference
+  // kernel (draw-sequential noise, shared signed-clamp math).
 };
 
 class BitSlicedBackend final : public ComputeBackend {
@@ -557,12 +790,35 @@ class BitSlicedBackend final : public ComputeBackend {
                    std::uint64_t active_rows, const std::uint8_t* out_mask,
                    int col_begin, int col_end, bool ideal, core::Rng* rng,
                    double* y) const override {
+    run_impl(v, gated_planes, nullptr, nullptr, 0, active_rows, out_mask,
+             col_begin, col_end, ideal, rng, y);
+  }
+  void run_columns_delta(const MacroView& v,
+                         const std::uint64_t* gated_add,
+                         const std::uint64_t* gated_rem,
+                         const std::int32_t* word_list, int n_words,
+                         std::uint64_t active_rows,
+                         const std::uint8_t* out_mask, int col_begin,
+                         int col_end, bool ideal, core::Rng* rng,
+                         double* y) const override {
+    run_impl(v, gated_add, gated_rem, word_list, n_words, active_rows,
+             out_mask, col_begin, col_end, ideal, rng, y);
+  }
+
+ private:
+  static void run_impl(const MacroView& v, const std::uint64_t* gated_planes,
+                       const std::uint64_t* gated_rem,
+                       const std::int32_t* word_list, int n_words,
+                       std::uint64_t active_rows,
+                       const std::uint8_t* out_mask, int col_begin,
+                       int col_end, bool ideal, core::Rng* rng, double* y) {
     if (ideal || rng == nullptr) {
       // The ideal reduction is exact integer arithmetic in double, so the
       // scalar kernel is already bit-identical to any evaluation order;
       // share it with the reference for a single source of truth.
-      reference_run_columns(v, gated_planes, active_rows, out_mask,
-                            col_begin, col_end, /*ideal=*/true, nullptr, y);
+      reference_run_columns(v, gated_planes, gated_rem, word_list, n_words,
+                            active_rows, out_mask, col_begin, col_end,
+                            /*ideal=*/true, nullptr, y);
       return;
     }
     // One root draw per call keys the noise stream; the caller's stream
@@ -571,13 +827,15 @@ class BitSlicedBackend final : public ComputeBackend {
 #if CIMNAV_X86
     static const bool kHaveAvx2 = cpu_has_avx2_fma();
     if (kHaveAvx2) {
-      bitsliced_run_columns_avx2(v, gated_planes, active_rows, out_mask,
-                                 col_begin, col_end, noise_root, y);
+      bitsliced_run_columns_avx2(v, gated_planes, gated_rem, word_list,
+                                 n_words, active_rows, out_mask, col_begin,
+                                 col_end, noise_root, y);
       return;
     }
 #endif
-    bitsliced_run_columns_scalar(v, gated_planes, active_rows, out_mask,
-                                 col_begin, col_end, noise_root, y);
+    bitsliced_run_columns_scalar(v, gated_planes, gated_rem, word_list,
+                                 n_words, active_rows, out_mask, col_begin,
+                                 col_end, noise_root, y);
   }
 };
 
@@ -600,6 +858,20 @@ core::NameRegistry<const ComputeBackend*>& registry() {
 }
 
 }  // namespace
+
+void ComputeBackend::run_columns_delta(
+    const MacroView& view, const std::uint64_t* gated_add,
+    const std::uint64_t* gated_rem, const std::int32_t* word_list,
+    int n_words, std::uint64_t active_rows, const std::uint8_t* out_mask,
+    int col_begin, int col_end, bool ideal, core::Rng* rng,
+    double* y) const {
+  // Default = the reference kernel: draw-sequential noise, shared
+  // signed-clamp math. Backends with their own noise contract (bitsliced)
+  // override with a matching differential kernel.
+  reference_run_columns(view, gated_add, gated_rem, word_list, n_words,
+                        active_rows, out_mask, col_begin, col_end, ideal,
+                        rng, y);
+}
 
 const ComputeBackend& backend(std::string_view name) {
   if (name.empty() || name == "auto") name = "bitsliced";

@@ -96,6 +96,43 @@ class ComputeBackend {
                            const std::uint8_t* out_mask, int col_begin,
                            int col_end, bool ideal, core::Rng* rng,
                            double* y) const = 0;
+
+  /// Differential delta read for delta dispatch (compute reuse): ONE
+  /// macro operation evaluates a signed partial sum. Word lines whose
+  /// mask bit flipped ON drive the columns through `gated_add`
+  /// (input_bits x words packed words, encoding & add-gate); word lines
+  /// that flipped OFF drive the complementary bit-lines through
+  /// `gated_rem`. The column ADC performs a correlated double sample per
+  /// cycle: each rail converts through the dense unsigned quantizer
+  /// (bit-for-bit the dense read's code lattice, so delta accumulation
+  /// tracks a dense re-read without drift), and the op emits the signed
+  /// code difference — values in [-levels, +levels]. Either buffer may
+  /// be nullptr (no flips in that direction); its rail reads zero, so a
+  /// one-sided op degenerates to exactly the dense gated read over the
+  /// flipped rows.
+  ///
+  /// `word_list` (`n_words` entries, sorted ascending, each in
+  /// [0, view.words)) lists the union of packed words holding flipped
+  /// rows; every unlisted word must be zero in BOTH buffers across all
+  /// planes, so the coincidence scan cost tracks the flipped words, not
+  /// the layer width. `active_rows` = |A| + |D| — the word lines actually
+  /// driven — sets the noise sigma and is what MacroStats pricing uses.
+  /// Noise follows the backend's own contract (reference: one sequential
+  /// normal_fast per cycle per active column; bitsliced: one root draw
+  /// per call), one disturbance per conversion like any other read.
+  ///
+  /// The ideal path is exact signed integer arithmetic in double, so it
+  /// is bit-identical across backends — the conformance ground truth for
+  /// the delta dispatch shape. The default implementation runs the
+  /// reference kernel (draw-sequential noise).
+  virtual void run_columns_delta(const MacroView& view,
+                                 const std::uint64_t* gated_add,
+                                 const std::uint64_t* gated_rem,
+                                 const std::int32_t* word_list, int n_words,
+                                 std::uint64_t active_rows,
+                                 const std::uint8_t* out_mask, int col_begin,
+                                 int col_end, bool ideal, core::Rng* rng,
+                                 double* y) const;
 };
 
 /// Looks up a backend by name; "auto" resolves to the fastest backend for

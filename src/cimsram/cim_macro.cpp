@@ -333,6 +333,116 @@ void CimMacro::run_view(const std::uint64_t* planes, std::size_t plane_stride,
   account(1, active_rows, count_active_cols(out_mask));
 }
 
+void CimMacro::run_view_delta(const std::uint64_t* planes,
+                              std::size_t plane_stride,
+                              const std::uint64_t* gate_add,
+                              const std::uint64_t* gate_rem,
+                              const std::int32_t* word_list, int n_words,
+                              const std::uint8_t* out_mask, bool ideal,
+                              bool unit_scale, core::Rng* rng,
+                              MacroWorkspace& ws, double* y) const {
+  const std::size_t words = static_cast<std::size_t>(words_);
+  const std::size_t gated_size =
+      static_cast<std::size_t>(config_.input_bits) * words;
+  // The delta backend contract requires every unlisted word to be zero
+  // across all planes of BOTH buffers, so they are cleared wholesale
+  // before gating the listed words (input_bits x words u64s — trivial
+  // next to the scan).
+  std::uint64_t active_rows = 0;
+  const std::uint64_t* gated_add_ptr = nullptr;
+  const std::uint64_t* gated_rem_ptr = nullptr;
+  if (gate_add != nullptr) {
+    ws.gated.assign(gated_size, 0);
+    for (int k = 0; k < n_words; ++k) {
+      const std::size_t w = static_cast<std::size_t>(word_list[k]);
+      const std::uint64_t g = gate_add[w];
+      active_rows += static_cast<std::uint64_t>(std::popcount(g));
+      for (int b = 0; b < config_.input_bits; ++b)
+        ws.gated[static_cast<std::size_t>(b) * words + w] =
+            planes[static_cast<std::size_t>(b) * plane_stride + w] & g;
+    }
+    gated_add_ptr = ws.gated.data();
+  }
+  if (gate_rem != nullptr) {
+    ws.gated_rem.assign(gated_size, 0);
+    for (int k = 0; k < n_words; ++k) {
+      const std::size_t w = static_cast<std::size_t>(word_list[k]);
+      const std::uint64_t g = gate_rem[w];
+      active_rows += static_cast<std::uint64_t>(std::popcount(g));
+      for (int b = 0; b < config_.input_bits; ++b)
+        ws.gated_rem[static_cast<std::size_t>(b) * words + w] =
+            planes[static_cast<std::size_t>(b) * plane_stride + w] & g;
+    }
+    gated_rem_ptr = ws.gated_rem.data();
+  }
+  backend_->run_columns_delta(view(unit_scale), gated_add_ptr, gated_rem_ptr,
+                              word_list, n_words, active_rows, out_mask, 0,
+                              n_out_, ideal, rng, y);
+  account(1, active_rows, count_active_cols(out_mask));
+}
+
+void CimMacro::run_delta(const EncodedInput& enc, const std::size_t* add_rows,
+                         std::size_t n_add, const std::size_t* rem_rows,
+                         std::size_t n_rem, core::Rng& rng,
+                         MacroWorkspace& ws, double* y) const {
+  CIMNAV_REQUIRE(enc.planes.size() ==
+                     static_cast<std::size_t>(config_.input_bits) *
+                         static_cast<std::size_t>(words_),
+                 "encoded input shape mismatch");
+  const std::size_t words = static_cast<std::size_t>(words_);
+  const auto pack = [&](std::vector<std::uint64_t>& gate,
+                        const std::size_t* rows, std::size_t n) {
+    gate.assign(words, 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = rows[k];
+      CIMNAV_REQUIRE(i < static_cast<std::size_t>(n_in_), "row out of range");
+      gate[i / 64] |= (std::uint64_t{1} << (i % 64));
+    }
+  };
+  pack(ws.gate, add_rows, n_add);
+  pack(ws.gate_rem, rem_rows, n_rem);
+  // Union touched-word list from the packed gates: always sorted and
+  // unique, no ordering requirement on the row lists. words_ is tiny
+  // (ceil(n_in / 64)).
+  ws.word_list.clear();
+  for (std::size_t w = 0; w < words; ++w)
+    if ((ws.gate[w] | ws.gate_rem[w]) != 0)
+      ws.word_list.push_back(static_cast<std::int32_t>(w));
+  run_view_delta(enc.planes.data(), words,
+                 n_add > 0 ? ws.gate.data() : nullptr,
+                 n_rem > 0 ? ws.gate_rem.data() : nullptr,
+                 ws.word_list.data(), static_cast<int>(ws.word_list.size()),
+                 nullptr, /*ideal=*/false, /*unit_scale=*/false, &rng, ws,
+                 y);
+}
+
+void CimMacro::matvec_delta(const EncodedInput& enc,
+                            const std::size_t* add_rows, std::size_t n_add,
+                            const std::size_t* rem_rows, std::size_t n_rem,
+                            core::Rng& rng, std::vector<double>& y) const {
+  y.resize(static_cast<std::size_t>(n_out_));
+  run_delta(enc, add_rows, n_add, rem_rows, n_rem, rng, tls_workspace(),
+            y.data());
+}
+
+void CimMacro::matvec_delta_batch(const DeltaItem* items, std::size_t n_items,
+                                  core::ThreadPool* pool) const {
+  const auto run_items = [&](std::size_t begin, std::size_t end, int) {
+    MacroWorkspace& ws = tls_workspace();
+    for (std::size_t k = begin; k < end; ++k) {
+      const DeltaItem& it = items[k];
+      ScopedStatsCapture capture(it.stats);
+      run_delta(*it.enc, it.add_rows, it.n_add, it.rem_rows, it.n_rem,
+                *it.rng, ws, it.y);
+    }
+  };
+  if (pool != nullptr && n_items > 1) {
+    pool->parallel_for(n_items, 1, run_items);
+  } else {
+    run_items(0, n_items, 0);
+  }
+}
+
 void CimMacro::run_gated(const EncodedInput& enc,
                          const std::vector<std::uint64_t>& row_gate,
                          const std::vector<std::uint8_t>& out_mask,

@@ -141,8 +141,11 @@ struct EncodedInput {
 /// vectors grow to the largest macro they have served and then stay put.
 struct MacroWorkspace {
   EncodedInput enc;                   ///< scratch encoding (wrapper APIs)
-  std::vector<std::uint64_t> gate;    ///< packed row gate
+  std::vector<std::uint64_t> gate;    ///< packed row gate (add side)
+  std::vector<std::uint64_t> gate_rem;  ///< packed remove-side gate (delta)
   std::vector<std::uint64_t> gated;   ///< planes & gate, input_bits x words
+  std::vector<std::uint64_t> gated_rem;  ///< planes & remove gate (delta)
+  std::vector<std::int32_t> word_list;  ///< touched word indices (delta)
 };
 
 /// Packs a 0/1 per-row mask (empty = all active) into word-line gate words.
@@ -175,6 +178,27 @@ struct MacroGeometry {
   int planes = 0;     ///< weight magnitude planes (weight_bits - 1)
   int grid_rows = 1;  ///< physical shard grid (1 x 1 = monolithic)
   int grid_cols = 1;
+};
+
+/// One pooled delta-dispatch work item (compute reuse): a differential
+/// read of `enc` — the `n_add` word lines in `add_rows` (mask bits that
+/// flipped on) drive positively, the `n_rem` lines in `rem_rows` (bits
+/// that flipped off) drive the complementary bit-lines — writing the net
+/// signed partial sum W x|A - W x|D to `y` (n_out values) in ONE macro
+/// operation. Analog noise comes from `*rng`. When `stats` is non-null
+/// the item's exact accounting is mirrored there (ScopedStatsCapture
+/// semantics) so callers can attribute energy per-chain / per-frame.
+/// Items of one batch must carry distinct `rng` objects — they may run on
+/// different workers concurrently. At least one list must be non-empty.
+struct DeltaItem {
+  const EncodedInput* enc = nullptr;
+  const std::size_t* add_rows = nullptr;
+  std::size_t n_add = 0;
+  const std::size_t* rem_rows = nullptr;
+  std::size_t n_rem = 0;
+  core::Rng* rng = nullptr;
+  double* y = nullptr;
+  MacroStats* stats = nullptr;
 };
 
 /// The consumer-facing surface of one logical CIM layer. Implemented by
@@ -221,6 +245,32 @@ class MacroLike {
   virtual std::vector<double> matvec_rows(
       const std::vector<double>& x, const std::vector<std::size_t>& rows,
       const std::vector<std::uint8_t>& out_mask, core::Rng& rng) const = 0;
+
+  /// Differential delta product on a pre-built encoding (ONE macro op per
+  /// delta step): drives only the word lines whose mask bit flipped —
+  /// `add_rows` positively, `rem_rows` on the complementary bit-lines —
+  /// and converts the net count with a single signed ADC conversion per
+  /// cycle (codes in [-levels, +levels]), writing W x|A - W x|D to `y`
+  /// (resized to n_out, a no-op once warm). The backend's sparse kernel
+  /// scans only the touched packed words, so the cost tracks the flips,
+  /// not the layer width; MacroStats prices exactly the |A| + |D| driven
+  /// lines and ONE conversion set (half the two-op formulation).
+  /// Allocation-free in steady state. At least one list must be
+  /// non-empty; `rng` advances once per physical op like any other read.
+  virtual void matvec_delta(const EncodedInput& enc,
+                            const std::size_t* add_rows, std::size_t n_add,
+                            const std::size_t* rem_rows, std::size_t n_rem,
+                            core::Rng& rng,
+                            std::vector<double>& y) const = 0;
+
+  /// Pooled delta dispatch: fans `n_items` DeltaItem evaluations over
+  /// `pool` (nullptr = serial, same results). Each item runs under its own
+  /// rng and optional stats capture; since every item carries its own
+  /// noise stream, any partitioning onto workers is bit-identical to the
+  /// serial item loop. Composite macros fan shard-major so one worker
+  /// touches one shard's weight planes per dispatch.
+  virtual void matvec_delta_batch(const DeltaItem* items, std::size_t n_items,
+                                  core::ThreadPool* pool = nullptr) const = 0;
 
   /// Ideal (float64) product for reference/testing; applies the same
   /// quantization grids but no analog noise and an exact accumulator.
@@ -294,6 +344,14 @@ class CimMacro final : public MacroLike {
                                   const std::vector<std::uint8_t>& out_mask,
                                   core::Rng& rng) const override;
 
+  void matvec_delta(const EncodedInput& enc, const std::size_t* add_rows,
+                    std::size_t n_add, const std::size_t* rem_rows,
+                    std::size_t n_rem, core::Rng& rng,
+                    std::vector<double>& y) const override;
+
+  void matvec_delta_batch(const DeltaItem* items, std::size_t n_items,
+                          core::ThreadPool* pool = nullptr) const override;
+
   std::vector<double> matvec_ideal(const std::vector<double>& x,
                                    const std::vector<std::uint8_t>& in_mask,
                                    const std::vector<std::uint8_t>& out_mask)
@@ -354,7 +412,33 @@ class CimMacro final : public MacroLike {
                 bool ideal, bool unit_scale, core::Rng* rng,
                 MacroWorkspace& ws, double* y) const;
 
+  /// Differential twin of run_view for delta dispatch: one signed macro
+  /// op netting `gate_add` against `gate_rem` (either nullable — a shard
+  /// may see flips in only one direction; the conversion stays signed
+  /// regardless). `word_list` names the `n_words` gate words (sorted,
+  /// unique, relative to this macro's word range) that can hold set bits
+  /// in EITHER gate — every other word of both gates must be zero. The
+  /// driven-line count (= both gates' popcount over the listed words)
+  /// sets the noise sigma and the stats pricing; ONE conversion set is
+  /// accounted, like any single read.
+  void run_view_delta(const std::uint64_t* planes, std::size_t plane_stride,
+                      const std::uint64_t* gate_add,
+                      const std::uint64_t* gate_rem,
+                      const std::int32_t* word_list, int n_words,
+                      const std::uint8_t* out_mask, bool ideal,
+                      bool unit_scale, core::Rng* rng, MacroWorkspace& ws,
+                      double* y) const;
+
  private:
+  /// Differential engine behind matvec_delta / matvec_delta_batch: packs
+  /// both flip lists into zeroed gates, lists the touched words, runs the
+  /// backend's delta kernel once, and accounts one op with
+  /// active_rows = n_add + n_rem (all columns converted once).
+  void run_delta(const EncodedInput& enc, const std::size_t* add_rows,
+                 std::size_t n_add, const std::size_t* rem_rows,
+                 std::size_t n_rem, core::Rng& rng, MacroWorkspace& ws,
+                 double* y) const;
+
   /// Engine entry shared by the single-call wrappers: gate the encoding,
   /// run all columns through the backend, account stats.
   void run_gated(const EncodedInput& enc,

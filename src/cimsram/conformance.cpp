@@ -390,6 +390,192 @@ CaseResult check_multijob(const CaseSpec& c) {
   return ck.result;
 }
 
+// ---------------------------------------------------------------- delta
+
+bool mono_odd_rows(const CaseGeometry& g);
+
+// Deterministic disjoint flip lists for a delta case: ~20% of rows flip
+// on, ~20% flip off, and rows 0 / n_in-1 anchor each side so neither
+// list is ever empty (the matvec_delta contract).
+void case_delta_rows(const CaseSpec& c, std::uint64_t salt,
+                     std::vector<std::size_t>& add,
+                     std::vector<std::size_t>& rem) {
+  Rng rng = Rng::stream(c.seed, 0xDE17Au + salt);
+  add.clear();
+  rem.clear();
+  add.push_back(0);
+  for (std::size_t i = 1; i + 1 < static_cast<std::size_t>(c.geom.n_in);
+       ++i) {
+    const double u = rng.uniform();
+    if (u < 0.2)
+      add.push_back(i);
+    else if (u < 0.4)
+      rem.push_back(i);
+  }
+  rem.push_back(static_cast<std::size_t>(c.geom.n_in) - 1);
+}
+
+CaseResult check_delta(const CaseSpec& c) {
+  Checker ck{c, {}};
+  const auto test = make_case_macro(c, c.backend);
+  const auto ref = make_case_macro(c, "reference");
+  std::vector<std::uint8_t> im, om, no_mask;
+  std::vector<double> x;
+  make_case_input(c, 0, x, im, om);
+  EncodedInput enc_t, enc_r;
+  test->encode_input(x, enc_t);
+  ref->encode_input(x, enc_r);
+  std::vector<std::size_t> add, rem;
+  case_delta_rows(c, 0, add, rem);
+
+  if (c.mode == NoiseMode::kAdcOnly) {
+    // Noise is off, so the differential read is deterministic and its
+    // algebraic identities hold bitwise within one backend on every
+    // geometry (ties cancel: both sides evaluate the same quantizer on
+    // the same counts).
+    std::vector<double> ya, yb;
+    Rng r1(c.seed ^ 0x91), r2(c.seed ^ 0x93);
+    test->matvec_delta(enc_t, add.data(), add.size(), rem.data(),
+                       rem.size(), r1, ya);
+    test->matvec_delta(enc_t, add.data(), add.size(), rem.data(),
+                       rem.size(), r2, yb);
+    ck.expect_bitwise(yb, ya, "delta/determinism");
+
+    // Swapping the rails must negate the op exactly: the correlated
+    // double sample converts each rail independently.
+    Rng r3(c.seed ^ 0x95);
+    test->matvec_delta(enc_t, rem.data(), rem.size(), add.data(),
+                       add.size(), r3, yb);
+    for (auto& v : yb) v = -v;
+    ck.expect_bitwise(yb, ya, "delta/antisymmetry");
+
+    // A one-sided op (no removed rows) degenerates to the dense gated
+    // read over the flipped rows — same counts, same code lattice.
+    Rng r4(c.seed ^ 0x97), r5(c.seed ^ 0x99);
+    test->matvec_delta(enc_t, add.data(), add.size(), nullptr, 0, r4, ya);
+    std::vector<std::uint64_t> gate(
+        static_cast<std::size_t>(test->gate_words()), 0);
+    for (std::size_t r : add) gate[r >> 6] |= 1ull << (r & 63u);
+    test->matvec_encoded(enc_t, gate, no_mask, r5, yb);
+    ck.expect_bitwise(ya, yb, "delta/one-sided-vs-dense");
+
+    if (mono_odd_rows(c.geom)) {
+      // Tie-free geometry: the deterministic delta read is bitwise
+      // cross-backend, like the dense ADC-only tier.
+      Rng r6(c.seed ^ 0x9b), r7(c.seed ^ 0x9d);
+      test->matvec_delta(enc_t, add.data(), add.size(), rem.data(),
+                         rem.size(), r6, ya);
+      ref->matvec_delta(enc_r, add.data(), add.size(), rem.data(),
+                        rem.size(), r7, yb);
+      ck.expect_bitwise(ya, yb, "delta/cross-backend");
+    }
+    return ck.result;
+  }
+
+  // kAnalog. First the batched-dispatch determinism contract: pooled
+  // matvec_delta_batch must produce the serial schedule's exact bits
+  // (this is where the shard-affine delta fan-out is gated).
+  constexpr int kItems = 6;
+  std::vector<std::vector<std::size_t>> adds(kItems), rems(kItems);
+  for (int k = 0; k < kItems; ++k)
+    case_delta_rows(c, static_cast<std::uint64_t>(k), adds[k], rems[k]);
+  auto run_batch = [&](core::ThreadPool* pool) {
+    std::vector<Rng> rngs;
+    rngs.reserve(kItems);
+    for (int k = 0; k < kItems; ++k)
+      rngs.push_back(Rng::stream(c.seed ^ 0xB17Cu,
+                                 static_cast<std::uint64_t>(k)));
+    std::vector<std::vector<double>> ys(
+        kItems,
+        std::vector<double>(static_cast<std::size_t>(c.geom.n_out), 0.0));
+    std::vector<DeltaItem> items(kItems);
+    for (int k = 0; k < kItems; ++k) {
+      items[k].enc = &enc_t;
+      items[k].add_rows = adds[k].data();
+      items[k].n_add = adds[k].size();
+      items[k].rem_rows = rems[k].data();
+      items[k].n_rem = rems[k].size();
+      items[k].rng = &rngs[static_cast<std::size_t>(k)];
+      items[k].y = ys[static_cast<std::size_t>(k)].data();
+    }
+    test->matvec_delta_batch(items.data(), items.size(), pool);
+    return ys;
+  };
+  ck.expect_bitwise_batch(run_batch(&case_pool()), run_batch(nullptr),
+                          "delta/pooled-vs-serial");
+  if (!ck.result.pass) return ck.result;
+
+  if (backend(c.backend).caps().draw_compatible_noise) {
+    std::vector<double> ya, yb;
+    Rng rt(c.seed ^ 0xA5), rr(c.seed ^ 0xA5);
+    test->matvec_delta(enc_t, add.data(), add.size(), rem.data(),
+                       rem.size(), rt, ya);
+    ref->matvec_delta(enc_r, add.data(), add.size(), rem.data(),
+                      rem.size(), rr, yb);
+    ck.expect_bitwise(ya, yb, "delta/draw-compatible");
+    return ck.result;
+  }
+
+  // Statistical tier: the noisy differential read must be
+  // distribution-matched against reference — per-column mean and spread
+  // over independent keyed repetitions of the same flip lists.
+  const int reps = stat_reps(c.tier);
+  std::vector<std::vector<double>> yt(static_cast<std::size_t>(reps)),
+      yr(static_cast<std::size_t>(reps));
+  for (int k = 0; k < reps; ++k) {
+    Rng rt = Rng::stream(c.seed ^ 0x61, static_cast<std::uint64_t>(k));
+    Rng rr = Rng::stream(c.seed ^ 0x67, static_cast<std::uint64_t>(k));
+    test->matvec_delta(enc_t, add.data(), add.size(), rem.data(),
+                       rem.size(), rt, yt[static_cast<std::size_t>(k)]);
+    ref->matvec_delta(enc_r, add.data(), add.size(), rem.data(),
+                      rem.size(), rr, yr[static_cast<std::size_t>(k)]);
+  }
+  const double ratio_tol =
+      std::max(core::tol::kStddevRatioTol,
+               core::tol::kStddevRatioSigmas /
+                   std::sqrt(2.0 * static_cast<double>(reps)));
+  for (int j = 0; j < c.geom.n_out; ++j) {
+    core::RunningStats st, sr;
+    for (int k = 0; k < reps; ++k) {
+      st.add(yt[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+      sr.add(yr[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]);
+    }
+    ++ck.result.checks;
+    const double se = std::sqrt((st.variance() + sr.variance()) /
+                                static_cast<double>(reps));
+    const double dm = std::abs(st.mean() - sr.mean());
+    if (se < 1e-12) {
+      if (dm > 1e-9 * std::max(1.0, std::abs(sr.mean()))) {
+        std::ostringstream os;
+        os << "delta/mean(degenerate): col " << j << " " << st.mean()
+           << " vs " << sr.mean();
+        ck.fail(os.str());
+        return ck.result;
+      }
+      continue;
+    }
+    if (dm > core::tol::kMeanStdErrFactor * se) {
+      std::ostringstream os;
+      os << "delta/mean: col " << j << " " << st.mean() << " vs "
+         << sr.mean() << " (|d|=" << dm << ")";
+      ck.fail(os.str());
+      return ck.result;
+    }
+    ++ck.result.checks;
+    if (sr.stddev() > 0.0) {
+      const double ratio = st.stddev() / sr.stddev();
+      if (std::abs(ratio - 1.0) > ratio_tol) {
+        std::ostringstream os;
+        os << "delta/stddev: col " << j << " ratio " << ratio
+           << " outside 1 +- " << ratio_tol;
+        ck.fail(os.str());
+        return ck.result;
+      }
+    }
+  }
+  return ck.result;
+}
+
 bool mono_odd_rows(const CaseGeometry& g) {
   return !g.sharded() && (g.n_in % 2) == 1;
 }
@@ -423,6 +609,7 @@ const char* to_string(Dispatch d) {
     case Dispatch::kBatch: return "batch";
     case Dispatch::kPooled: return "pooled";
     case Dispatch::kMultiJob: return "multijob";
+    case Dispatch::kDelta: return "delta";
   }
   return "?";
 }
@@ -495,7 +682,8 @@ CaseSpec CaseSpec::parse_repro(std::string_view line) {
       c.dispatch = parse_enum(
           val,
           std::vector<Dispatch>{Dispatch::kSingle, Dispatch::kBatch,
-                                Dispatch::kPooled, Dispatch::kMultiJob},
+                                Dispatch::kPooled, Dispatch::kMultiJob,
+                                Dispatch::kDelta},
           "dispatch");
     } else if (key == "seed") {
       c.seed = std::stoull(val, nullptr, 0);
@@ -578,6 +766,14 @@ std::vector<CaseSpec> cases_for(std::string_view backend_name, Tier tier) {
       push(g, f, NoiseMode::kAnalog, Dispatch::kPooled);
       if (f == InputFamily::kDense)
         push(g, f, NoiseMode::kAnalog, Dispatch::kMultiJob);
+      // Delta dispatch (differential compute-reuse read): deterministic
+      // identities everywhere + cross-backend bitwise on tie-free
+      // geometries; pooled bit-identity and noise statistics vs
+      // reference on the dense family (the noise model does not see the
+      // input family).
+      push(g, f, NoiseMode::kAdcOnly, Dispatch::kDelta);
+      if (f == InputFamily::kDense)
+        push(g, f, NoiseMode::kAnalog, Dispatch::kDelta);
     }
   }
   return out;
@@ -657,6 +853,7 @@ std::unique_ptr<MacroLike> make_case_macro(const CaseSpec& c,
 // -------------------------------------------------------------- running
 
 CaseResult run_case(const CaseSpec& c) {
+  if (c.dispatch == Dispatch::kDelta) return check_delta(c);
   switch (c.mode) {
     case NoiseMode::kIdeal:
       return check_ideal(c);

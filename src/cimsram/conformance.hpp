@@ -17,7 +17,7 @@
 //   noise mode ideal / ADC-only (analog_noise off, coarse ADC) /
 //              analog (noise-dominated);
 //   dispatch   single call / batch / pooled batch / multi-job keyed
-//              streams.
+//              streams / differential delta reads (compute reuse).
 //
 // Check tiers:
 //
@@ -62,7 +62,9 @@ enum class InputFamily {
   kBitplaneEdge, ///< exact power-of-two / all-ones codes + column masks
 };
 
-/// Which execution path the case exercises.
+/// Which execution path the case exercises. Delta-dispatch cases reuse
+/// kAdcOnly for their deterministic tier (noise off, coarse ADC) and
+/// kAnalog for the noisy tier.
 enum class NoiseMode {
   kIdeal,    ///< matvec_ideal* (exact reduction) -> bitwise tier
   kAdcOnly,  ///< analog_noise off, coarse ADC     -> bitwise tier
@@ -75,6 +77,7 @@ enum class Dispatch {
   kBatch,     ///< matvec_batch, serial
   kPooled,    ///< matvec_batch over a ThreadPool vs serial (bit-identity)
   kMultiJob,  ///< several jobs with rng streams keyed off one root
+  kDelta,     ///< matvec_delta / matvec_delta_batch (differential read)
 };
 
 /// Sweep depth: kQuick is the CI tier, kFull the nightly tier (more

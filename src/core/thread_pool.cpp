@@ -85,7 +85,7 @@ void ThreadPool::drain(Job& job, int worker_index) {
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
-                              const ForBody& body) {
+                              ForBodyRef body) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   // Serial fallbacks: a 1-thread pool, a nested call from a worker, or a

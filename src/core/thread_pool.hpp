@@ -22,6 +22,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -30,8 +31,36 @@ namespace cimnav::core {
 
 class ThreadPool {
  public:
-  /// Chunked loop body: [begin, end) of the index space, executing worker id.
+  /// Owning chunked loop body: [begin, end) of the index space, executing
+  /// worker id. Store one of these when a body must outlive its binding
+  /// site (e.g. bound once in a constructor and dispatched every tick).
   using ForBody = std::function<void(std::size_t, std::size_t, int)>;
+
+  /// Non-owning view of a loop body. parallel_for blocks until the loop
+  /// completes, so the body never outlives the call — hot paths that
+  /// build a capturing lambda per dispatch type-erase through this view
+  /// without the std::function heap allocation (goal 3 above applies to
+  /// the dispatch itself, not just the chunk cursor).
+  class ForBodyRef {
+   public:
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cv_t<std::remove_reference_t<F>>, ForBodyRef>>>
+    ForBodyRef(F&& f)  // NOLINT(google-explicit-constructor)
+        : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+          call_([](void* ctx, std::size_t begin, std::size_t end,
+                   int worker) {
+            (*static_cast<std::remove_reference_t<F>*>(ctx))(begin, end,
+                                                             worker);
+          }) {}
+    void operator()(std::size_t begin, std::size_t end, int worker) const {
+      call_(ctx_, begin, end, worker);
+    }
+
+   private:
+    void* ctx_;
+    void (*call_)(void*, std::size_t, std::size_t, int);
+  };
 
   /// `threads` <= 0 selects std::thread::hardware_concurrency(). The pool
   /// spawns threads-1 workers; the caller of parallel_for participates as
@@ -51,7 +80,7 @@ class ThreadPool {
   /// threads serialize; calls from inside a pool worker run inline. If a
   /// chunk body throws, remaining chunks still run, and the first
   /// exception is rethrown on the calling thread after the job completes.
-  void parallel_for(std::size_t n, std::size_t grain, const ForBody& body);
+  void parallel_for(std::size_t n, std::size_t grain, ForBodyRef body);
 
   /// The worker-local stream (worker 0 = the caller). Streams are seeded
   /// deterministically from the root seed per *worker*, so results are
@@ -61,7 +90,7 @@ class ThreadPool {
 
  private:
   struct Job {
-    const ForBody* body = nullptr;
+    const ForBodyRef* body = nullptr;
     std::size_t n = 0;
     std::size_t grain = 1;
     std::size_t n_chunks = 0;

@@ -426,13 +426,18 @@ bool FleetEngine::tick_locked() {
       job.frame_workloads = s.frame_workloads.data();
       jobs_.push_back(job);
     }
-    const std::size_t dense =
+    // mc_predict_cim_jobs batches dense and compute-reuse jobs alike
+    // (reuse chains advance step-synchronously through the same pooled
+    // dispatches), and returns how many non-empty jobs shared the one
+    // pooled dispatch set — the serial-equivalent count the dispatch
+    // ratio is measured against.
+    const std::size_t batched_jobs =
         bnn::mc_predict_cim_jobs(*net, jobs_.data(), jobs_.size(),
                                  config_.pool);
     const auto layers = static_cast<std::uint64_t>(net->layer_count());
-    if (dense > 0) {
+    if (batched_jobs > 0) {
       stats_.pooled_layer_dispatches += layers;
-      stats_.serial_layer_dispatches += dense * layers;
+      stats_.serial_layer_dispatches += batched_jobs * layers;
     }
   }
 

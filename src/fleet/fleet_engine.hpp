@@ -25,7 +25,10 @@
 //   stage B   ONE bnn::mc_predict_cim_jobs call per distinct network:
 //             every (session, frame, iteration) item of the tick shares
 //             one pooled macro dispatch per layer — cross-frame batching
-//             extended across sessions;
+//             extended across sessions. Compute-reuse sessions batch the
+//             same way: their refresh chains advance step-synchronously
+//             through the chain-parallel reuse engine, one pooled delta
+//             dispatch per chain step across every session of the tick;
 //   stage C   per session, in frame order: posterior -> filter predict,
 //             wake-up policy, measurement update, energy ledger;
 //   retire    finished sessions publish their ClosedLoopRun through a

@@ -341,19 +341,16 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
         if (mask[i] && !state.prev_mask[i]) added.push_back(i);
         if (!mask[i] && state.prev_mask[i]) removed.push_back(i);
       }
-      if (!added.empty()) {
-        cimsram::pack_rows(added, macro.n_in(), gate);
-        macro.matvec_encoded(state.frozen_enc, gate, no_col_gate, rng,
-                             delta);
+      // Differential delta dispatch: ONE signed macro op nets the added
+      // rows against the removed rows — only word lines holding flipped
+      // rows are driven (MacroStats prices exactly those). A sharded grid
+      // derives per-shard streams from one root draw, so this serial path
+      // and the pooled batch agree bit-for-bit at any pool size.
+      if (!added.empty() || !removed.empty()) {
+        macro.matvec_delta(state.frozen_enc, added.data(), added.size(),
+                           removed.data(), removed.size(), rng, delta);
         for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
           state.reuse_acc[i] += delta[i];
-      }
-      if (!removed.empty()) {
-        cimsram::pack_rows(removed, macro.n_in(), gate);
-        macro.matvec_encoded(state.frozen_enc, gate, no_col_gate, rng,
-                             delta);
-        for (std::size_t i = 0; i < state.reuse_acc.size(); ++i)
-          state.reuse_acc[i] -= delta[i];
       }
     }
     state.prev_mask = mask;
@@ -448,6 +445,386 @@ Vector CimMlp::forward_with_reuse(const Vector& x,
     a = std::move(z);
   }
   return a;
+}
+
+void CimMlp::forward_reuse_window(
+    const std::vector<ReuseFrame>& frames, core::ThreadPool* pool,
+    ReuseScratch& scratch, std::size_t side_items,
+    const std::function<void(std::size_t)>& side_item) const {
+  const int n_layers = layer_count();
+  const int expected_sites = (dropout_on_input_ ? 1 : 0) + n_layers - 1;
+  const int mask_base = dropout_on_input_ ? 1 : 0;
+  CIMNAV_REQUIRE(expected_sites >= 1, "compute reuse needs a mask site");
+  if (!dropout_on_input_)
+    CIMNAV_REQUIRE(n_layers >= 2,
+                   "hidden-site reuse needs at least one hidden layer");
+  // Reuse locus: layer 0 over the input mask, or layer 1 over the first
+  // hidden mask — in both modes the locus mask is site 0 of every set.
+  const int lc = dropout_on_input_ ? 0 : 1;
+  const auto& locus = *macros_[static_cast<std::size_t>(lc)];
+  const Mask no_col;  // accumulators keep all columns live
+
+  // Partition every frame's visiting positions into refresh chains.
+  const std::size_t n_frames = frames.size();
+  scratch.enc0.resize(n_frames);
+  scratch.chain_frame.clear();
+  scratch.chain_begin.clear();
+  scratch.chain_end.clear();
+  scratch.rngs.clear();
+  bool tracking = false;
+  std::size_t max_len = 0;
+  for (std::size_t f = 0; f < n_frames; ++f) {
+    const ReuseFrame& fr = frames[f];
+    CIMNAV_REQUIRE(fr.x != nullptr && fr.mask_sets != nullptr &&
+                       fr.outs != nullptr,
+                   "reuse frame entries must be populated");
+    const std::size_t t_total = fr.mask_sets->size();
+    for (const auto& set : *fr.mask_sets) {
+      CIMNAV_REQUIRE(set.size() == static_cast<std::size_t>(expected_sites),
+                     "mask count mismatch");
+      CIMNAV_REQUIRE(set[0].size() == static_cast<std::size_t>(locus.n_in()),
+                     "reuse locus mask size mismatch");
+    }
+    // encode_layer0 builds exactly the frozen encoding the serial path
+    // uses: the keep-scaled input with input-site dropout (shared by all
+    // of the frame's chains), the raw input otherwise (the per-chain
+    // layer-0 dense products replay it at chain start).
+    encode_layer0(*fr.x, scratch.enc0[f]);
+    fr.outs->resize(t_total);
+    const std::size_t chain_len = fr.chain_len > 0 ? fr.chain_len : t_total;
+    const std::size_t n_chains =
+        t_total == 0 ? 0 : (t_total + chain_len - 1) / chain_len;
+    for (std::size_t c = 0; c < n_chains; ++c) {
+      scratch.chain_frame.push_back(static_cast<std::uint32_t>(f));
+      scratch.chain_begin.push_back(c * chain_len);
+      scratch.chain_end.push_back(std::min((c + 1) * chain_len, t_total));
+      scratch.rngs.push_back(core::Rng::stream(fr.noise_root, c));
+      max_len = std::max(max_len, scratch.chain_end.back() -
+                                      scratch.chain_begin.back());
+    }
+    tracking = tracking || fr.stats != nullptr;
+  }
+  const std::size_t n_chains = scratch.rngs.size();
+  if (n_chains == 0) {
+    for (std::size_t k = 0; k < side_items; ++k) side_item(k);
+    return;
+  }
+
+  // Grow-only per-chain arena (accumulators, row lists, delta buffers):
+  // in steady state nothing below allocates.
+  scratch.accs.resize(n_chains);
+  scratch.prev.resize(n_chains);
+  scratch.acts.resize(n_chains);
+  scratch.deltas.resize(n_chains);
+  scratch.added.resize(n_chains);
+  scratch.removed.resize(n_chains);
+  if (!dropout_on_input_) scratch.frozen_enc.resize(n_chains);
+  if (tracking) scratch.chain_stats.assign(n_chains, {});
+  // Flip lists are bounded by the locus row count; reserving the bound
+  // keeps the digital-diff loop off the heap even when a fresh mask draw
+  // flips more rows than any earlier window did.
+  const std::size_t locus_rows = static_cast<std::size_t>(locus.n_in());
+  for (std::size_t ch = 0; ch < n_chains; ++ch) {
+    scratch.deltas[ch].resize(static_cast<std::size_t>(locus.n_out()));
+    scratch.added[ch].reserve(locus_rows);
+    scratch.removed[ch].reserve(locus_rows);
+  }
+  scratch.live.reserve(n_chains);
+  scratch.items.reserve(n_chains);
+  scratch.item_chain.reserve(n_chains);
+
+  const auto chain_sink = [&](std::size_t ch) -> cimsram::MacroStats* {
+    return frames[scratch.chain_frame[ch]].stats != nullptr
+               ? &scratch.chain_stats[ch]
+               : nullptr;
+  };
+  const auto frozen_of = [&](std::size_t ch) -> const cimsram::EncodedInput& {
+    return dropout_on_input_ ? scratch.enc0[scratch.chain_frame[ch]]
+                             : scratch.frozen_enc[ch];
+  };
+  // The locus mask of chain `ch` at visiting position `k`.
+  const auto locus_mask_at = [&](std::size_t ch, std::size_t k)
+      -> const Mask& {
+    const ReuseFrame& fr = frames[scratch.chain_frame[ch]];
+    return (*fr.mask_sets)[fr.order != nullptr ? fr.order[k] : k][0];
+  };
+  const auto dispatch = [&](std::size_t total, const auto& body) {
+    if (total == 0) return;
+    if (pool != nullptr) {
+      pool->parallel_for(total, 1, body);
+    } else {
+      body(0, total, 0);
+    }
+  };
+
+  // Two dispatch strategies, bit-identical by construction (both consume
+  // each chain's stream in exactly the serial forward_with_reuse order,
+  // and chains never read each other's state):
+  //  * few chains — every chain runs its whole serial loop as one work
+  //    item; no step barriers, minimal latency (one session's frame);
+  //  * many chains (the fleet case) — chains advance step-synchronously,
+  //    so at position p ONE pooled dispatch carries every chain's step-p
+  //    work and the sparse delta matvecs batch shard-affinely.
+  constexpr std::size_t kStepSyncMinChains = 16;
+  if (n_chains < kStepSyncMinChains) {
+    const std::size_t total = n_chains + side_items;
+    dispatch(total, [&](std::size_t b, std::size_t e, int) {
+      thread_local std::vector<std::uint64_t> gate;
+      thread_local cimsram::EncodedInput enc_hidden;
+      thread_local Vector pre, fv;
+      for (std::size_t ch = b; ch < e; ++ch) {
+        if (ch >= n_chains) {
+          side_item(ch - n_chains);
+          continue;
+        }
+        const cimsram::ScopedStatsCapture capture(chain_sink(ch));
+        const ReuseFrame& fr = frames[scratch.chain_frame[ch]];
+        auto& added = scratch.added[ch];
+        auto& removed = scratch.removed[ch];
+        Vector& acc = scratch.accs[ch];
+        Vector& dlt = scratch.deltas[ch];
+        for (std::size_t k = scratch.chain_begin[ch];
+             k < scratch.chain_end[ch]; ++k) {
+          const std::vector<Mask>& set =
+              (*fr.mask_sets)[fr.order != nullptr ? fr.order[k] : k];
+          const Mask& m = set[0];
+          if (k == scratch.chain_begin[ch]) {
+            if (!dropout_on_input_) {
+              const auto& m0 = *macros_[0];
+              cimsram::pack_row_mask(Mask{}, m0.n_in(), gate);
+              m0.matvec_encoded(scratch.enc0[scratch.chain_frame[ch]], gate,
+                                no_col, scratch.rngs[ch], pre);
+              fv.resize(pre.size());
+              for (std::size_t j = 0; j < pre.size(); ++j)
+                fv[j] = std::max(0.0, pre[j] + biases_[0][j]) * keep_scale_;
+              macros_[1]->encode_input(fv, scratch.frozen_enc[ch]);
+            }
+            cimsram::pack_row_mask(m, locus.n_in(), gate);
+            locus.matvec_encoded(frozen_of(ch), gate, no_col,
+                                 scratch.rngs[ch], acc);
+          } else {
+            const Mask& prv = *scratch.prev[ch];
+            added.clear();
+            removed.clear();
+            for (std::size_t r = 0; r < m.size(); ++r) {
+              if (m[r] && !prv[r]) added.push_back(r);
+              if (!m[r] && prv[r]) removed.push_back(r);
+            }
+            if (!added.empty() || !removed.empty()) {
+              locus.matvec_delta(frozen_of(ch), added.data(), added.size(),
+                                 removed.data(), removed.size(),
+                                 scratch.rngs[ch], dlt);
+              for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += dlt[j];
+            }
+          }
+          scratch.prev[ch] = &m;
+          if (lc + 1 == n_layers) {
+            Vector& out = (*fr.outs)[k];
+            out = acc;
+            finish_layer(out, biases_[static_cast<std::size_t>(lc)], no_col,
+                         /*hidden=*/false);
+          } else {
+            Vector& a = scratch.acts[ch];
+            a = acc;
+            finish_layer(a, biases_[static_cast<std::size_t>(lc)],
+                         set[static_cast<std::size_t>(mask_base + lc)],
+                         /*hidden=*/true);
+            for (int l = lc + 1; l < n_layers; ++l) {
+              const bool is_last = l + 1 == n_layers;
+              const auto& macro = *macros_[static_cast<std::size_t>(l)];
+              const Mask& row_mask =
+                  set[static_cast<std::size_t>(mask_base + l - 1)];
+              const Mask& col_mask =
+                  is_last ? no_col
+                          : set[static_cast<std::size_t>(mask_base + l)];
+              Vector& z = is_last ? (*fr.outs)[k] : a;
+              macro.encode_input(a, enc_hidden);
+              cimsram::pack_row_mask(row_mask, macro.n_in(), gate);
+              macro.matvec_encoded(enc_hidden, gate, col_mask,
+                                   scratch.rngs[ch], z);
+              finish_layer(z, biases_[static_cast<std::size_t>(l)], col_mask,
+                           /*hidden=*/!is_last);
+            }
+          }
+        }
+      }
+    });
+    if (tracking) {
+      for (std::size_t f = 0; f < n_frames; ++f)
+        if (frames[f].stats != nullptr) *frames[f].stats = {};
+      for (std::size_t ch = 0; ch < n_chains; ++ch) {
+        cimsram::MacroStats* sink = frames[scratch.chain_frame[ch]].stats;
+        if (sink != nullptr) *sink += scratch.chain_stats[ch];
+      }
+    }
+    return;
+  }
+
+  // Step-synchronous chain advance: at position p, each barrier-separated
+  // phase touches a chain's rng through at most one work item, in exactly
+  // the order the serial forward_with_reuse loop consumes it.
+  bool first_dispatch = true;
+  for (std::size_t p = 0; p < max_len; ++p) {
+    scratch.live.clear();
+    for (std::size_t ch = 0; ch < n_chains; ++ch)
+      if (scratch.chain_begin[ch] + p < scratch.chain_end[ch])
+        scratch.live.push_back(static_cast<std::uint32_t>(ch));
+    const std::size_t n_live = scratch.live.size();
+
+    if (p == 0) {
+      if (!dropout_on_input_) {
+        // Chain start, hidden-site mode: every chain's dense layer-0
+        // product (its noise comes from the chain's own stream), then the
+        // frozen hidden values are encoded once per chain.
+        const std::size_t extra = first_dispatch ? side_items : 0;
+        first_dispatch = false;
+        dispatch(n_live + extra, [&](std::size_t b, std::size_t e, int) {
+          thread_local std::vector<std::uint64_t> gate;
+          thread_local Vector pre, fv;
+          for (std::size_t i = b; i < e; ++i) {
+            if (i >= n_live) {
+              side_item(i - n_live);
+              continue;
+            }
+            const std::size_t ch = scratch.live[i];
+            const cimsram::ScopedStatsCapture capture(chain_sink(ch));
+            const auto& m0 = *macros_[0];
+            cimsram::pack_row_mask(Mask{}, m0.n_in(), gate);
+            m0.matvec_encoded(scratch.enc0[scratch.chain_frame[ch]], gate,
+                              no_col, scratch.rngs[ch], pre);
+            fv.resize(pre.size());
+            for (std::size_t j = 0; j < pre.size(); ++j)
+              fv[j] = std::max(0.0, pre[j] + biases_[0][j]) * keep_scale_;
+            macros_[1]->encode_input(fv, scratch.frozen_enc[ch]);
+          }
+        });
+      }
+      // Dense (re)initialization of every chain's accumulator.
+      const std::size_t extra = first_dispatch ? side_items : 0;
+      first_dispatch = false;
+      dispatch(n_live + extra, [&](std::size_t b, std::size_t e, int) {
+        thread_local std::vector<std::uint64_t> gate;
+        for (std::size_t i = b; i < e; ++i) {
+          if (i >= n_live) {
+            side_item(i - n_live);
+            continue;
+          }
+          const std::size_t ch = scratch.live[i];
+          const cimsram::ScopedStatsCapture capture(chain_sink(ch));
+          const Mask& m = locus_mask_at(ch, scratch.chain_begin[ch]);
+          cimsram::pack_row_mask(m, locus.n_in(), gate);
+          locus.matvec_encoded(frozen_of(ch), gate, no_col, scratch.rngs[ch],
+                               scratch.accs[ch]);
+          scratch.prev[ch] = &m;
+        }
+      });
+    } else {
+      // Digital diff against the previous visiting position (no analog
+      // work, no draws), then ONE pooled differential delta batch: each
+      // chain with any flip contributes one signed item netting its adds
+      // against its removes. Chains with no flips at all contribute no
+      // item and draw nothing — exactly the serial path's skipped call.
+      scratch.items.clear();
+      scratch.item_chain.clear();
+      for (std::size_t i = 0; i < n_live; ++i) {
+        const std::size_t ch = scratch.live[i];
+        const std::size_t k = scratch.chain_begin[ch] + p;
+        const Mask& cur = locus_mask_at(ch, k);
+        const Mask& prv = *scratch.prev[ch];
+        auto& added = scratch.added[ch];
+        auto& removed = scratch.removed[ch];
+        added.clear();
+        removed.clear();
+        for (std::size_t r = 0; r < cur.size(); ++r) {
+          if (cur[r] && !prv[r]) added.push_back(r);
+          if (!cur[r] && prv[r]) removed.push_back(r);
+        }
+        scratch.prev[ch] = &cur;
+        if (added.empty() && removed.empty()) continue;
+        cimsram::DeltaItem it;
+        it.enc = &frozen_of(ch);
+        it.add_rows = added.data();
+        it.n_add = added.size();
+        it.rem_rows = removed.data();
+        it.n_rem = removed.size();
+        it.rng = &scratch.rngs[ch];
+        it.y = scratch.deltas[ch].data();
+        it.stats = chain_sink(ch);
+        scratch.items.push_back(it);
+        scratch.item_chain.push_back(ch);
+      }
+      if (!scratch.items.empty()) {
+        locus.matvec_delta_batch(scratch.items.data(), scratch.items.size(),
+                                 pool);
+        for (std::size_t i = 0; i < scratch.item_chain.size(); ++i) {
+          const std::size_t ch = scratch.item_chain[i];
+          Vector& acc = scratch.accs[ch];
+          const Vector& d = scratch.deltas[ch];
+          for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += d[j];
+        }
+      }
+    }
+
+    // Locus epilogue + dense tail. When the locus is the last layer the
+    // epilogue is pure digital work (bias only); otherwise it folds into
+    // the first tail dispatch.
+    if (lc + 1 == n_layers) {
+      for (std::size_t i = 0; i < n_live; ++i) {
+        const std::size_t ch = scratch.live[i];
+        const ReuseFrame& fr = frames[scratch.chain_frame[ch]];
+        const std::size_t k = scratch.chain_begin[ch] + p;
+        Vector& out = (*fr.outs)[k];
+        out = scratch.accs[ch];
+        finish_layer(out, biases_[static_cast<std::size_t>(lc)], no_col,
+                     /*hidden=*/false);
+      }
+    } else {
+      for (int l = lc + 1; l < n_layers; ++l) {
+        const auto& macro = *macros_[static_cast<std::size_t>(l)];
+        const Vector& bias = biases_[static_cast<std::size_t>(l)];
+        const bool is_last = l + 1 == n_layers;
+        dispatch(n_live, [&](std::size_t b, std::size_t e, int) {
+          thread_local std::vector<std::uint64_t> gate;
+          thread_local cimsram::EncodedInput enc_hidden;
+          for (std::size_t i = b; i < e; ++i) {
+            const std::size_t ch = scratch.live[i];
+            const cimsram::ScopedStatsCapture capture(chain_sink(ch));
+            const ReuseFrame& fr = frames[scratch.chain_frame[ch]];
+            const std::size_t k = scratch.chain_begin[ch] + p;
+            const std::vector<Mask>& set =
+                (*fr.mask_sets)[fr.order != nullptr ? fr.order[k] : k];
+            if (l == lc + 1) {
+              scratch.acts[ch] = scratch.accs[ch];
+              finish_layer(scratch.acts[ch],
+                           biases_[static_cast<std::size_t>(lc)],
+                           set[static_cast<std::size_t>(mask_base + lc)],
+                           /*hidden=*/true);
+            }
+            const Mask& row_mask =
+                set[static_cast<std::size_t>(mask_base + l - 1)];
+            const Mask& col_mask =
+                is_last ? no_col
+                        : set[static_cast<std::size_t>(mask_base + l)];
+            Vector& z = is_last ? (*fr.outs)[k] : scratch.acts[ch];
+            macro.encode_input(scratch.acts[ch], enc_hidden);
+            cimsram::pack_row_mask(row_mask, macro.n_in(), gate);
+            macro.matvec_encoded(enc_hidden, gate, col_mask,
+                                 scratch.rngs[ch], z);
+            finish_layer(z, bias, col_mask, /*hidden=*/!is_last);
+          }
+        });
+      }
+    }
+  }
+
+  if (tracking) {
+    for (std::size_t f = 0; f < n_frames; ++f)
+      if (frames[f].stats != nullptr) *frames[f].stats = {};
+    for (std::size_t ch = 0; ch < n_chains; ++ch) {
+      cimsram::MacroStats* sink = frames[scratch.chain_frame[ch]].stats;
+      if (sink != nullptr) *sink += scratch.chain_stats[ch];
+    }
+  }
 }
 
 cimsram::MacroStats CimMlp::total_stats() const {

@@ -153,9 +153,84 @@ class CimMlp {
 
   /// Masked forward reusing products between calls. The first call (state
   /// invalid) performs dense products; subsequent calls evaluate only
-  /// changed rows at the reuse layer. Reset the state when `x` changes.
+  /// changed rows at the reuse layer — one differential delta dispatch
+  /// (MacroLike::matvec_delta) per step that only drives word lines whose
+  /// mask bits flipped, netting adds against removes in a single signed
+  /// op. Reset the state when `x` changes. This is the serial reference
+  /// for forward_reuse_window below.
   Vector forward_with_reuse(const Vector& x, const std::vector<Mask>& masks,
                             ReuseState& state, core::Rng& rng) const;
+
+  /// One frame of a chain-parallel compute-reuse window
+  /// (forward_reuse_window). The frame's T mask sets are visited along
+  /// `order` (nullptr = identity) and cut into refresh chains of
+  /// `chain_len` visiting positions (0 = one chain); chain c's analog
+  /// noise streams from core::Rng::stream(noise_root, c), exactly like
+  /// the serial chain loop over forward_with_reuse.
+  struct ReuseFrame {
+    const Vector* x = nullptr;
+    const std::vector<std::vector<Mask>>* mask_sets = nullptr;
+    /// Visiting order over the mask sets (size T); nullptr = identity.
+    /// Chains slice visiting *positions*, so any per-chain permutation
+    /// stays inside its own chain.
+    const std::size_t* order = nullptr;
+    std::size_t chain_len = 0;   ///< refresh interval (0 = single chain)
+    std::uint64_t noise_root = 0;
+    std::vector<Vector>* outs = nullptr;  ///< resized to T, visiting order
+    /// Optional *exact* macro accounting for this frame (assigned): every
+    /// accounting event happens inside a per-chain captured body, so the
+    /// per-frame entries sum to the call's total_stats() delta.
+    cimsram::MacroStats* stats = nullptr;
+  };
+
+  /// Pooled per-chain state for forward_reuse_window: one grow-only arena
+  /// the engine carves per-chain accumulators, row lists and delta
+  /// buffers from, so the steady-state reuse path never touches the heap.
+  /// One instance must not be shared by concurrent callers.
+  struct ReuseScratch {
+    std::vector<cimsram::EncodedInput> enc0;  ///< per-frame frozen encoding
+    std::vector<std::uint32_t> chain_frame;   ///< chain -> frame index
+    std::vector<std::size_t> chain_begin;     ///< chain -> first position
+    std::vector<std::size_t> chain_end;       ///< chain -> past-the-end
+    std::vector<core::Rng> rngs;              ///< per-chain noise stream
+    std::vector<Vector> accs;                 ///< per-chain accumulator
+    std::vector<const Mask*> prev;            ///< per-chain previous locus mask
+    /// Per-chain frozen-value encodings (hidden-site mode only; the
+    /// frozen hidden vector depends on the chain's own layer-0 draws).
+    std::vector<cimsram::EncodedInput> frozen_enc;
+    std::vector<Vector> acts;                 ///< per-chain tail activation
+    std::vector<Vector> deltas;               ///< per-chain delta product
+    std::vector<std::vector<std::size_t>> added, removed;
+    std::vector<cimsram::DeltaItem> items;    ///< delta batch build buffer
+    std::vector<std::size_t> item_chain;      ///< item -> chain
+    std::vector<std::uint32_t> live;          ///< chains active this step
+    std::vector<cimsram::MacroStats> chain_stats;
+  };
+
+  /// Chain-parallel compute reuse across a window of frames (and, via
+  /// bnn::mc_predict_cim_jobs, across sessions): every refresh chain of
+  /// every frame advances step-synchronously. At chain position k one
+  /// pooled dispatch carries every chain's step-k work — the dense
+  /// (re)initialization at k = 0, then one differential delta batch
+  /// (MacroLike::matvec_delta_batch) netting each chain's added rows
+  /// against its removed rows, then the dense tail layers — while each
+  /// chain's within-chain accumulation stays a serial index-order sum on
+  /// its own noise stream.
+  ///
+  /// Determinism: a chain's rng is touched by at most one work item per
+  /// barrier-separated phase, in exactly the order forward_with_reuse
+  /// consumes it (delta phases skip chains with no flipped rows, which
+  /// therefore draw nothing — same as the serial path), so every output
+  /// is bit-identical to the serial chain loop at any pool size, window
+  /// size and frame mix.
+  ///
+  /// `side_items`/`side_item` append side work to the first pooled phase
+  /// (the widest dispatch), mirroring forward_window's contract.
+  void forward_reuse_window(const std::vector<ReuseFrame>& frames,
+                            core::ThreadPool* pool, ReuseScratch& scratch,
+                            std::size_t side_items = 0,
+                            const std::function<void(std::size_t)>& side_item =
+                                {}) const;
 
   /// Aggregate macro activity (sum over layers and shards). Callers
   /// snapshot this around a pass and price the delta through

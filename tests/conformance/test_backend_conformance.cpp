@@ -96,7 +96,7 @@ TEST(ConformanceTable, CoversEveryBackendShardGridsAndAllAxes) {
     }
     EXPECT_EQ(fams.size(), 4u) << b;
     EXPECT_EQ(modes.size(), 3u) << b;
-    EXPECT_EQ(dispatches.size(), 4u) << b;
+    EXPECT_EQ(dispatches.size(), 5u) << b;
     EXPECT_GE(geoms.size(), 4u) << b;
   }
 }
@@ -166,8 +166,44 @@ class BrokenNoiseBackend final : public ComputeBackend {
   }
 };
 
+/// Dense reads delegate to "reference" untouched; the differential read
+/// drops the last listed packed word from the scan — the classic
+/// sparse-gate bookkeeping bug a delta kernel can have while every dense
+/// tier stays bit-perfect. The delta dispatch axis must catch it.
+class BrokenDeltaBackend final : public ComputeBackend {
+ public:
+  std::string_view name() const override { return "broken_delta"; }
+  void run_columns(const MacroView& v, const std::uint64_t* planes,
+                   std::uint64_t active_rows, const std::uint8_t* out_mask,
+                   int col_begin, int col_end, bool ideal, cimnav::core::Rng* rng,
+                   double* y) const override {
+    cimnav::cimsram::backend("reference")
+        .run_columns(v, planes, active_rows, out_mask, col_begin, col_end,
+                     ideal, rng, y);
+  }
+  void run_columns_delta(const MacroView& v, const std::uint64_t* gated_add,
+                         const std::uint64_t* gated_rem,
+                         const std::int32_t* word_list, int n_words,
+                         std::uint64_t active_rows,
+                         const std::uint8_t* out_mask, int col_begin,
+                         int col_end, bool ideal, cimnav::core::Rng* rng,
+                         double* y) const override {
+    cimnav::cimsram::backend("reference")
+        .run_columns_delta(v, gated_add, gated_rem, word_list,
+                           n_words > 1 ? n_words - 1 : n_words, active_rows,
+                           out_mask, col_begin, col_end, ideal, rng, y);
+  }
+};
+
 const BrokenBitwiseBackend& broken_bitwise() {
   static const BrokenBitwiseBackend b;
+  static const bool once = cimnav::cimsram::register_backend(&b);
+  (void)once;
+  return b;
+}
+
+const BrokenDeltaBackend& broken_delta() {
+  static const BrokenDeltaBackend b;
   static const bool once = cimnav::cimsram::register_backend(&b);
   (void)once;
   return b;
@@ -197,6 +233,31 @@ TEST(ConformanceCatchesBrokenBackends, BitwiseTierCatchesIdealDefect) {
   ASSERT_NE(first_failure.find("repro: "), std::string::npos);
 
   // The embedded repro line must reproduce the failure on its own.
+  const auto spec = conf::CaseSpec::parse_repro(
+      first_failure.substr(first_failure.find("repro: ") + 7));
+  EXPECT_FALSE(conf::run_case(spec).pass);
+}
+
+TEST(ConformanceCatchesBrokenBackends, DeltaAxisCatchesDeltaDefect) {
+  broken_delta();
+  int delta_failures = 0, other_failures = 0;
+  std::string first_failure;
+  for (const auto& c : conf::cases_for("broken_delta", conf::Tier::kQuick)) {
+    const auto r = conf::run_case(c);
+    if (r.pass) continue;
+    if (c.dispatch == conf::Dispatch::kDelta) {
+      ++delta_failures;
+      if (first_failure.empty()) first_failure = r.failure;
+    } else {
+      ++other_failures;
+    }
+  }
+  EXPECT_GT(delta_failures, 0)
+      << "delta dispatch axis missed a dropped-word delta defect";
+  EXPECT_EQ(other_failures, 0)
+      << "a delta-only defect must not trip the dense tiers";
+  ASSERT_NE(first_failure.find("repro: "), std::string::npos);
+
   const auto spec = conf::CaseSpec::parse_repro(
       first_failure.substr(first_failure.find("repro: ") + 7));
   EXPECT_FALSE(conf::run_case(spec).pass);

@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,24 +108,43 @@ class FleetFuzz : public ::testing::Test {
     scenario_ = nullptr;
   }
 
-  static vo::ClosedLoopConfig loop_config(std::uint64_t run_seed) {
+  /// CIMNAV_FLEET_FUZZ_REUSE=1 lets campaigns draw compute-reuse
+  /// tenants: random sessions flip on the Sec. III-C delta path (greedy
+  /// mask tour, a refresh boundary inside the window), pushing the
+  /// chain-parallel engine through the same QoS invariants — bit-identity
+  /// against a standalone reuse run above all. Off by default so the
+  /// plain tier-1 run keeps the historical campaign set byte-stable; the
+  /// sanitizer CI runs a dedicated reuse shard.
+  static bool reuse_enabled() {
+    const char* v = std::getenv("CIMNAV_FLEET_FUZZ_REUSE");
+    return v != nullptr && v[0] == '1';
+  }
+
+  static vo::ClosedLoopConfig loop_config(std::uint64_t run_seed,
+                                          bool reuse = false) {
     vo::ClosedLoopConfig loop;
-    loop.mc.iterations = 3;
+    // Reuse tenants run more iterations than the refresh interval (8),
+    // so every frame carries a chain boundary and a short tail chain.
+    loop.mc.iterations = reuse ? 10 : 3;
     loop.mc.dropout_p = 0.2;
+    loop.mc.compute_reuse = reuse;
+    loop.mc.order_samples = reuse;
     loop.run_seed = run_seed;
     return loop;
   }
 
-  /// The standalone twin of a fleet session, cached per run seed (the
-  /// only SessionSpec field that changes the computation here).
-  static const vo::ClosedLoopRun& reference_run(std::uint64_t run_seed) {
-    auto it = refs_.find(run_seed);
+  /// The standalone twin of a fleet session, cached per (run seed,
+  /// reuse) — the only SessionSpec fields that change the computation
+  /// here.
+  static const vo::ClosedLoopRun& reference_run(
+      const vo::ClosedLoopConfig& loop) {
+    const std::uint64_t key =
+        (loop.run_seed << 1) | (loop.mc.compute_reuse ? 1u : 0u);
+    auto it = refs_.find(key);
     if (it == refs_.end())
       it = refs_
-               .emplace(run_seed,
-                        vo::run_odometry_loop(*scenario_, *vo_, *net_,
-                                              *model_,
-                                              loop_config(run_seed)))
+               .emplace(key, vo::run_odometry_loop(*scenario_, *vo_, *net_,
+                                                   *model_, loop))
                .first;
     return it->second;
   }
@@ -155,7 +175,11 @@ class FleetFuzz : public ::testing::Test {
       FuzzSession fs;
       // Few distinct seeds: sessions collide on purpose (identical
       // configs must still be independent), and references cache well.
-      fs.spec.loop = loop_config(rng.uniform_int(0, 3));
+      const std::uint64_t run_seed = rng.uniform_int(0, 3);
+      // Short-circuit keeps the campaign stream identical when the
+      // reuse shard is off.
+      const bool reuse = reuse_enabled() && rng.uniform() < 0.5;
+      fs.spec.loop = loop_config(run_seed, reuse);
       fs.spec.qos.priority = static_cast<int>(rng.uniform_int(0, 3));
       if (rng.uniform() < 0.6)
         fs.spec.qos.target_latency_ticks =
@@ -252,8 +276,7 @@ TEST_F(FleetFuzz, RandomCampaignsPreserveDeterminismLedgerAndLiveness) {
       const vo::ClosedLoopRun& run = handles[s].wait();
 
       // Bit-identity vs the standalone loop, under every policy.
-      expect_bit_identical(reference_run(c.sessions[s].spec.loop.run_seed),
-                           run);
+      expect_bit_identical(reference_run(c.sessions[s].spec.loop), run);
 
       // Exact conservation: the in-flight QoS ledger equals the run's
       // epilogue totals bitwise (same pricing, same accumulation order).
